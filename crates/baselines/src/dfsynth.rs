@@ -1,0 +1,115 @@
+//! The DFSynth-like baseline generator.
+
+use hcg_core::conventional::emit_conventional;
+use hcg_core::dispatch::{classify, Dispatch};
+use hcg_core::{CodeGenerator, GenContext, GenError, LoopStyle};
+use hcg_isa::Arch;
+use hcg_kernels::CodeLibrary;
+use hcg_model::{ActorKind, KindClass, Model, PortRef};
+use hcg_vm::{Program, Stmt};
+
+/// DFSynth-like code generation: schedule-driven, well-structured scalar
+/// loops ("cyclic computational codes") and generic functions for intensive
+/// actors. No SIMD on any target.
+#[derive(Debug, Default)]
+pub struct DfSynthGen {
+    lib: CodeLibrary,
+}
+
+impl DfSynthGen {
+    /// A fresh generator.
+    pub fn new() -> Self {
+        DfSynthGen {
+            lib: CodeLibrary::new(),
+        }
+    }
+}
+
+impl CodeGenerator for DfSynthGen {
+    fn name(&self) -> &'static str {
+        "dfsynth"
+    }
+
+    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError> {
+        let mut ctx = GenContext::new(model, arch, self.name())?;
+        for idx in 0..ctx.schedule.order.len() {
+            let aid = ctx.schedule.order[idx];
+            let actor = ctx.model.actor(aid).clone();
+            match actor.kind {
+                ActorKind::Inport
+                | ActorKind::Outport
+                | ActorKind::Constant
+                | ActorKind::UnitDelay => continue,
+                _ => {}
+            }
+            if actor.kind.class() == KindClass::Intensive {
+                // Always the generic implementation — DFSynth performs no
+                // input-scale pre-calculation.
+                let Dispatch::Intensive { .. } = classify(ctx.model, &ctx.types, &actor) else {
+                    return Err(GenError::Internal(format!(
+                        "intensive actor {} with non-float input",
+                        actor.name
+                    )));
+                };
+                let general = self.lib.general_for(actor.kind).ok_or_else(|| {
+                    GenError::Internal(format!("no general kernel for {}", actor.kind))
+                })?;
+                let inputs = (0..actor.kind.input_count())
+                    .map(|p| ctx.value_buffer(PortRef::new(aid, p)))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let output = ctx.actor_buffer(aid);
+                ctx.prog.body.push(Stmt::KernelCall {
+                    actor: actor.kind,
+                    impl_name: general.name.to_owned(),
+                    inputs,
+                    output,
+                });
+            } else {
+                emit_conventional(&mut ctx, &actor, LoopStyle::LOOPS)?;
+            }
+        }
+        Ok(ctx.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::library;
+
+    #[test]
+    fn never_emits_simd() {
+        let g = DfSynthGen::new();
+        for m in library::paper_benchmarks() {
+            for arch in Arch::ALL {
+                let p = g.generate(&m, arch).unwrap();
+                let s = p.stmt_stats();
+                assert_eq!(s.vops, 0, "{} on {arch}", m.name);
+                assert_eq!(s.vloads, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn uses_generic_kernels_only() {
+        let g = DfSynthGen::new();
+        let p = g.generate(&library::fft_model(1024), Arch::Neon128).unwrap();
+        let call = p
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::KernelCall { impl_name, .. } => Some(impl_name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call, "generic");
+    }
+
+    #[test]
+    fn batch_code_is_loops_not_unrolled() {
+        let g = DfSynthGen::new();
+        let p = g.generate(&library::fig4_model(), Arch::Neon128).unwrap();
+        let s = p.stmt_stats();
+        assert!(s.loops >= 5, "one loop per batch actor, got {}", s.loops);
+    }
+}

@@ -1,0 +1,51 @@
+//! # hcg-baselines — the evaluation baselines of the HCG paper
+//!
+//! Two reference generators that share HCG's lowering substrate but none of
+//! its SIMD synthesis:
+//!
+//! * [`SimulinkCoderGen`] — models the built-in Simulink Coder as §4
+//!   describes it: expression-folded scalar code (small arrays unrolled),
+//!   generic library functions for intensive actors, and — on Intel targets
+//!   only — *scattered* per-actor SIMD: each batch actor loads its operands
+//!   from memory, issues one vector instruction, and stores its result back,
+//!   with no cross-actor fusion ("Some actors are not translated into
+//!   composite SIMD instructions", §4.2) and no batch-actor identification
+//!   across connections (§4.1's FIR example).
+//! * [`DfSynthGen`] — models DFSynth (TCAD'21): well-structured scalar
+//!   loops and generic intensive functions, never SIMD (§4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
+//! use hcg_core::CodeGenerator;
+//! use hcg_isa::Arch;
+//! use hcg_model::library;
+//!
+//! # fn main() -> Result<(), hcg_core::GenError> {
+//! let model = library::fir_model(1024, 4);
+//! let coder = SimulinkCoderGen::new().generate(&model, Arch::Neon128)?;
+//! let dfsynth = DfSynthGen::new().generate(&model, Arch::Neon128)?;
+//! // Neither baseline vectorises on ARM.
+//! assert_eq!(coder.stmt_stats().vops, 0);
+//! assert_eq!(dfsynth.stmt_stats().vops, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod coder;
+mod dfsynth;
+
+pub use coder::SimulinkCoderGen;
+pub use dfsynth::DfSynthGen;
+
+/// All three generators of the paper's evaluation, boxed for sweeping.
+pub fn all_generators() -> Vec<Box<dyn hcg_core::CodeGenerator>> {
+    vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(hcg_core::HcgGen::new()),
+    ]
+}

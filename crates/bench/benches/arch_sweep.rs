@@ -1,0 +1,37 @@
+//! Figure 5 bench: HCG's generated step across the four paper platforms
+//! (the cost-model numbers come from `repro -- fig5`; this measures the
+//! actual VM execution per architecture).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_core::{CodeGenerator, HcgGen};
+use hcg_isa::Arch;
+use hcg_kernels::CodeLibrary;
+use hcg_model::library;
+use hcg_vm::Machine;
+
+fn bench_arch_sweep(c: &mut Criterion) {
+    let lib = CodeLibrary::new();
+    let generator = HcgGen::new();
+    let mut group = c.benchmark_group("fig5_arch_sweep");
+    for arch in Arch::ALL {
+        for model in [library::fir_model(1024, 4), library::lowpass_model(1024)] {
+            let program = generator.generate(&model, arch).expect("generates");
+            let label = format!("{}/{}", model.name.split('_').next().unwrap_or("?"), arch);
+            group.bench_function(BenchmarkId::new("hcg_step", label), |b| {
+                let mut machine = Machine::new(&program, &lib);
+                b.iter(|| machine.step().expect("steps"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_arch_sweep
+}
+criterion_main!(benches);

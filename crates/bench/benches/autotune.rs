@@ -1,0 +1,48 @@
+//! Algorithm 1 bench: pre-calculation cost (cold) vs selection-history hit
+//! (warm), with both meters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_kernels::{Autotuner, CodeLibrary, KernelSize, Meter};
+use hcg_model::{ActorKind, DataType};
+
+fn bench_autotune(c: &mut Criterion) {
+    let lib = CodeLibrary::new();
+    let mut group = c.benchmark_group("algorithm1");
+    for n in [64usize, 256, 1024] {
+        let size = KernelSize(vec![n]);
+        group.bench_with_input(BenchmarkId::new("cold_opcount", n), &size, |b, size| {
+            b.iter(|| {
+                let mut tuner = Autotuner::new(Meter::OpCount);
+                tuner
+                    .select(&lib, ActorKind::Fft, DataType::F32, size)
+                    .expect("selects")
+                    .0
+                    .name
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm_history", n), &size, |b, size| {
+            let mut tuner = Autotuner::new(Meter::OpCount);
+            tuner
+                .select(&lib, ActorKind::Fft, DataType::F32, size)
+                .expect("selects");
+            b.iter(|| {
+                tuner
+                    .select(&lib, ActorKind::Fft, DataType::F32, size)
+                    .expect("selects")
+                    .0
+                    .name
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_autotune
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 1 bench: wall-clock time of each FFT implementation across input
+//! lengths — the measurement behind "no one implementation can always
+//! perform better than the others".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_kernels::{generate_test_input, CodeLibrary, KernelSize};
+use hcg_model::{ActorKind, DataType};
+
+fn bench_fft_impls(c: &mut Criterion) {
+    let lib = CodeLibrary::new();
+    let mut group = c.benchmark_group("fig1_fft_impls");
+    for n in [16usize, 64, 256, 1000, 1024] {
+        let size = KernelSize(vec![n]);
+        let input = generate_test_input(ActorKind::Fft, DataType::F32, &size, 42);
+        for kernel in lib.for_actor(ActorKind::Fft) {
+            if !kernel.can_handle_size(&size) {
+                continue;
+            }
+            // The naive DFT at large n dominates runtime; sample it less.
+            if kernel.name == "naive_dft" && n > 256 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name, n),
+                &input,
+                |b, input| b.iter(|| kernel.run(input).expect("fft runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_fft_impls
+}
+criterion_main!(benches);

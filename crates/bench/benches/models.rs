@@ -1,0 +1,55 @@
+//! Table 2 bench: execute one generated model step on the VM for each of
+//! the six paper benchmarks × three generators (ARM+GCC platform).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg_core::{CodeGenerator, HcgGen};
+use hcg_isa::Arch;
+use hcg_kernels::CodeLibrary;
+use hcg_model::library;
+use hcg_vm::Machine;
+
+fn bench_models(c: &mut Criterion) {
+    let lib = CodeLibrary::new();
+    let generators: Vec<Box<dyn CodeGenerator>> = vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ];
+    let mut group = c.benchmark_group("table2_step");
+    // Paper scales are heavy for the interpreting VM; bench reduced scales
+    // with the same structure.
+    let models = [
+        library::fft_model(256),
+        library::dct_model(256),
+        library::conv_model(256, 16),
+        library::highpass_model(256),
+        library::lowpass_model(256),
+        library::fir_model(256, 4),
+    ];
+    for model in &models {
+        for gen in &generators {
+            let program = gen.generate(model, Arch::Neon128).expect("generates");
+            let short = model.name.split('_').next().unwrap_or("?").to_owned();
+            group.bench_with_input(
+                BenchmarkId::new(gen.name(), short),
+                &program,
+                |b, program| {
+                    let mut machine = Machine::new(program, &lib);
+                    b.iter(|| machine.step().expect("steps"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §4.1 generation-time bench: full code generation (parse-to-program) per
+//! generator per benchmark model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg_core::{CodeGenerator, HcgGen};
+use hcg_isa::Arch;
+use hcg_model::library;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let generators: Vec<Box<dyn CodeGenerator>> = vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ];
+    let mut group = c.benchmark_group("gentime");
+    for model in library::paper_benchmarks() {
+        for gen in &generators {
+            let short = model.name.split('_').next().unwrap_or("?").to_owned();
+            group.bench_with_input(
+                BenchmarkId::new(gen.name(), short),
+                &model,
+                |b, model| b.iter(|| gen.generate(model, Arch::Neon128).expect("generates")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_synthesis
+}
+criterion_main!(benches);

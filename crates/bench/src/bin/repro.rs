@@ -1,0 +1,303 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p hcg-bench --bin repro --release -- all
+//! cargo run -p hcg-bench --bin repro --release -- table2
+//! cargo run -p hcg-bench --bin repro --release -- fig1 [--wall-clock]
+//! cargo run -p hcg-bench --bin repro --release -- fig5
+//! cargo run -p hcg-bench --bin repro --release -- fig2 | fig4 | table1
+//! cargo run -p hcg-bench --bin repro --release -- memory | gentime | consistency
+//! cargo run -p hcg-bench --bin repro --release -- ablation-threshold | ablation-history
+//! ```
+
+use hcg_baselines::SimulinkCoderGen;
+use hcg_bench::*;
+use hcg_core::{emit::to_c_source, CodeGenerator, HcgGen};
+use hcg_isa::Arch;
+use hcg_model::{library, ActorKind, KindClass};
+use hcg_vm::{Compiler, CostModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let wall_clock = args.iter().any(|a| a == "--wall-clock");
+    match cmd {
+        "all" => {
+            table1_cmd();
+            fig1_cmd(wall_clock);
+            fig2_cmd();
+            fig4_cmd();
+            table2_cmd();
+            fig5_cmd();
+            memory_cmd();
+            gentime_cmd();
+            consistency_cmd();
+            ablation_threshold_cmd();
+            ablation_history_cmd();
+            ablation_greedy_cmd();
+            fusion_cmd();
+        }
+        "table1" => table1_cmd(),
+        "fig1" => fig1_cmd(wall_clock),
+        "fig2" => fig2_cmd(),
+        "fig4" => fig4_cmd(),
+        "table2" => table2_cmd(),
+        "fig5" => fig5_cmd(),
+        "memory" => memory_cmd(),
+        "gentime" => gentime_cmd(),
+        "consistency" => consistency_cmd(),
+        "ablation-threshold" => ablation_threshold_cmd(),
+        "ablation-history" => ablation_history_cmd(),
+        "ablation-greedy" => ablation_greedy_cmd(),
+        "fusion" => fusion_cmd(),
+        other => {
+            eprintln!("unknown experiment {other:?}; see module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1_cmd() {
+    heading("Table 1 — supported intensive and batch computing actors");
+    println!("(a) intensive computing actors:");
+    for k in ActorKind::ALL {
+        if k.class() == KindClass::Intensive {
+            println!("    {k}");
+        }
+    }
+    println!("(b) batch computing actors:");
+    for k in ActorKind::ALL {
+        if k.class() == KindClass::Batch {
+            println!("    {k}");
+        }
+    }
+}
+
+fn fig1_cmd(wall_clock: bool) {
+    let unit = if wall_clock { "ns" } else { "ops" };
+    heading(&format!(
+        "Figure 1 — FFT implementation cost vs input length ({unit}, lower is better)"
+    ));
+    let lengths = [4, 8, 16, 32, 64, 100, 128, 256, 500, 512, 1000, 1024, 2048, 4096];
+    let rows = fig1(&lengths, wall_clock);
+    let impls: Vec<String> = rows[0].costs.iter().map(|(n, _)| n.clone()).collect();
+    print!("{:>6}", "n");
+    for name in &impls {
+        print!("{name:>12}");
+    }
+    println!("{:>12}", "winner");
+    for row in &rows {
+        print!("{:>6}", row.n);
+        let mut best: Option<(&str, u64)> = None;
+        for (name, cost) in &row.costs {
+            match cost {
+                Some(c) => {
+                    print!("{c:>12}");
+                    if best.is_none_or(|(_, b)| *c < b) {
+                        best = Some((name, *c));
+                    }
+                }
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!("{:>12}", best.map(|(n, _)| n).unwrap_or("-"));
+    }
+    println!("\nAlgorithm-1 winners (OpCount meter):");
+    for (n, winner) in fig1_winners(&lengths) {
+        println!("    n={n:<5} -> {winner}");
+    }
+}
+
+fn fig2_cmd() {
+    heading("Figure 2 — sample batch model: Coder's unrolled code vs HCG's SIMD");
+    let m = library::fig2_model();
+    let coder = SimulinkCoderGen::new()
+        .generate(&m, Arch::Neon128)
+        .expect("generates");
+    println!("--- Simulink-Coder-like (ARM: scalar, expression-folded) ---");
+    println!("{}", to_c_source(&coder));
+    let hcg = HcgGen::new().generate(&m, Arch::Neon128).expect("generates");
+    println!("--- HCG (fused SIMD) ---");
+    println!("{}", to_c_source(&hcg));
+}
+
+fn fig4_cmd() {
+    heading("Figure 4 / Listing 1 — dataflow graph mapping on the sample model");
+    let m = library::fig4_model();
+    // Narrate the mapping like the paper's Figure 4 walk-through.
+    let ctx = hcg_core::GenContext::new(&m, Arch::Neon128, "explain").expect("valid model");
+    let dispatch = hcg_core::dispatch::classify_all(ctx.model, &ctx.types);
+    let set = hcg_isa::sets::builtin(Arch::Neon128);
+    let regions = hcg_core::batch::form_regions(&ctx, &dispatch, &set);
+    for trace in hcg_core::explain_region(&ctx, &regions[0], &set).expect("maps") {
+        println!("  from {:<5} candidates: {:?}", trace.start, trace.candidates);
+        println!("        matched {:<28} -> {}", trace.chosen, trace.instruction);
+    }
+    println!();
+    let hcg = HcgGen::new().generate(&m, Arch::Neon128).expect("generates");
+    println!("{}", to_c_source(&hcg));
+}
+
+fn print_exec_rows(rows: &[ExecRow]) {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "Model", "Simulink(s)", "DFSynth(s)", "HCG(s)", "vs Simulink", "vs DFSynth"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>13.1}% {:>13.1}%",
+            r.model,
+            r.simulink_s,
+            r.dfsynth_s,
+            r.hcg_s,
+            r.improvement_vs_simulink(),
+            r.improvement_vs_dfsynth()
+        );
+    }
+    let range = |f: fn(&ExecRow) -> f64| {
+        let lo = rows.iter().map(f).fold(f64::MAX, f64::min);
+        let hi = rows.iter().map(f).fold(f64::MIN, f64::max);
+        (lo, hi)
+    };
+    let (ls, hs) = range(ExecRow::improvement_vs_simulink);
+    let (ld, hd) = range(ExecRow::improvement_vs_dfsynth);
+    println!("  improvement ranges: {ls:.1}%-{hs:.1}% vs Simulink, {ld:.1}%-{hd:.1}% vs DFSynth");
+}
+
+fn table2_cmd() {
+    heading(
+        "Table 2 — execution time on ARM (Cortex-A72-like) with GCC-like compiler, 10 000 iterations",
+    );
+    print_exec_rows(&table2());
+    println!("  (paper reports 41.3%-71.9% vs Simulink Coder, 41.2%-75.4% vs DFSynth)");
+}
+
+fn fig5_cmd() {
+    heading("Figure 5 — six benchmarks on ARM/Intel x GCC/Clang");
+    for (platform, rows) in fig5() {
+        println!(
+            "\n  ({}) {} + {} [{} iterations]",
+            match (platform.arch, platform.compiler) {
+                (Arch::Neon128, Compiler::GccLike) => "a",
+                (Arch::Avx256, Compiler::GccLike) => "b",
+                (Arch::Neon128, Compiler::ClangLike) => "c",
+                _ => "d",
+            },
+            platform.arch,
+            platform.compiler,
+            iterations_for(platform.arch)
+        );
+        print_exec_rows(&rows);
+    }
+}
+
+fn memory_cmd() {
+    heading("Section 4.1 — memory usage of generated code (paper: within 1%)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>8}",
+        "Model", "Simulink(B)", "DFSynth(B)", "HCG(B)", "spread"
+    );
+    for r in memory_table(Arch::Neon128) {
+        let (a, b, c) = r.bytes;
+        let max = a.max(b).max(c) as f64;
+        let min = a.min(b).min(c) as f64;
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>7.2}%",
+            r.model,
+            a,
+            b,
+            c,
+            (max - min) / max * 100.0
+        );
+    }
+}
+
+fn gentime_cmd() {
+    heading("Section 4.1 — code generation time (paper: 1-2 s for all tools)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "Model", "Simulink(us)", "DFSynth(us)", "HCG(us)"
+    );
+    for r in gentime(Arch::Neon128) {
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            r.model, r.micros.0, r.micros.1, r.micros.2
+        );
+    }
+}
+
+fn consistency_cmd() {
+    heading("Section 4.1 — computation results consistent across generators");
+    for m in benchmark_models() {
+        for arch in Arch::ALL {
+            let c = check_consistency(&m, arch, 3, 99);
+            println!(
+                "  {:>10} on {:>8}: max relative diff {:.3e}",
+                c.model,
+                format!("{}", c.arch),
+                c.max_diff
+            );
+        }
+    }
+}
+
+fn ablation_threshold_cmd() {
+    heading("Section 4.3 ablation — SIMD threshold: chains of N batch Adds (i32*1024), ARM+GCC");
+    let rows = ablation_threshold(1024, 6, CostModel::new(Arch::Neon128, Compiler::GccLike));
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "actors", "SIMD cycles", "scalar cycles", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>14} {:>14} {:>9.2}x",
+            r.region_size,
+            r.simd_cycles,
+            r.scalar_cycles,
+            r.scalar_cycles as f64 / r.simd_cycles as f64
+        );
+    }
+}
+
+fn ablation_history_cmd() {
+    heading("Algorithm 1 ablation — selection-history cache (wall-clock meter)");
+    let a = ablation_history(1024);
+    println!("  cold synthesis (pre-calculation runs): {:>8} us", a.cold_micros);
+    println!("  warm synthesis (history hit):          {:>8} us", a.warm_micros);
+    println!(
+        "  speedup: {:.1}x",
+        a.cold_micros as f64 / a.warm_micros.max(1) as f64
+    );
+}
+
+fn ablation_greedy_cmd() {
+    heading("Greedy-order ablation — largest-first vs smallest-first subgraph matching (ARM+GCC)");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "Model", "largest (vops/cyc)", "smallest (vops/cyc)"
+    );
+    for r in ablation_greedy_order(CostModel::new(Arch::Neon128, Compiler::GccLike)) {
+        println!(
+            "{:>10} {:>13}/{:<8} {:>13}/{:<8}",
+            r.model,
+            r.largest_first.0,
+            r.largest_first.1,
+            r.smallest_first.0,
+            r.smallest_first.1
+        );
+    }
+}
+
+fn fusion_cmd() {
+    heading("Instruction mix — batch dataflow nodes vs SIMD instructions HCG emitted (NEON)");
+    println!("{:>10} {:>12} {:>8}", "Model", "batch nodes", "vops");
+    for r in fusion_report(Arch::Neon128) {
+        println!("{:>10} {:>12} {:>8}", r.model, r.batch_nodes, r.vops);
+    }
+}

@@ -1,0 +1,148 @@
+//! The §4.1 correctness check: all three generators and the golden
+//! reference must compute identical results on every benchmark model.
+
+use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg_core::{CodeGenerator, HcgGen, Reference};
+use hcg_isa::Arch;
+use hcg_kernels::CodeLibrary;
+use hcg_model::{ActorKind, Model, Tensor};
+use hcg_vm::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Result of a consistency run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consistency {
+    /// Model name.
+    pub model: String,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Worst absolute difference of any generator output against the golden
+    /// reference, over all steps and outports.
+    pub max_diff: f64,
+}
+
+/// Random inputs for one step of a model, keyed by inport name.
+pub fn random_inputs(model: &Model, rng: &mut StdRng) -> BTreeMap<String, Tensor> {
+    let types = model.infer_types().expect("benchmark models are valid");
+    let mut out = BTreeMap::new();
+    for a in &model.actors {
+        if a.kind != ActorKind::Inport {
+            continue;
+        }
+        let ty = types.output(a.id, 0);
+        let t = if ty.dtype.is_float() {
+            let data: Vec<f64> = (0..ty.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            Tensor::from_f64(ty, data).expect("sized")
+        } else {
+            let data: Vec<i64> = (0..ty.len()).map(|_| rng.gen_range(-100..100)).collect();
+            Tensor::from_i64(ty, data).expect("sized")
+        };
+        out.insert(a.name.clone(), t);
+    }
+    out
+}
+
+/// Execute a model for `steps` steps through every generator on `arch` and
+/// through the golden reference, comparing every outport value.
+///
+/// Float comparisons tolerate the difference between intensive-kernel
+/// algorithms (e.g. radix-4 vs naive DFT accumulate rounding differently);
+/// integer paths must agree exactly.
+///
+/// # Panics
+///
+/// Panics when generation or execution fails — benchmark models must not
+/// fail.
+pub fn check_consistency(model: &Model, arch: Arch, steps: usize, seed: u64) -> Consistency {
+    let lib = CodeLibrary::new();
+    let generators: Vec<Box<dyn CodeGenerator>> = vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ];
+    let programs: Vec<_> = generators
+        .iter()
+        .map(|g| {
+            g.generate(model, arch)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", g.name(), model.name))
+        })
+        .collect();
+    let mut machines: Vec<Machine<'_>> = programs.iter().map(|p| Machine::new(p, &lib)).collect();
+    let mut reference = Reference::new(model).expect("valid model");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_diff = 0.0f64;
+    for _ in 0..steps {
+        let inputs = random_inputs(model, &mut rng);
+        let expected = reference.step(&inputs).expect("reference executes");
+        for m in &mut machines {
+            for (name, value) in &inputs {
+                m.set_input(name, value).expect("input buffers exist");
+            }
+            m.step().expect("program executes");
+            for (name, want) in &expected {
+                let got = m.read_buffer(name).expect("output buffer exists");
+                let scale = want
+                    .as_f64()
+                    .iter()
+                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                let diff = got.max_abs_diff(want) / scale;
+                max_diff = max_diff.max(diff);
+            }
+        }
+    }
+    Consistency {
+        model: model.name.clone(),
+        arch,
+        max_diff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::library;
+
+    #[test]
+    fn fig4_exact_agreement() {
+        let c = check_consistency(&library::fig4_model(), Arch::Neon128, 4, 7);
+        assert_eq!(c.max_diff, 0.0);
+    }
+
+    #[test]
+    fn integer_fir_exact_agreement_all_archs() {
+        for arch in Arch::ALL {
+            let c = check_consistency(&library::fir_model(64, 4), arch, 3, 11);
+            assert_eq!(c.max_diff, 0.0, "{arch}");
+        }
+    }
+
+    #[test]
+    fn float_benchmarks_agree_within_tolerance() {
+        for m in [
+            library::fft_model(256),
+            library::dct_model(128),
+            library::conv_model(128, 16),
+            library::highpass_model(64),
+            library::lowpass_model(64),
+        ] {
+            let c = check_consistency(&m, Arch::Neon128, 2, 3);
+            assert!(c.max_diff < 1e-4, "{}: {}", m.name, c.max_diff);
+        }
+    }
+
+    #[test]
+    fn random_models_agree_exactly_many_seeds() {
+        for seed in 1..25 {
+            let m = library::random_batch_model(seed, 19, 8);
+            for arch in [Arch::Neon128, Arch::Avx256] {
+                let c = check_consistency(&m, arch, 2, seed);
+                // Integer models must be bit-exact; float models within fp
+                // reassociation tolerance.
+                assert!(c.max_diff < 1e-5, "seed {seed} on {arch}: {}", c.max_diff);
+            }
+        }
+    }
+}

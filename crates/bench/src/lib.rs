@@ -1,0 +1,14 @@
+//! # hcg-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4) from
+//! the three generators and the VM cost models. The `repro` binary prints
+//! paper-formatted tables; the Criterion benches under `benches/` time the
+//! same pipelines.
+
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod experiments;
+
+pub use consistency::{check_consistency, Consistency};
+pub use experiments::*;

@@ -1,0 +1,205 @@
+//! C-like source rendering of generated programs — the human-readable view
+//! of what each generator produced (the paper's Figure 2 code comparison
+//! and Listing 1 are regenerated from this).
+
+use hcg_isa::Arch;
+use hcg_model::op::ElemOp;
+use hcg_vm::{BufferKind, ElemRef, Program, ScalarOp, Stmt};
+
+/// Render a program as C-like source.
+pub fn to_c_source(prog: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "/* model: {} | generator: {} | target: {} */\n",
+        prog.name, prog.generator, prog.arch
+    ));
+    // Buffer declarations.
+    for b in &prog.buffers {
+        let qual = match b.kind {
+            BufferKind::Input => "/* in  */ ",
+            BufferKind::Output => "/* out */ ",
+            BufferKind::State => "/* st  */ static ",
+            BufferKind::Temp => "/* tmp */ ",
+            BufferKind::Const => "/* cst */ const ",
+        };
+        let cty = Arch::c_scalar_type(b.ty.dtype);
+        if b.ty.len() == 1 {
+            out.push_str(&format!("{qual}{cty} {};\n", b.name));
+        } else {
+            out.push_str(&format!("{qual}{cty} {}[{}];\n", b.name, b.ty.len()));
+        }
+    }
+    out.push_str(&format!("\nvoid {}_step(void) {{\n", sanitize_fn(&prog.name)));
+    render_block(prog, &prog.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_fn(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn elem(prog: &Program, r: &ElemRef) -> String {
+    let b = prog.buffer(r.buf);
+    if b.ty.len() == 1 {
+        b.name.clone()
+    } else {
+        format!("{}[{}]", b.name, r.index.render())
+    }
+}
+
+fn scalar_stmt(prog: &Program, op: &ScalarOp, dst: &ElemRef, srcs: &[ElemRef]) -> String {
+    let d = elem(prog, dst);
+    let s: Vec<String> = srcs.iter().map(|r| elem(prog, r)).collect();
+    match op {
+        ScalarOp::Elem(e) => match e {
+            ElemOp::Add => format!("{d} = {} + {};", s[0], s[1]),
+            ElemOp::Sub => format!("{d} = {} - {};", s[0], s[1]),
+            ElemOp::Mul => format!("{d} = {} * {};", s[0], s[1]),
+            ElemOp::Div => format!("{d} = {} / {};", s[0], s[1]),
+            ElemOp::Shr(n) => format!("{d} = {} >> {n};", s[0]),
+            ElemOp::Shl(n) => format!("{d} = {} << {n};", s[0]),
+            ElemOp::BitNot => format!("{d} = ~{};", s[0]),
+            ElemOp::BitAnd => format!("{d} = {} & {};", s[0], s[1]),
+            ElemOp::BitOr => format!("{d} = {} | {};", s[0], s[1]),
+            ElemOp::BitXor => format!("{d} = {} ^ {};", s[0], s[1]),
+            ElemOp::Min => format!("{d} = MIN({}, {});", s[0], s[1]),
+            ElemOp::Max => format!("{d} = MAX({}, {});", s[0], s[1]),
+            ElemOp::Abs => format!("{d} = ABS({});", s[0]),
+            ElemOp::Abd => format!("{d} = ABS({} - {});", s[0], s[1]),
+            ElemOp::Recp => format!("{d} = 1.0f / {};", s[0]),
+            ElemOp::Sqrt => format!("{d} = sqrtf({});", s[0]),
+            ElemOp::Neg => format!("{d} = -{};", s[0]),
+        },
+        ScalarOp::Select => format!("{d} = ({} > 0) ? {} : {};", s[0], s[1], s[2]),
+        ScalarOp::Clamp { lo, hi } => {
+            format!("{d} = CLAMP({}, {lo}, {hi});", s[0])
+        }
+        ScalarOp::Cast => format!(
+            "{d} = ({}){};",
+            Arch::c_scalar_type(prog.buffer(dst.buf).ty.dtype),
+            s[0]
+        ),
+        ScalarOp::Copy => format!("{d} = {};", s[0]),
+    }
+}
+
+fn render_block(prog: &Program, stmts: &[Stmt], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for s in stmts {
+        match s {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body,
+            } => {
+                out.push_str(&format!(
+                    "{pad}for (size_t i = {start}; i < {end}; i += {step}) {{\n"
+                ));
+                render_block(prog, body, depth + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Scalar { op, dst, srcs } => {
+                out.push_str(&format!("{pad}{}\n", scalar_stmt(prog, op, dst, srcs)));
+            }
+            Stmt::VLoad { reg, buf, index } => {
+                let (dtype, _) = prog.reg_types[reg.0];
+                let b = prog.buffer(*buf);
+                let ptr = format!("&{}[{}]", b.name, index.render());
+                out.push_str(&format!(
+                    "{pad}{} {} = {};\n",
+                    prog.arch.vector_type(dtype),
+                    prog.reg_names[reg.0],
+                    prog.arch.load_expr(dtype, &ptr)
+                ));
+            }
+            Stmt::VStore { buf, index, reg } => {
+                let (dtype, _) = prog.reg_types[reg.0];
+                let b = prog.buffer(*buf);
+                let ptr = format!("&{}[{}]", b.name, index.render());
+                out.push_str(&format!(
+                    "{pad}{}\n",
+                    prog.arch.store_stmt(dtype, &ptr, &prog.reg_names[reg.0])
+                ));
+            }
+            Stmt::VOp { code, dst, .. } => {
+                let (dtype, _) = prog.reg_types[dst.0];
+                out.push_str(&format!(
+                    "{pad}{} {}\n",
+                    prog.arch.vector_type(dtype),
+                    code
+                ));
+            }
+            Stmt::KernelCall {
+                actor,
+                impl_name,
+                inputs,
+                output,
+            } => {
+                let args: Vec<String> = inputs
+                    .iter()
+                    .map(|b| prog.buffer(*b).name.clone())
+                    .chain(std::iter::once(prog.buffer(*output).name.clone()))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}{}_{}({});\n",
+                    actor.name().to_lowercase(),
+                    impl_name,
+                    args.join(", ")
+                ));
+            }
+            Stmt::Copy { dst, src } => {
+                let d = prog.buffer(*dst);
+                let s = prog.buffer(*src);
+                out.push_str(&format!(
+                    "{pad}memcpy({}, {}, sizeof({}));\n",
+                    d.name, s.name, d.name
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodeGenerator, HcgGen};
+    use hcg_model::library;
+
+    #[test]
+    fn fig4_source_contains_listing1_lines() {
+        let gen = HcgGen::new();
+        let p = gen.generate(&library::fig4_model(), Arch::Neon128).unwrap();
+        let src = to_c_source(&p);
+        // The paper's Listing 1, modulo variable spelling.
+        assert!(src.contains("int32x4_t a_batch = vld1q_s32(&a[0]);"), "{src}");
+        assert!(src.contains("Sub_batch = vsubq_s32(b_batch, c_batch);"), "{src}");
+        assert!(src.contains("Shr_batch = vhaddq_s32(a_batch, Sub_batch);"), "{src}");
+        assert!(
+            src.contains("AddM_batch = vmlaq_s32(Sub_batch, Sub_batch, d_batch);"),
+            "{src}"
+        );
+        assert!(src.contains("vst1q_s32(&Shr_out[0], Shr_batch);"), "{src}");
+    }
+
+    #[test]
+    fn loops_and_kernel_calls_render() {
+        let gen = HcgGen::new();
+        let p = gen.generate(&library::fft_model(1024), Arch::Neon128).unwrap();
+        let src = to_c_source(&p);
+        assert!(src.contains("for (size_t i = 0; i < 1024; i += 4)"), "{src}");
+        assert!(src.contains("fft_radix4("), "{src}");
+    }
+
+    #[test]
+    fn intel_source_uses_intel_spelling() {
+        let gen = HcgGen::new();
+        let p = gen.generate(&library::fir_model(1024, 4), Arch::Avx256).unwrap();
+        let src = to_c_source(&p);
+        assert!(src.contains("_mm256_"), "{src}");
+        assert!(src.contains("__m256i"), "{src}");
+    }
+}

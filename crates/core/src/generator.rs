@@ -1,0 +1,324 @@
+//! The `CodeGenerator` trait implemented by HCG and both baselines, plus
+//! the shared lowering context (buffer allocation, schedule, types) that
+//! performs the common "code composition" step ④ of paper §2.
+
+use hcg_isa::Arch;
+use hcg_kernels::SelectError;
+use hcg_model::schedule::{schedule, Schedule};
+use hcg_model::{ActorId, ActorKind, Model, ModelError, PortRef, TypeMap};
+use hcg_vm::{BufferId, BufferKind, Program, Stmt};
+use std::fmt;
+
+/// Error from code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// The input model failed validation/type inference/scheduling.
+    Model(ModelError),
+    /// Intensive-actor implementation selection failed.
+    Select(SelectError),
+    /// Anything else (internal invariant violations surface here with a
+    /// description rather than a panic).
+    Internal(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::Model(e) => write!(f, "{e}"),
+            GenError::Select(e) => write!(f, "{e}"),
+            GenError::Internal(m) => write!(f, "code generation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenError::Model(e) => Some(e),
+            GenError::Select(e) => Some(e),
+            GenError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for GenError {
+    fn from(e: ModelError) -> Self {
+        GenError::Model(e)
+    }
+}
+
+impl From<SelectError> for GenError {
+    fn from(e: SelectError) -> Self {
+        GenError::Select(e)
+    }
+}
+
+/// A code generator: turns a validated model into an executable
+/// [`Program`] for a target architecture.
+pub trait CodeGenerator {
+    /// Generator name as it appears in reports (`hcg`, `simulink-coder`,
+    /// `dfsynth`).
+    fn name(&self) -> &'static str;
+
+    /// Generate code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when the model is invalid or synthesis fails.
+    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError>;
+}
+
+/// Shared lowering state: resolved types, schedule, the program being
+/// built, and the buffer that holds each actor's output value.
+#[derive(Debug)]
+pub struct GenContext<'m> {
+    /// The source model.
+    pub model: &'m Model,
+    /// Resolved signal types.
+    pub types: TypeMap,
+    /// Deterministic execution order.
+    pub schedule: Schedule,
+    /// The program under construction.
+    pub prog: Program,
+    out_buf: Vec<BufferId>,
+    written_outports: std::collections::BTreeSet<ActorId>,
+}
+
+impl<'m> GenContext<'m> {
+    /// Validate the model and allocate one buffer per actor output:
+    /// `Inport` → input buffer, `Outport` → output buffer, `Constant` →
+    /// initialised constant, `UnitDelay` → state (its output *is* the state
+    /// buffer), everything else → temporary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] for invalid models.
+    pub fn new(model: &'m Model, arch: Arch, generator: &str) -> Result<Self, GenError> {
+        let types = model.infer_types()?;
+        let sched = schedule(model)?;
+        let mut prog = Program::new(model.name.clone(), generator, arch);
+        let mut out_buf = Vec::with_capacity(model.actors.len());
+        for a in &model.actors {
+            let name = sanitize(&a.name);
+            let id = match a.kind {
+                ActorKind::Inport => prog.add_buffer(
+                    name,
+                    types.output(a.id, 0),
+                    BufferKind::Input,
+                    None,
+                ),
+                ActorKind::Outport => {
+                    // The outport's buffer matches its *input* type.
+                    let src = model
+                        .driver(PortRef::new(a.id, 0))
+                        .ok_or_else(|| GenError::Internal("unconnected outport".into()))?;
+                    prog.add_buffer(
+                        name,
+                        types.output(src.actor, src.port),
+                        BufferKind::Output,
+                        None,
+                    )
+                }
+                ActorKind::Constant => {
+                    let value = a
+                        .param("value")
+                        .and_then(|p| p.as_float_vec())
+                        .ok_or_else(|| GenError::Internal("constant without value".into()))?;
+                    prog.add_buffer(name, types.output(a.id, 0), BufferKind::Const, Some(value))
+                }
+                ActorKind::UnitDelay => {
+                    let init = a.param("init").and_then(|p| p.as_float_vec());
+                    prog.add_buffer(name, types.output(a.id, 0), BufferKind::State, init)
+                }
+                _ => {
+                    let ty = if a.kind.output_count() > 0 {
+                        types.output(a.id, 0)
+                    } else {
+                        // Sink with no output: zero-length placeholder.
+                        types.output(a.id, 0)
+                    };
+                    prog.add_buffer(name, ty, BufferKind::Temp, None)
+                }
+            };
+            out_buf.push(id);
+        }
+        Ok(GenContext {
+            model,
+            types,
+            schedule: sched,
+            prog,
+            out_buf,
+            written_outports: std::collections::BTreeSet::new(),
+        })
+    }
+
+    /// Record that a generator wrote an `Outport`'s buffer directly
+    /// (output-variable reuse), so [`GenContext::finish`] skips its copy.
+    pub fn mark_outport_written(&mut self, outport: ActorId) {
+        self.written_outports.insert(outport);
+    }
+
+    /// The buffer holding the output value of `actor` (port 0).
+    pub fn actor_buffer(&self, actor: ActorId) -> BufferId {
+        self.out_buf[actor.0]
+    }
+
+    /// The buffer holding the value arriving at an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Internal`] if the port is unconnected (excluded
+    /// by validation).
+    pub fn value_buffer(&self, input: PortRef) -> Result<BufferId, GenError> {
+        let src = self
+            .model
+            .driver(input)
+            .ok_or_else(|| GenError::Internal(format!("unconnected input {input}")))?;
+        Ok(self.actor_buffer(src.actor))
+    }
+
+    /// Finish the program: emit the `Outport` copies and the end-of-step
+    /// delay latches (`UnitDelay` state updates), in actor order.
+    pub fn finish(mut self) -> Program {
+        for a in &self.model.actors {
+            if a.kind == ActorKind::Outport && !self.written_outports.contains(&a.id) {
+                if let Ok(src) = self.value_buffer(PortRef::new(a.id, 0)) {
+                    self.prog.body.push(Stmt::Copy {
+                        dst: self.actor_buffer(a.id),
+                        src,
+                    });
+                }
+            }
+        }
+        // Delay latches: a latch overwrites its state buffer, so any latch
+        // *reading* that buffer (a delay chained off another delay) must run
+        // first. Emit latches in that order; delays on a latch cycle (two
+        // delays swapping values) go through shadow temporaries.
+        let delays: Vec<ActorId> = self
+            .model
+            .actors
+            .iter()
+            .filter(|a| a.kind == ActorKind::UnitDelay)
+            .map(|a| a.id)
+            .collect();
+        let driver_of: std::collections::BTreeMap<ActorId, ActorId> = delays
+            .iter()
+            .filter_map(|&d| {
+                self.model
+                    .driver(PortRef::new(d, 0))
+                    .map(|src| (d, src.actor))
+            })
+            .collect();
+        let mut pending: std::collections::BTreeSet<ActorId> = delays.iter().copied().collect();
+        let mut order: Vec<ActorId> = Vec::with_capacity(delays.len());
+        loop {
+            // Emit any pending delay whose buffer is not read by another
+            // pending latch.
+            let safe: Vec<ActorId> = pending
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    !pending
+                        .iter()
+                        .any(|&other| other != d && driver_of.get(&other) == Some(&d))
+                })
+                .collect();
+            if safe.is_empty() {
+                break;
+            }
+            for d in safe {
+                pending.remove(&d);
+                order.push(d);
+            }
+        }
+        // Cycles: snapshot each remaining delay's driver value first.
+        let cyclic: Vec<ActorId> = pending.into_iter().collect();
+        let mut shadows = Vec::new();
+        for &d in &cyclic {
+            if let Ok(src) = self.value_buffer(PortRef::new(d, 0)) {
+                let ty = self.types.output(d, 0);
+                let shadow = self.prog.add_buffer(
+                    format!("{}_next", self.prog.buffer(self.actor_buffer(d)).name.clone()),
+                    ty,
+                    BufferKind::Temp,
+                    None,
+                );
+                self.prog.body.push(Stmt::Copy { dst: shadow, src });
+                shadows.push((d, shadow));
+            }
+        }
+        for d in order {
+            if let Ok(src) = self.value_buffer(PortRef::new(d, 0)) {
+                self.prog.body.push(Stmt::Copy {
+                    dst: self.actor_buffer(d),
+                    src,
+                });
+            }
+        }
+        for (d, shadow) in shadows {
+            self.prog.body.push(Stmt::Copy {
+                dst: self.actor_buffer(d),
+                src: shadow,
+            });
+        }
+        self.prog
+    }
+}
+
+/// Make an actor name a valid C identifier.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::library;
+
+    #[test]
+    fn context_allocates_buffer_kinds() {
+        let m = library::lowpass_model(64);
+        let ctx = GenContext::new(&m, Arch::Neon128, "test").unwrap();
+        let p = &ctx.prog;
+        assert_eq!(p.buffers_of(BufferKind::Input).len(), 1);
+        assert_eq!(p.buffers_of(BufferKind::Output).len(), 1);
+        assert_eq!(p.buffers_of(BufferKind::State).len(), 1);
+        assert_eq!(p.buffers_of(BufferKind::Const).len(), 1);
+    }
+
+    #[test]
+    fn finish_emits_latches_and_output_copies() {
+        let m = library::lowpass_model(64);
+        let ctx = GenContext::new(&m, Arch::Neon128, "test").unwrap();
+        let p = ctx.finish();
+        // One outport copy + one delay latch.
+        assert_eq!(p.stmt_stats().copies, 2);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("a b-c"), "a_b_c");
+        assert_eq!(sanitize("3x"), "_3x");
+        assert_eq!(sanitize("ok_name"), "ok_name");
+    }
+
+    #[test]
+    fn value_buffer_follows_wires() {
+        let m = library::fig4_model();
+        let ctx = GenContext::new(&m, Arch::Neon128, "test").unwrap();
+        let sub = m.actor_by_name("Sub").unwrap().id;
+        let mul = m.actor_by_name("Mul").unwrap().id;
+        // Mul's first input is driven by Sub.
+        assert_eq!(
+            ctx.value_buffer(PortRef::new(mul, 0)).unwrap(),
+            ctx.actor_buffer(sub)
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! The HCG code generator: the full pipeline of paper Figure 3 — model
+//! parse → actor dispatch → SIMD instruction synthesis (Algorithm 1 for
+//! intensive actors, Algorithm 2 for batch actors) → code composition.
+
+use crate::batch::{emit_batch_region, form_regions, BatchOptions, MatchOrder};
+use crate::conventional::{emit_conventional, LoopStyle};
+use crate::dispatch::{classify_all, Dispatch};
+use crate::generator::{CodeGenerator, GenContext, GenError};
+use crate::intensive::emit_intensive;
+use hcg_isa::{sets, Arch, InstrSet};
+use hcg_kernels::{Autotuner, CodeLibrary, Meter};
+use hcg_model::{ActorKind, Model};
+use hcg_vm::Program;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+/// Configuration of the HCG generator.
+#[derive(Debug, Clone)]
+pub struct HcgOptions {
+    /// Minimum region size to vectorise (see [`BatchOptions::simd_threshold`]).
+    pub simd_threshold: usize,
+    /// Candidate ordering during Algorithm 2 matching (ablation knob).
+    pub match_order: MatchOrder,
+    /// Cost measurement for Algorithm 1.
+    pub meter: Meter,
+    /// Loop style for conventionally translated actors.
+    pub fallback_style: LoopStyle,
+    /// Override the built-in instruction set (e.g. one loaded from a custom
+    /// `.isa` file). `None` uses [`sets::builtin`] for the target.
+    pub instr_set: Option<InstrSet>,
+}
+
+impl Default for HcgOptions {
+    fn default() -> Self {
+        HcgOptions {
+            simd_threshold: 1,
+            match_order: MatchOrder::LargestFirst,
+            meter: Meter::OpCount,
+            fallback_style: LoopStyle::CODER,
+            instr_set: None,
+        }
+    }
+}
+
+/// The HCG generator (the paper's primary contribution).
+///
+/// # Examples
+///
+/// ```
+/// use hcg_core::{CodeGenerator, HcgGen};
+/// use hcg_isa::Arch;
+/// use hcg_model::library;
+///
+/// # fn main() -> Result<(), hcg_core::GenError> {
+/// let model = library::fig4_model();
+/// let gen = HcgGen::new();
+/// let prog = gen.generate(&model, Arch::Neon128)?;
+/// // The Fig. 4 model maps to exactly three SIMD instructions (Listing 1).
+/// assert_eq!(prog.stmt_stats().vops, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HcgGen {
+    /// Generator configuration.
+    pub options: HcgOptions,
+    lib: CodeLibrary,
+    tuner: RefCell<Autotuner>,
+}
+
+impl Default for HcgGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HcgGen {
+    /// An HCG generator with default options.
+    pub fn new() -> Self {
+        Self::with_options(HcgOptions::default())
+    }
+
+    /// An HCG generator with explicit options.
+    pub fn with_options(options: HcgOptions) -> Self {
+        let tuner = Autotuner::new(options.meter);
+        HcgGen {
+            options,
+            lib: CodeLibrary::new(),
+            tuner: RefCell::new(tuner),
+        }
+    }
+
+    /// The kernel library used for intensive actors.
+    pub fn library(&self) -> &CodeLibrary {
+        &self.lib
+    }
+
+    /// Number of remembered Algorithm-1 selections (grows across
+    /// `generate` calls — the paper's quick-search history).
+    pub fn history_len(&self) -> usize {
+        self.tuner.borrow().history_len()
+    }
+
+    /// Export the Algorithm-1 selection history (see
+    /// [`Autotuner::history_to_text`]).
+    pub fn history_text(&self) -> String {
+        self.tuner.borrow().history_to_text()
+    }
+
+    /// Import a previously exported selection history.
+    pub fn load_history(&self, text: &str) {
+        self.tuner.borrow_mut().load_history_text(text);
+    }
+
+    fn instr_set_for(&self, arch: Arch) -> InstrSet {
+        match &self.options.instr_set {
+            Some(set) => set.clone(),
+            None => sets::builtin(arch),
+        }
+    }
+}
+
+impl CodeGenerator for HcgGen {
+    fn name(&self) -> &'static str {
+        "hcg"
+    }
+
+    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError> {
+        let mut ctx = GenContext::new(model, arch, self.name())?;
+        let dispatch = classify_all(ctx.model, &ctx.types);
+        let set = self.instr_set_for(arch);
+        let regions = form_regions(&ctx, &dispatch, &set);
+        let batch_opts = BatchOptions {
+            simd_threshold: self.options.simd_threshold,
+            fallback_style: self.options.fallback_style,
+            match_order: self.options.match_order,
+        };
+
+        // Which region does each actor belong to, and which member leads it
+        // (the earliest in schedule order)?
+        let mut region_of = vec![usize::MAX; model.actors.len()];
+        for (ri, r) in regions.iter().enumerate() {
+            for &a in &r.members {
+                region_of[a.0] = ri;
+            }
+        }
+        let mut emitted_regions: BTreeSet<usize> = BTreeSet::new();
+        let mut tuner = self.tuner.borrow_mut();
+
+        for idx in 0..ctx.schedule.order.len() {
+            let aid = ctx.schedule.order[idx];
+            let actor = ctx.model.actor(aid).clone();
+            match actor.kind {
+                ActorKind::Inport
+                | ActorKind::Outport
+                | ActorKind::Constant
+                | ActorKind::UnitDelay => continue,
+                _ => {}
+            }
+            let ri = region_of[aid.0];
+            if ri != usize::MAX {
+                if emitted_regions.insert(ri) {
+                    emit_batch_region(&mut ctx, &regions[ri], &set, batch_opts)?;
+                }
+                continue;
+            }
+            match &dispatch[aid.0] {
+                Dispatch::Intensive { size } => {
+                    emit_intensive(&mut ctx, &actor, size, &self.lib, &mut tuner)?;
+                }
+                _ => emit_conventional(&mut ctx, &actor, self.options.fallback_style)?,
+            }
+        }
+        Ok(ctx.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::library;
+    use hcg_vm::Stmt;
+
+    #[test]
+    fn fig4_generates_listing1() {
+        let m = library::fig4_model();
+        let gen = HcgGen::new();
+        let p = gen.generate(&m, Arch::Neon128).unwrap();
+        let instrs: Vec<&str> = p
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::VOp { instr, .. } => Some(instr.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(instrs, ["vsubq_s32", "vhaddq_s32", "vmlaq_s32"]);
+    }
+
+    #[test]
+    fn all_paper_benchmarks_generate_on_all_archs() {
+        let gen = HcgGen::new();
+        for m in library::paper_benchmarks() {
+            for arch in Arch::ALL {
+                let p = gen
+                    .generate(&m, arch)
+                    .unwrap_or_else(|e| panic!("{} on {arch}: {e}", m.name));
+                assert!(!p.body.is_empty(), "{} on {arch}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn history_accumulates_across_generates() {
+        let gen = HcgGen::new();
+        let m = library::fft_model(1024);
+        gen.generate(&m, Arch::Neon128).unwrap();
+        let after_first = gen.history_len();
+        assert_eq!(after_first, 1);
+        // Second generation of the same model hits the history (no growth).
+        gen.generate(&m, Arch::Avx256).unwrap();
+        assert_eq!(gen.history_len(), 1);
+        // A different scale adds an entry.
+        gen.generate(&library::fft_model(256), Arch::Neon128).unwrap();
+        assert_eq!(gen.history_len(), 2);
+    }
+
+    #[test]
+    fn threshold_option_suppresses_simd() {
+        let m = library::single_batch_model(1024);
+        let default_gen = HcgGen::new();
+        let p1 = default_gen.generate(&m, Arch::Neon128).unwrap();
+        assert!(p1.stmt_stats().vops > 0);
+
+        let opts = HcgOptions {
+            simd_threshold: 3,
+            ..HcgOptions::default()
+        };
+        let conservative = HcgGen::with_options(opts);
+        let p2 = conservative.generate(&m, Arch::Neon128).unwrap();
+        assert_eq!(p2.stmt_stats().vops, 0);
+    }
+
+    #[test]
+    fn fir_uses_simd_on_every_arch() {
+        let m = library::fir_model(1024, 4);
+        let gen = HcgGen::new();
+        for arch in Arch::ALL {
+            let p = gen.generate(&m, arch).unwrap();
+            assert!(p.stmt_stats().vops > 0, "{arch}");
+        }
+    }
+
+    #[test]
+    fn custom_instruction_set_override() {
+        use hcg_isa::parse::instr_set_from_text;
+        // A set with only vector add: the Fig.4 model's Sub/Mul/Shr don't
+        // qualify, so regions exclude them (conventional), and only Adds
+        // vectorise.
+        let tiny = instr_set_from_text(
+            "set tiny arch neon128\nGraph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);\n",
+        )
+        .unwrap();
+        let gen = HcgGen::with_options(HcgOptions {
+            instr_set: Some(tiny),
+            ..HcgOptions::default()
+        });
+        let p = gen.generate(&library::fig4_model(), Arch::Neon128).unwrap();
+        let stats = p.stmt_stats();
+        assert!(stats.vops >= 1);
+        assert!(stats.scalar_ops > 0);
+    }
+}

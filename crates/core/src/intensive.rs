@@ -1,0 +1,72 @@
+//! Algorithm 1 driver: lower an intensive computing actor to a call into
+//! the implementation selected by adaptive pre-calculation.
+
+use crate::generator::{GenContext, GenError};
+use hcg_kernels::{Autotuner, CodeLibrary, KernelSize};
+use hcg_model::{Actor, PortRef};
+use hcg_vm::Stmt;
+
+/// Emit an intensive actor: run Algorithm 1 (history lookup →
+/// pre-calculation) and emit a `KernelCall` to the winning implementation.
+///
+/// # Errors
+///
+/// Returns [`GenError::Select`] when no implementation can handle the
+/// actor's scale.
+pub fn emit_intensive(
+    ctx: &mut GenContext<'_>,
+    actor: &Actor,
+    size: &KernelSize,
+    lib: &CodeLibrary,
+    tuner: &mut Autotuner,
+) -> Result<(), GenError> {
+    let first_in = ctx
+        .model
+        .driver(PortRef::new(actor.id, 0))
+        .ok_or_else(|| GenError::Internal("unconnected intensive input".into()))?;
+    let dtype = ctx.types.output(first_in.actor, first_in.port).dtype;
+    let (kernel, _from_history) = tuner.select(lib, actor.kind, dtype, size)?;
+    let inputs = (0..actor.kind.input_count())
+        .map(|p| ctx.value_buffer(PortRef::new(actor.id, p)))
+        .collect::<Result<Vec<_>, _>>()?;
+    ctx.prog.body.push(Stmt::KernelCall {
+        actor: actor.kind,
+        impl_name: kernel.name.to_owned(),
+        inputs,
+        output: ctx.actor_buffer(actor.id),
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{classify, Dispatch};
+    use hcg_isa::Arch;
+    use hcg_kernels::Meter;
+    use hcg_model::library;
+
+    #[test]
+    fn fft_1024_lowers_to_radix4_call() {
+        let m = library::fft_model(1024);
+        let mut ctx = GenContext::new(&m, Arch::Neon128, "test").unwrap();
+        let lib = CodeLibrary::new();
+        let mut tuner = Autotuner::new(Meter::OpCount);
+        let fft = ctx.model.actor_by_name("fft").unwrap().clone();
+        let Dispatch::Intensive { size } = classify(ctx.model, &ctx.types, &fft) else {
+            panic!("fft must dispatch intensive");
+        };
+        emit_intensive(&mut ctx, &fft, &size, &lib, &mut tuner).unwrap();
+        let call = ctx
+            .prog
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::KernelCall { impl_name, .. } => Some(impl_name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call, "radix4");
+        assert_eq!(tuner.history_len(), 1);
+    }
+}

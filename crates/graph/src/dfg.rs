@@ -1,0 +1,309 @@
+//! The directed dataflow graph built from a region of connected batch
+//! computing actors (paper §3.2.2, step 1: "collect the interconnected
+//! actors which have the same I/O scales and bit-width of data element").
+
+use hcg_model::op::ElemOp;
+use hcg_model::DataType;
+use std::fmt;
+
+/// Identifier of a node inside one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An operand of a dataflow node: either one of the region's external input
+/// arrays or the result of another node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DfgInput {
+    /// External input array, by index into the region's input list.
+    External(usize),
+    /// Result of another node in the same graph.
+    Node(NodeId),
+}
+
+/// One element-wise operation node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfgNode {
+    /// Node id (dense).
+    pub id: NodeId,
+    /// The element-wise operation.
+    pub op: ElemOp,
+    /// Operands, length equals `op.arity()`.
+    pub inputs: Vec<DfgInput>,
+    /// Display label (usually the originating actor name).
+    pub label: String,
+}
+
+/// Error building a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfgError(String);
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dataflow graph error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+/// A directed dataflow graph over element-wise operations, all sharing one
+/// element type and one data length (the paper's same-I/O-scale,
+/// same-bit-width condition).
+///
+/// Nodes must be added in topological order (operands reference only earlier
+/// nodes), which region formation guarantees by walking the model schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfg {
+    /// Element type of every value in the graph.
+    pub dtype: DataType,
+    /// Element count of every array in the graph.
+    pub len: usize,
+    /// Number of external input arrays.
+    pub n_externals: usize,
+    nodes: Vec<DfgNode>,
+    /// Nodes whose results leave the region (must be stored to memory).
+    outputs: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// An empty graph.
+    pub fn new(dtype: DataType, len: usize, n_externals: usize) -> Self {
+        Dfg {
+            dtype,
+            len,
+            n_externals,
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Append a node.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the operand count does not match the op's arity, an
+    /// operand references a later/unknown node or an out-of-range external,
+    /// or the op does not support the graph's element type.
+    pub fn add_node(
+        &mut self,
+        op: ElemOp,
+        inputs: Vec<DfgInput>,
+        label: impl Into<String>,
+    ) -> Result<NodeId, DfgError> {
+        if inputs.len() != op.arity() {
+            return Err(DfgError(format!(
+                "{op} takes {} operand(s), got {}",
+                op.arity(),
+                inputs.len()
+            )));
+        }
+        if !op.supports(self.dtype) {
+            return Err(DfgError(format!("{op} unsupported on {}", self.dtype)));
+        }
+        let id = NodeId(self.nodes.len());
+        for i in &inputs {
+            match i {
+                DfgInput::External(e) if *e >= self.n_externals => {
+                    return Err(DfgError(format!("external {e} out of range")));
+                }
+                DfgInput::Node(n) if n.0 >= id.0 => {
+                    return Err(DfgError(format!(
+                        "node operand {n} is not earlier than {id} (topological order required)"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        self.nodes.push(DfgNode {
+            id,
+            op,
+            inputs,
+            label: label.into(),
+        });
+        Ok(id)
+    }
+
+    /// Mark a node's result as leaving the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn mark_output(&mut self, id: NodeId) {
+        assert!(id.0 < self.nodes.len(), "unknown node {id}");
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// All nodes in insertion (topological) order.
+    pub fn nodes(&self) -> &[DfgNode] {
+        &self.nodes
+    }
+
+    /// Access one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &DfgNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The region outputs.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// `true` when `id`'s result is a region output.
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// Ids of nodes consuming `id`'s result.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&DfgInput::Node(id)))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Per-op relative computational cost, used to order candidate subgraphs
+    /// (paper: "subgraphs with more computational cost will be tried to be
+    /// matched first").
+    pub fn op_cost(op: ElemOp) -> u32 {
+        match op {
+            ElemOp::Div => 8,
+            ElemOp::Sqrt => 8,
+            ElemOp::Recp => 4,
+            ElemOp::Mul => 2,
+            _ => 1,
+        }
+    }
+
+    /// Total cost of a set of nodes.
+    pub fn cost_of(&self, nodes: &[NodeId]) -> u32 {
+        nodes.iter().map(|&n| Self::op_cost(self.node(n).op)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dfg {
+        // Fig. 4: s = Sub(b, c); h = Shr1(Add(a, s)); o = Add(s, Mul(s, d)).
+        // Externals: 0=a, 1=b, 2=c, 3=d.
+        let mut g = Dfg::new(DataType::I32, 4, 4);
+        let s = g
+            .add_node(
+                ElemOp::Sub,
+                vec![DfgInput::External(1), DfgInput::External(2)],
+                "Sub",
+            )
+            .unwrap();
+        let add_h = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::External(0), DfgInput::Node(s)],
+                "AddH",
+            )
+            .unwrap();
+        let shr = g
+            .add_node(ElemOp::Shr(1), vec![DfgInput::Node(add_h)], "Shr")
+            .unwrap();
+        let mul = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::Node(s), DfgInput::External(3)],
+                "Mul",
+            )
+            .unwrap();
+        let add_m = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::Node(s), DfgInput::Node(mul)],
+                "AddM",
+            )
+            .unwrap();
+        g.mark_output(shr);
+        g.mark_output(add_m);
+        g
+    }
+
+    #[test]
+    fn build_fig4_graph() {
+        let g = sample();
+        assert_eq!(g.len_nodes(), 5);
+        assert_eq!(g.outputs().len(), 2);
+        assert_eq!(g.consumers(NodeId(0)), vec![NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn arity_validated() {
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        assert!(g
+            .add_node(ElemOp::Add, vec![DfgInput::External(0)], "bad")
+            .is_err());
+    }
+
+    #[test]
+    fn dtype_validated() {
+        let mut g = Dfg::new(DataType::F32, 4, 2);
+        assert!(g
+            .add_node(
+                ElemOp::BitAnd,
+                vec![DfgInput::External(0), DfgInput::External(1)],
+                "bad"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        assert!(g
+            .add_node(ElemOp::Abs, vec![DfgInput::Node(NodeId(5))], "bad")
+            .is_err());
+    }
+
+    #[test]
+    fn external_range_validated() {
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        assert!(g
+            .add_node(ElemOp::Abs, vec![DfgInput::External(1)], "bad")
+            .is_err());
+    }
+
+    #[test]
+    fn mark_output_dedupes() {
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        let n = g
+            .add_node(ElemOp::Abs, vec![DfgInput::External(0)], "abs")
+            .unwrap();
+        g.mark_output(n);
+        g.mark_output(n);
+        assert_eq!(g.outputs().len(), 1);
+    }
+
+    #[test]
+    fn cost_ordering_weights() {
+        assert!(Dfg::op_cost(ElemOp::Div) > Dfg::op_cost(ElemOp::Mul));
+        assert!(Dfg::op_cost(ElemOp::Mul) > Dfg::op_cost(ElemOp::Add));
+    }
+}

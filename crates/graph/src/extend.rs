@@ -1,0 +1,380 @@
+//! Subgraph extension (paper Algorithm 2, lines 12–13): from the topmost-
+//! leftmost unmapped node, enumerate the candidate subgraphs bounded by the
+//! instruction set's maximum computing-graph depth and node count, sorted by
+//! computational cost descending.
+//!
+//! Candidate subgraphs are *convex* and *independent* by construction
+//! (Algorithm 2 lines 15–16): a node may only be absorbed when every one of
+//! its operands is an external input, an already-computed value, or inside
+//! the candidate — so no value inside the candidate can depend on a value
+//! produced after it, and the candidate never reads a variable that has not
+//! been generated yet. A non-sink node additionally must have *all* of its
+//! consumers inside the candidate (and not be a region output), otherwise
+//! fusing it would hide an intermediate value that is still live.
+
+use crate::dfg::{Dfg, DfgInput, NodeId};
+use crate::tree::ValTree;
+
+/// A candidate subgraph rooted at a sink node, ready for instruction
+/// matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Member nodes, in the graph's topological order.
+    pub nodes: Vec<NodeId>,
+    /// The unique node whose value leaves the candidate.
+    pub sink: NodeId,
+    /// The candidate expressed as an operand tree (leaves are external
+    /// inputs or already-computed node values).
+    pub tree: ValTree,
+    /// Computational cost (paper: higher cost tried first).
+    pub cost: u32,
+}
+
+/// Tracks which nodes have already been translated (removed from the
+/// paper's `LastGraph`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapState {
+    computed: Vec<bool>,
+}
+
+impl MapState {
+    /// All nodes pending.
+    pub fn new(graph: &Dfg) -> Self {
+        MapState {
+            computed: vec![false; graph.len_nodes()],
+        }
+    }
+
+    /// `true` once `id` has been translated.
+    pub fn is_computed(&self, id: NodeId) -> bool {
+        self.computed[id.0]
+    }
+
+    /// Mark a candidate's nodes as translated.
+    pub fn mark_computed(&mut self, nodes: &[NodeId]) {
+        for n in nodes {
+            self.computed[n.0] = true;
+        }
+    }
+
+    /// `true` when every node has been translated (the loop exit of
+    /// Algorithm 2 line 11).
+    pub fn all_computed(&self) -> bool {
+        self.computed.iter().all(|&c| c)
+    }
+
+    /// Count of pending nodes.
+    pub fn pending(&self) -> usize {
+        self.computed.iter().filter(|&&c| !c).count()
+    }
+}
+
+/// `true` when every operand of `id` is available (external or computed).
+fn is_ready(graph: &Dfg, state: &MapState, id: NodeId) -> bool {
+    graph.node(id).inputs.iter().all(|i| match i {
+        DfgInput::External(_) => true,
+        DfgInput::Node(n) => state.is_computed(*n),
+    })
+}
+
+/// The topmost-leftmost unmapped node (Algorithm 2 line 12): the first
+/// node in topological order whose operands are all available.
+///
+/// Returns `None` when the graph is fully mapped. Because nodes are stored
+/// in topological order, the first pending node is always ready, so the
+/// selection loop makes progress.
+pub fn top_left_node(graph: &Dfg, state: &MapState) -> Option<NodeId> {
+    graph
+        .nodes()
+        .iter()
+        .map(|n| n.id)
+        .find(|&id| !state.is_computed(id) && is_ready(graph, state, id))
+}
+
+/// Enumerate candidate subgraphs containing `start` (Algorithm 2 line 13),
+/// bounded by the instruction set's `max_nodes` and `max_depth`, sorted by
+/// cost descending (largest first), with the single-node candidate always
+/// included last.
+pub fn extend_subgraphs(
+    graph: &Dfg,
+    state: &MapState,
+    start: NodeId,
+    max_nodes: usize,
+    max_depth: usize,
+) -> Vec<Candidate> {
+    let mut found: Vec<Vec<NodeId>> = Vec::new();
+    let mut work = vec![vec![start]];
+    while let Some(current) = work.pop() {
+        found.push(current.clone());
+        if current.len() >= max_nodes {
+            continue;
+        }
+        // Try absorbing any consumer of a member whose other operands are
+        // available or inside the candidate.
+        let mut grown: Vec<Vec<NodeId>> = Vec::new();
+        for &m in &current {
+            for c in graph.consumers(m) {
+                if current.contains(&c) || state.is_computed(c) {
+                    continue;
+                }
+                let ok = graph.node(c).inputs.iter().all(|i| match i {
+                    DfgInput::External(_) => true,
+                    DfgInput::Node(n) => state.is_computed(*n) || current.contains(n),
+                });
+                if !ok {
+                    continue;
+                }
+                let mut next = current.clone();
+                next.push(c);
+                next.sort_unstable();
+                next.dedup();
+                if !found.contains(&next) && !grown.contains(&next) {
+                    grown.push(next);
+                }
+            }
+        }
+        work.extend(grown);
+    }
+
+    let mut out: Vec<Candidate> = found
+        .into_iter()
+        .filter_map(|nodes| candidate_of(graph, &nodes, max_depth))
+        .collect();
+    // Largest computational cost first; ties broken by more nodes first,
+    // then by sink id for determinism.
+    out.sort_by(|a, b| {
+        b.cost
+            .cmp(&a.cost)
+            .then(b.nodes.len().cmp(&a.nodes.len()))
+            .then(a.sink.cmp(&b.sink))
+    });
+    out.dedup_by(|a, b| a.nodes == b.nodes);
+    out
+}
+
+/// Validate a node set as a candidate: unique sink, internal values not
+/// live outside, depth within bound. Returns `None` when invalid.
+fn candidate_of(graph: &Dfg, nodes: &[NodeId], max_depth: usize) -> Option<Candidate> {
+    // The sink is the unique member whose value is consumed outside the set
+    // or is a region output.
+    let mut sinks = nodes.iter().copied().filter(|&n| {
+        let external_consumer = graph
+            .consumers(n)
+            .iter()
+            .any(|c| !nodes.contains(c));
+        external_consumer || graph.is_output(n) || graph.consumers(n).is_empty()
+    });
+    let sink = sinks.next()?;
+    if sinks.next().is_some() {
+        return None; // more than one live-out value — not fusable
+    }
+    // Every non-sink member must be fully consumed inside the candidate and
+    // must not itself be a region output.
+    for &n in nodes {
+        if n == sink {
+            continue;
+        }
+        if graph.is_output(n) {
+            return None;
+        }
+        if graph.consumers(n).iter().any(|c| !nodes.contains(c)) {
+            return None;
+        }
+    }
+    let tree = ValTree::from_subgraph(graph, nodes, sink);
+    if tree.depth() > max_depth {
+        return None;
+    }
+    Some(Candidate {
+        nodes: nodes.to_vec(),
+        sink,
+        cost: graph.cost_of(nodes),
+        tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::op::ElemOp;
+    use hcg_model::DataType;
+
+    /// The Fig. 4 graph: externals 0=a 1=b 2=c 3=d.
+    fn fig4() -> Dfg {
+        let mut g = Dfg::new(DataType::I32, 4, 4);
+        let s = g
+            .add_node(
+                ElemOp::Sub,
+                vec![DfgInput::External(1), DfgInput::External(2)],
+                "Sub",
+            )
+            .unwrap();
+        let add_h = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::External(0), DfgInput::Node(s)],
+                "AddH",
+            )
+            .unwrap();
+        let shr = g
+            .add_node(ElemOp::Shr(1), vec![DfgInput::Node(add_h)], "Shr")
+            .unwrap();
+        let mul = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::Node(s), DfgInput::External(3)],
+                "Mul",
+            )
+            .unwrap();
+        let add_m = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::Node(s), DfgInput::Node(mul)],
+                "AddM",
+            )
+            .unwrap();
+        g.mark_output(shr);
+        g.mark_output(add_m);
+        g
+    }
+
+    #[test]
+    fn top_left_is_first_ready_node() {
+        let g = fig4();
+        let state = MapState::new(&g);
+        assert_eq!(top_left_node(&g, &state), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn sub_extends_to_only_itself() {
+        // Sub's value is consumed by three nodes, so any candidate absorbing
+        // one consumer hides a live intermediate — only {Sub} is valid.
+        let g = fig4();
+        let state = MapState::new(&g);
+        let cands = extend_subgraphs(&g, &state, NodeId(0), 2, 2);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].nodes, vec![NodeId(0)]);
+        assert_eq!(cands[0].sink, NodeId(0));
+    }
+
+    #[test]
+    fn addh_extends_to_vhadd_shape() {
+        let g = fig4();
+        let mut state = MapState::new(&g);
+        state.mark_computed(&[NodeId(0)]);
+        // Next topmost-leftmost is AddH (node 1).
+        assert_eq!(top_left_node(&g, &state), Some(NodeId(1)));
+        let cands = extend_subgraphs(&g, &state, NodeId(1), 2, 2);
+        // Largest first: {AddH, Shr} then {AddH}... but AddH feeds only Shr,
+        // so the single-node candidate {AddH} is invalid? No: AddH's value
+        // is consumed outside {AddH} (by Shr), making AddH the sink — valid.
+        assert_eq!(cands[0].nodes, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(cands[0].sink, NodeId(2));
+        assert!(cands.iter().any(|c| c.nodes == vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn mul_extends_to_mla_shape() {
+        let g = fig4();
+        let mut state = MapState::new(&g);
+        state.mark_computed(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(top_left_node(&g, &state), Some(NodeId(3)));
+        let cands = extend_subgraphs(&g, &state, NodeId(3), 2, 2);
+        assert_eq!(cands[0].nodes, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(cands[0].sink, NodeId(4));
+    }
+
+    #[test]
+    fn max_nodes_bounds_extension() {
+        let g = fig4();
+        let mut state = MapState::new(&g);
+        state.mark_computed(&[NodeId(0)]);
+        let cands = extend_subgraphs(&g, &state, NodeId(1), 1, 1);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].nodes.len(), 1);
+    }
+
+    #[test]
+    fn progress_guaranteed_until_done() {
+        let g = fig4();
+        let mut state = MapState::new(&g);
+        let mut steps = 0;
+        while let Some(n) = top_left_node(&g, &state) {
+            let cands = extend_subgraphs(&g, &state, n, 2, 2);
+            assert!(!cands.is_empty());
+            // Take the last (single-node) candidate to simulate worst case.
+            let c = cands.last().unwrap();
+            state.mark_computed(&c.nodes);
+            steps += 1;
+            assert!(steps <= g.len_nodes());
+        }
+        assert!(state.all_computed());
+    }
+
+    #[test]
+    fn cost_ordering_puts_larger_first() {
+        let g = fig4();
+        let mut state = MapState::new(&g);
+        state.mark_computed(&[NodeId(0)]);
+        let cands = extend_subgraphs(&g, &state, NodeId(1), 2, 2);
+        for w in cands.windows(2) {
+            assert!(w[0].cost >= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn region_output_cannot_be_internal() {
+        // x -> Abs -> Neg, but Abs is also a region output: {Abs, Neg}
+        // would hide Abs's live value.
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        let abs = g
+            .add_node(ElemOp::Abs, vec![DfgInput::External(0)], "Abs")
+            .unwrap();
+        let neg = g
+            .add_node(ElemOp::Neg, vec![DfgInput::Node(abs)], "Neg")
+            .unwrap();
+        g.mark_output(abs);
+        g.mark_output(neg);
+        let state = MapState::new(&g);
+        let cands = extend_subgraphs(&g, &state, abs, 2, 2);
+        assert!(cands.iter().all(|c| c.nodes.len() == 1));
+    }
+
+    #[test]
+    fn diamond_with_four_nodes_can_fuse_when_allowed() {
+        // e0 -> A(abs), A feeds M1 and M2, both feed Add. With max_nodes=4
+        // the whole diamond {A, M1, M2, Add} is a valid single-sink
+        // candidate.
+        let mut g = Dfg::new(DataType::I32, 8, 2);
+        let a = g
+            .add_node(ElemOp::Abs, vec![DfgInput::External(0)], "A")
+            .unwrap();
+        let m1 = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::Node(a), DfgInput::External(1)],
+                "M1",
+            )
+            .unwrap();
+        let m2 = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::Node(a), DfgInput::Node(a)],
+                "M2",
+            )
+            .unwrap();
+        let add = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::Node(m1), DfgInput::Node(m2)],
+                "Add",
+            )
+            .unwrap();
+        g.mark_output(add);
+        let state = MapState::new(&g);
+        let cands = extend_subgraphs(&g, &state, a, 4, 4);
+        assert!(cands
+            .iter()
+            .any(|c| c.nodes == vec![a, m1, m2, add] && c.sink == add));
+    }
+}

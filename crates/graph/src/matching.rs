@@ -1,0 +1,335 @@
+//! Matching candidate subgraphs against instruction computing graphs
+//! (paper Algorithm 2, line 17: `InsSet.getMatchInstruction(Subgraph)`).
+//!
+//! A match must respect operand structure: instruction input slots bind to
+//! the candidate's leaf values, repeated slots must bind the same value, and
+//! commutative operations may swap their operands. Shift patterns written
+//! without an amount ([`SHIFT_ANY`]) match any constant amount and expose it
+//! for the `#A` template placeholder.
+
+use crate::dfg::DfgInput;
+use crate::tree::ValTree;
+use hcg_isa::{InstrSet, Pattern, PatternArg, SimdInstr, SHIFT_ANY};
+use hcg_model::op::ElemOp;
+use hcg_model::DataType;
+
+/// A successful instruction match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrMatch {
+    /// The value bound to each instruction input slot, in slot order
+    /// (`I1` first).
+    pub bindings: Vec<DfgInput>,
+    /// The shift amount captured by a [`SHIFT_ANY`] wildcard (0 when the
+    /// pattern has none).
+    pub shift_amount: u32,
+}
+
+/// Try to match one instruction pattern against a candidate tree.
+pub fn match_pattern(pattern: &Pattern, tree: &ValTree) -> Option<InstrMatch> {
+    let mut bindings: Vec<Option<DfgInput>> = Vec::new();
+    let mut shift = 0u32;
+    if match_node(pattern, tree, &mut bindings, &mut shift) {
+        let bound: Option<Vec<DfgInput>> = bindings.into_iter().collect();
+        Some(InstrMatch {
+            // Slots are dense by Pattern construction; a hole means the
+            // pattern referenced a slot it never constrained, which the
+            // parser prevents.
+            bindings: bound?,
+            shift_amount: shift,
+        })
+    } else {
+        None
+    }
+}
+
+/// Do two operations match, and if the pattern side is a wildcard shift,
+/// what amount was captured?
+fn ops_match(pat: ElemOp, node: ElemOp) -> Option<Option<u32>> {
+    match (pat, node) {
+        (ElemOp::Shr(SHIFT_ANY), ElemOp::Shr(k)) | (ElemOp::Shl(SHIFT_ANY), ElemOp::Shl(k)) => {
+            Some(Some(k))
+        }
+        (a, b) if a == b => Some(None),
+        _ => None,
+    }
+}
+
+fn match_node(
+    pattern: &Pattern,
+    tree: &ValTree,
+    bindings: &mut Vec<Option<DfgInput>>,
+    shift: &mut u32,
+) -> bool {
+    let ValTree::Op { op, args } = tree else {
+        return false;
+    };
+    let Some(captured) = ops_match(pattern.op, *op) else {
+        return false;
+    };
+    if let Some(k) = captured {
+        *shift = k;
+    }
+    debug_assert_eq!(pattern.args.len(), args.len(), "arity agreed via op match");
+
+    let orders: &[&[usize]] = if pattern.op.commutative() && pattern.args.len() == 2 {
+        &[&[0, 1], &[1, 0]]
+    } else {
+        &[&[0, 1, 2][..pattern.args.len().min(3)]]
+    };
+    for order in orders {
+        let snapshot = bindings.clone();
+        let shift_snapshot = *shift;
+        let ok = pattern
+            .args
+            .iter()
+            .zip(order.iter().map(|&i| &args[i]))
+            .all(|(p_arg, t_arg)| match_arg(p_arg, t_arg, bindings, shift));
+        if ok {
+            return true;
+        }
+        *bindings = snapshot;
+        *shift = shift_snapshot;
+    }
+    false
+}
+
+fn match_arg(
+    p_arg: &PatternArg,
+    t_arg: &ValTree,
+    bindings: &mut Vec<Option<DfgInput>>,
+    shift: &mut u32,
+) -> bool {
+    match (p_arg, t_arg) {
+        (PatternArg::Input(slot), ValTree::Leaf(v)) => {
+            if bindings.len() <= *slot {
+                bindings.resize(*slot + 1, None);
+            }
+            match &bindings[*slot] {
+                Some(existing) => existing == v,
+                None => {
+                    bindings[*slot] = Some(*v);
+                    true
+                }
+            }
+        }
+        (PatternArg::Node(p), t @ ValTree::Op { .. }) => match_node(p, t, bindings, shift),
+        _ => false,
+    }
+}
+
+/// Search an instruction set for the best match (Algorithm 2 line 17):
+/// among matching candidates, the one with the lowest issue cost wins; ties
+/// resolve to file order.
+pub fn find_instruction<'a>(
+    set: &'a InstrSet,
+    dtype: DataType,
+    lanes: usize,
+    tree: &ValTree,
+) -> Option<(&'a SimdInstr, InstrMatch)> {
+    let mut best: Option<(&SimdInstr, InstrMatch)> = None;
+    for instr in set.candidates(dtype, lanes) {
+        if let Some(m) = match_pattern(&instr.pattern, tree) {
+            let better = match &best {
+                Some((b, _)) => instr.cost < b.cost,
+                None => true,
+            };
+            if better {
+                best = Some((instr, m));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::NodeId;
+    use hcg_isa::{sets, Arch};
+
+    fn leaf(e: usize) -> ValTree {
+        ValTree::Leaf(DfgInput::External(e))
+    }
+
+    fn node_leaf(n: usize) -> ValTree {
+        ValTree::Leaf(DfgInput::Node(NodeId(n)))
+    }
+
+    fn op(o: ElemOp, args: Vec<ValTree>) -> ValTree {
+        ValTree::Op { op: o, args }
+    }
+
+    #[test]
+    fn single_op_match_binds_in_order() {
+        let p: Pattern = "Sub(I1, I2)".parse().unwrap();
+        let t = op(ElemOp::Sub, vec![leaf(1), leaf(2)]);
+        let m = match_pattern(&p, &t).unwrap();
+        assert_eq!(
+            m.bindings,
+            vec![DfgInput::External(1), DfgInput::External(2)]
+        );
+    }
+
+    #[test]
+    fn non_commutative_order_is_strict() {
+        // Sub(I1, I2) must not match with swapped operands: the tree is
+        // already in source order, and Sub isn't commutative, so bindings
+        // follow tree order exactly — verify by distinct leaves.
+        let p: Pattern = "Sub(I1, I2)".parse().unwrap();
+        let t = op(ElemOp::Sub, vec![leaf(9), leaf(3)]);
+        let m = match_pattern(&p, &t).unwrap();
+        assert_eq!(m.bindings[0], DfgInput::External(9));
+    }
+
+    #[test]
+    fn mla_matches_either_operand_order() {
+        let p: Pattern = "Add(I1, Mul(I2, I3))".parse().unwrap();
+        // Mul subtree on the right.
+        let t1 = op(
+            ElemOp::Add,
+            vec![node_leaf(0), op(ElemOp::Mul, vec![node_leaf(0), leaf(3)])],
+        );
+        let m1 = match_pattern(&p, &t1).unwrap();
+        assert_eq!(m1.bindings[0], DfgInput::Node(NodeId(0)));
+        // Mul subtree on the left — Add is commutative.
+        let t2 = op(
+            ElemOp::Add,
+            vec![op(ElemOp::Mul, vec![node_leaf(0), leaf(3)]), node_leaf(0)],
+        );
+        let m2 = match_pattern(&p, &t2).unwrap();
+        assert_eq!(m2.bindings, m1.bindings);
+    }
+
+    #[test]
+    fn vhadd_wildcard_vs_exact_shift() {
+        let exact: Pattern = "Shr[1](Add(I1, I2))".parse().unwrap();
+        let t1 = op(
+            ElemOp::Shr(1),
+            vec![op(ElemOp::Add, vec![leaf(0), node_leaf(0)])],
+        );
+        assert!(match_pattern(&exact, &t1).is_some());
+        let t2 = op(
+            ElemOp::Shr(2),
+            vec![op(ElemOp::Add, vec![leaf(0), node_leaf(0)])],
+        );
+        assert!(match_pattern(&exact, &t2).is_none());
+
+        let wild: Pattern = "Shr(I1)".parse().unwrap();
+        let t3 = op(ElemOp::Shr(5), vec![leaf(0)]);
+        let m = match_pattern(&wild, &t3).unwrap();
+        assert_eq!(m.shift_amount, 5);
+    }
+
+    #[test]
+    fn repeated_slot_requires_same_value() {
+        let p: Pattern = "Mul(I1, I1)".parse().unwrap();
+        let same = op(ElemOp::Mul, vec![leaf(0), leaf(0)]);
+        assert!(match_pattern(&p, &same).is_some());
+        let diff = op(ElemOp::Mul, vec![leaf(0), leaf(1)]);
+        assert!(match_pattern(&p, &diff).is_none());
+    }
+
+    #[test]
+    fn leaf_where_pattern_expects_op_fails() {
+        let p: Pattern = "Add(I1, Mul(I2, I3))".parse().unwrap();
+        let t = op(ElemOp::Add, vec![leaf(0), leaf(1)]);
+        assert!(match_pattern(&p, &t).is_none());
+    }
+
+    #[test]
+    fn find_prefers_fused_over_sequence_and_cheapest_match() {
+        let neon = sets::builtin(Arch::Neon128);
+        // Add(x, Mul(y, z)) should select vmlaq_s32.
+        let t = op(
+            ElemOp::Add,
+            vec![leaf(0), op(ElemOp::Mul, vec![leaf(1), leaf(2)])],
+        );
+        let (instr, m) = find_instruction(&neon, DataType::I32, 4, &t).unwrap();
+        assert_eq!(instr.name, "vmlaq_s32");
+        assert_eq!(m.bindings.len(), 3);
+        // Plain Add selects vaddq_s32 (cost 1), not anything fused.
+        let t2 = op(ElemOp::Add, vec![leaf(0), leaf(1)]);
+        let (instr2, _) = find_instruction(&neon, DataType::I32, 4, &t2).unwrap();
+        assert_eq!(instr2.name, "vaddq_s32");
+    }
+
+    #[test]
+    fn find_respects_dtype_and_lanes() {
+        let neon = sets::builtin(Arch::Neon128);
+        let t = op(ElemOp::Add, vec![leaf(0), leaf(1)]);
+        assert!(find_instruction(&neon, DataType::I32, 4, &t).is_some());
+        assert!(find_instruction(&neon, DataType::I32, 8, &t).is_none());
+        assert!(find_instruction(&neon, DataType::U64, 2, &t).is_none());
+    }
+
+    #[test]
+    fn integer_div_has_no_instruction() {
+        let neon = sets::builtin(Arch::Neon128);
+        let t = op(ElemOp::Div, vec![leaf(0), leaf(1)]);
+        assert!(find_instruction(&neon, DataType::I32, 4, &t).is_none());
+        assert!(find_instruction(&neon, DataType::F32, 4, &t).is_some());
+    }
+
+    #[test]
+    fn fig4_full_selection_sequence() {
+        // End-to-end over the Fig. 4 graph: the selected instructions must
+        // be exactly vsubq, vhaddq, vmlaq (paper Listing 1).
+        use crate::dfg::Dfg;
+        use crate::extend::{extend_subgraphs, top_left_node, MapState};
+
+        let mut g = Dfg::new(DataType::I32, 4, 4);
+        let s = g
+            .add_node(
+                ElemOp::Sub,
+                vec![DfgInput::External(1), DfgInput::External(2)],
+                "Sub",
+            )
+            .unwrap();
+        let add_h = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::External(0), DfgInput::Node(s)],
+                "AddH",
+            )
+            .unwrap();
+        let shr = g
+            .add_node(ElemOp::Shr(1), vec![DfgInput::Node(add_h)], "Shr")
+            .unwrap();
+        let mul = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::Node(s), DfgInput::External(3)],
+                "Mul",
+            )
+            .unwrap();
+        let add_m = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::Node(s), DfgInput::Node(mul)],
+                "AddM",
+            )
+            .unwrap();
+        g.mark_output(shr);
+        g.mark_output(add_m);
+
+        let neon = sets::builtin(Arch::Neon128);
+        let max_n = neon.max_nodes(DataType::I32, 4);
+        let max_d = neon.max_depth(DataType::I32, 4);
+        let mut state = MapState::new(&g);
+        let mut selected = Vec::new();
+        while let Some(start) = top_left_node(&g, &state) {
+            let cands = extend_subgraphs(&g, &state, start, max_n, max_d);
+            let mut chosen = None;
+            for c in &cands {
+                if let Some((instr, _)) = find_instruction(&neon, DataType::I32, 4, &c.tree) {
+                    chosen = Some((c.clone(), instr.name.clone()));
+                    break;
+                }
+            }
+            let (c, name) = chosen.expect("every single node maps on NEON i32");
+            selected.push(name);
+            state.mark_computed(&c.nodes);
+        }
+        assert_eq!(selected, vec!["vsubq_s32", "vhaddq_s32", "vmlaq_s32"]);
+    }
+}

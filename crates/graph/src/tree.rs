@@ -1,0 +1,153 @@
+//! Operand trees: a candidate subgraph flattened into the expression-tree
+//! form that instruction computing graphs are matched against.
+
+use crate::dfg::{Dfg, DfgInput, NodeId};
+use hcg_model::op::ElemOp;
+use std::fmt;
+
+/// A candidate subgraph as an expression tree. Leaves are values available
+/// before the candidate executes (external inputs or already-computed node
+/// results); internal nodes are the candidate's operations.
+///
+/// A value used twice inside the candidate appears as two identical subtrees
+/// — instruction patterns with repeated input slots (e.g. `Mul(I1, I1)`)
+/// match exactly that shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValTree {
+    /// A value available before the candidate runs.
+    Leaf(DfgInput),
+    /// An operation inside the candidate.
+    Op {
+        /// The operation.
+        op: ElemOp,
+        /// Operand subtrees (length = arity).
+        args: Vec<ValTree>,
+    },
+}
+
+impl ValTree {
+    /// Build the tree for `nodes` rooted at `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is not a member of `nodes`.
+    pub fn from_subgraph(graph: &Dfg, nodes: &[NodeId], sink: NodeId) -> ValTree {
+        assert!(nodes.contains(&sink), "sink must be in the subgraph");
+        fn build(graph: &Dfg, nodes: &[NodeId], at: NodeId) -> ValTree {
+            let n = graph.node(at);
+            ValTree::Op {
+                op: n.op,
+                args: n
+                    .inputs
+                    .iter()
+                    .map(|i| match i {
+                        DfgInput::Node(inner) if nodes.contains(inner) => {
+                            build(graph, nodes, *inner)
+                        }
+                        other => ValTree::Leaf(*other),
+                    })
+                    .collect(),
+            }
+        }
+        build(graph, nodes, sink)
+    }
+
+    /// Height counted in operation nodes (a leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            ValTree::Leaf(_) => 0,
+            ValTree::Op { args, .. } => 1 + args.iter().map(ValTree::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of operation nodes (shared values count once per occurrence).
+    pub fn op_count(&self) -> usize {
+        match self {
+            ValTree::Leaf(_) => 0,
+            ValTree::Op { args, .. } => 1 + args.iter().map(ValTree::op_count).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for ValTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValTree::Leaf(DfgInput::External(e)) => write!(f, "e{e}"),
+            ValTree::Leaf(DfgInput::Node(n)) => write!(f, "{n}"),
+            ValTree::Op { op, args } => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::DataType;
+
+    #[test]
+    fn tree_from_chain() {
+        let mut g = Dfg::new(DataType::I32, 4, 2);
+        let m = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::External(0), DfgInput::External(1)],
+                "m",
+            )
+            .unwrap();
+        let a = g
+            .add_node(
+                ElemOp::Add,
+                vec![DfgInput::External(0), DfgInput::Node(m)],
+                "a",
+            )
+            .unwrap();
+        g.mark_output(a);
+        let t = ValTree::from_subgraph(&g, &[m, a], a);
+        assert_eq!(t.to_string(), "Add(e0, Mul(e0, e1))");
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.op_count(), 2);
+    }
+
+    #[test]
+    fn boundary_node_becomes_leaf() {
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        let abs = g
+            .add_node(ElemOp::Abs, vec![DfgInput::External(0)], "abs")
+            .unwrap();
+        let neg = g
+            .add_node(ElemOp::Neg, vec![DfgInput::Node(abs)], "neg")
+            .unwrap();
+        g.mark_output(neg);
+        let t = ValTree::from_subgraph(&g, &[neg], neg);
+        assert_eq!(t.to_string(), "Neg(n0)");
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn shared_value_duplicates_subtree() {
+        let mut g = Dfg::new(DataType::I32, 4, 1);
+        let abs = g
+            .add_node(ElemOp::Abs, vec![DfgInput::External(0)], "abs")
+            .unwrap();
+        let sq = g
+            .add_node(
+                ElemOp::Mul,
+                vec![DfgInput::Node(abs), DfgInput::Node(abs)],
+                "sq",
+            )
+            .unwrap();
+        g.mark_output(sq);
+        let t = ValTree::from_subgraph(&g, &[abs, sq], sq);
+        assert_eq!(t.to_string(), "Mul(Abs(e0), Abs(e0))");
+        assert_eq!(t.op_count(), 3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Target architecture descriptions: vector register width and the textual
+//! spelling of vector types, loads and stores used when rendering generated
+//! code (paper §3.3: only the instruction-set file changes per target).
+
+use hcg_model::DataType;
+use std::fmt;
+use std::str::FromStr;
+
+/// A SIMD target architecture.
+///
+/// The paper evaluates ARM (NEON, 128-bit) and Intel (SSE/AVX). `Sse128`
+/// and `Avx256` model the Intel target with the two vector widths Simulink
+/// Coder and HCG emit for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// ARM NEON, 128-bit vector registers (`int32x4_t`, `vaddq_s32`, …).
+    Neon128,
+    /// Intel SSE4, 128-bit vector registers (`__m128i`, `_mm_add_epi32`, …).
+    Sse128,
+    /// Intel AVX2, 256-bit vector registers (`__m256i`, `_mm256_add_epi32`,
+    /// …) with FMA.
+    Avx256,
+}
+
+impl Arch {
+    /// All architectures with built-in instruction sets.
+    pub const ALL: [Arch; 3] = [Arch::Neon128, Arch::Sse128, Arch::Avx256];
+
+    /// Vector register width in bits (the `VectorWidth` input of paper
+    /// Algorithm 2).
+    pub const fn vector_bits(self) -> u32 {
+        match self {
+            Arch::Neon128 | Arch::Sse128 => 128,
+            Arch::Avx256 => 256,
+        }
+    }
+
+    /// Lanes of the given element type per vector register (the `BatchSize`
+    /// of Algorithm 2 line 1).
+    pub const fn lanes(self, dtype: DataType) -> usize {
+        (self.vector_bits() / dtype.bit_width()) as usize
+    }
+
+    /// Canonical lowercase name (`neon128`, `sse128`, `avx256`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Arch::Neon128 => "neon128",
+            Arch::Sse128 => "sse128",
+            Arch::Avx256 => "avx256",
+        }
+    }
+
+    /// The C spelling of the vector register type holding `dtype` lanes.
+    pub fn vector_type(self, dtype: DataType) -> String {
+        match self {
+            Arch::Neon128 => {
+                let base = match dtype {
+                    d if d.is_float() => "float",
+                    d if d.is_signed() => "int",
+                    _ => "uint",
+                };
+                format!("{}{}x{}_t", base, dtype.bit_width(), self.lanes(dtype))
+            }
+            Arch::Sse128 => match dtype {
+                DataType::F32 => "__m128".to_owned(),
+                DataType::F64 => "__m128d".to_owned(),
+                _ => "__m128i".to_owned(),
+            },
+            Arch::Avx256 => match dtype {
+                DataType::F32 => "__m256".to_owned(),
+                DataType::F64 => "__m256d".to_owned(),
+                _ => "__m256i".to_owned(),
+            },
+        }
+    }
+
+    /// NEON-style type suffix (`s32`, `u8`, `f32`) used by intrinsic names.
+    pub fn neon_suffix(dtype: DataType) -> String {
+        let c = if dtype.is_float() {
+            'f'
+        } else if dtype.is_signed() {
+            's'
+        } else {
+            'u'
+        };
+        format!("{}{}", c, dtype.bit_width())
+    }
+
+    /// The C expression loading one vector register from `ptr`.
+    pub fn load_expr(self, dtype: DataType, ptr: &str) -> String {
+        match self {
+            Arch::Neon128 => format!("vld1q_{}({})", Self::neon_suffix(dtype), ptr),
+            Arch::Sse128 => match dtype {
+                DataType::F32 => format!("_mm_loadu_ps({ptr})"),
+                DataType::F64 => format!("_mm_loadu_pd({ptr})"),
+                _ => format!("_mm_loadu_si128((const __m128i*){ptr})"),
+            },
+            Arch::Avx256 => match dtype {
+                DataType::F32 => format!("_mm256_loadu_ps({ptr})"),
+                DataType::F64 => format!("_mm256_loadu_pd({ptr})"),
+                _ => format!("_mm256_loadu_si256((const __m256i*){ptr})"),
+            },
+        }
+    }
+
+    /// The C statement storing vector register `reg` to `ptr`.
+    pub fn store_stmt(self, dtype: DataType, ptr: &str, reg: &str) -> String {
+        match self {
+            Arch::Neon128 => format!("vst1q_{}({}, {});", Self::neon_suffix(dtype), ptr, reg),
+            Arch::Sse128 => match dtype {
+                DataType::F32 => format!("_mm_storeu_ps({ptr}, {reg});"),
+                DataType::F64 => format!("_mm_storeu_pd({ptr}, {reg});"),
+                _ => format!("_mm_storeu_si128((__m128i*){ptr}, {reg});"),
+            },
+            Arch::Avx256 => match dtype {
+                DataType::F32 => format!("_mm256_storeu_ps({ptr}, {reg});"),
+                DataType::F64 => format!("_mm256_storeu_pd({ptr}, {reg});"),
+                _ => format!("_mm256_storeu_si256((__m256i*){ptr}, {reg});"),
+            },
+        }
+    }
+
+    /// The C scalar element type name (`int32_t`, `float`, …), shared by all
+    /// generators when emitting scalar code.
+    pub fn c_scalar_type(dtype: DataType) -> &'static str {
+        match dtype {
+            DataType::I8 => "int8_t",
+            DataType::I16 => "int16_t",
+            DataType::I32 => "int32_t",
+            DataType::I64 => "int64_t",
+            DataType::U8 => "uint8_t",
+            DataType::U16 => "uint16_t",
+            DataType::U32 => "uint32_t",
+            DataType::U64 => "uint64_t",
+            DataType::F32 => "float",
+            DataType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing an [`Arch`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArchError(pub String);
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown architecture: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+impl FromStr for Arch {
+    type Err = ParseArchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Arch::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| ParseArchError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(Arch::Neon128.lanes(DataType::I32), 4);
+        assert_eq!(Arch::Neon128.lanes(DataType::I8), 16);
+        assert_eq!(Arch::Avx256.lanes(DataType::F32), 8);
+        assert_eq!(Arch::Avx256.lanes(DataType::F64), 4);
+        assert_eq!(Arch::Sse128.lanes(DataType::F64), 2);
+    }
+
+    #[test]
+    fn neon_type_names() {
+        assert_eq!(Arch::Neon128.vector_type(DataType::I32), "int32x4_t");
+        assert_eq!(Arch::Neon128.vector_type(DataType::F32), "float32x4_t");
+        assert_eq!(Arch::Neon128.vector_type(DataType::U8), "uint8x16_t");
+    }
+
+    #[test]
+    fn intel_type_names() {
+        assert_eq!(Arch::Sse128.vector_type(DataType::I32), "__m128i");
+        assert_eq!(Arch::Avx256.vector_type(DataType::F32), "__m256");
+        assert_eq!(Arch::Avx256.vector_type(DataType::F64), "__m256d");
+    }
+
+    #[test]
+    fn load_store_spelling() {
+        assert_eq!(
+            Arch::Neon128.load_expr(DataType::I32, "a"),
+            "vld1q_s32(a)"
+        );
+        assert_eq!(
+            Arch::Neon128.store_stmt(DataType::I32, "&out[i]", "v"),
+            "vst1q_s32(&out[i], v);"
+        );
+        assert!(Arch::Sse128
+            .load_expr(DataType::I32, "a")
+            .contains("_mm_loadu_si128"));
+        assert!(Arch::Avx256
+            .store_stmt(DataType::F32, "p", "v")
+            .contains("_mm256_storeu_ps"));
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for a in Arch::ALL {
+            assert_eq!(a.name().parse::<Arch>().unwrap(), a);
+        }
+        assert!("mips".parse::<Arch>().is_err());
+    }
+}

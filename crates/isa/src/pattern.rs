@@ -1,0 +1,367 @@
+//! Instruction computing graphs (paper §3.2.2 / Figure 4(c)): the small
+//! expression trees that describe what a compound SIMD instruction computes,
+//! which the synthesiser matches against subgraphs of the model's dataflow
+//! graph.
+
+use hcg_model::op::ElemOp;
+use std::fmt;
+
+/// Shift-amount wildcard: a pattern node `Shr` / `Shl` written *without* a
+/// bracketed amount carries this value and matches a dataflow node with any
+/// constant amount (the instruction's `#A` template placeholder receives the
+/// matched amount). `Shr[1]` matches only shift-by-one (the `vhadd` family).
+pub const SHIFT_ANY: u32 = u32::MAX;
+
+/// One operand of a pattern node: either an external input slot (`I1`,
+/// `I2`, …) or a nested operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternArg {
+    /// External input slot, 0-based (`I1` is slot 0).
+    Input(usize),
+    /// Result of a nested operation.
+    Node(Box<Pattern>),
+}
+
+/// An instruction computing graph: a rooted expression tree over
+/// [`ElemOp`]s.
+///
+/// The tree shape mirrors the paper's notation: `vmlaq_s32` computes
+/// `Add(I1, Mul(I2, I3))`, `vhaddq_s32` computes `Shr[1](Add(I1, I2))`.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_isa::Pattern;
+/// let mla: Pattern = "Add(I1, Mul(I2, I3))".parse()?;
+/// assert_eq!(mla.node_count(), 2);
+/// assert_eq!(mla.depth(), 2);
+/// assert_eq!(mla.input_count(), 3);
+/// # Ok::<(), hcg_isa::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// Operation at the root of this (sub)tree.
+    pub op: ElemOp,
+    /// Operands, one per arity slot.
+    pub args: Vec<PatternArg>,
+}
+
+impl Pattern {
+    /// A single-operation pattern with inputs `I1..=In` in order.
+    pub fn single(op: ElemOp) -> Pattern {
+        Pattern {
+            op,
+            args: (0..op.arity()).map(PatternArg::Input).collect(),
+        }
+    }
+
+    /// Number of operation nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .args
+            .iter()
+            .map(|a| match a {
+                PatternArg::Input(_) => 0,
+                PatternArg::Node(n) => n.node_count(),
+            })
+            .sum::<usize>()
+    }
+
+    /// Height of the tree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .args
+            .iter()
+            .map(|a| match a {
+                PatternArg::Input(_) => 0,
+                PatternArg::Node(n) => n.depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct external input slots referenced.
+    pub fn input_count(&self) -> usize {
+        let mut slots = Vec::new();
+        self.collect_inputs(&mut slots);
+        slots.sort_unstable();
+        slots.dedup();
+        slots.len()
+    }
+
+    fn collect_inputs(&self, out: &mut Vec<usize>) {
+        for a in &self.args {
+            match a {
+                PatternArg::Input(i) => out.push(*i),
+                PatternArg::Node(n) => n.collect_inputs(out),
+            }
+        }
+    }
+
+    /// All operations in the tree, root first (used to pre-filter candidate
+    /// instructions by op multiset).
+    pub fn ops(&self) -> Vec<ElemOp> {
+        let mut out = vec![self.op];
+        for a in &self.args {
+            if let PatternArg::Node(n) = a {
+                out.extend(n.ops());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            ElemOp::Shr(SHIFT_ANY) | ElemOp::Shl(SHIFT_ANY) => {
+                write!(f, "{}(", self.op.mnemonic())?
+            }
+            op => write!(f, "{op}(")?,
+        }
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match a {
+                PatternArg::Input(slot) => write!(f, "I{}", slot + 1)?,
+                PatternArg::Node(n) => write!(f, "{n}")?,
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+/// Error parsing a pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+impl std::str::FromStr for Pattern {
+    type Err = ParsePatternError;
+
+    /// Parse the expression syntax used by instruction-set files:
+    /// `Op(arg, …)` where `Op` is an [`ElemOp`] mnemonic (shifts written
+    /// `Shr[1]`), and each arg is `In` or a nested expression. A bare `Op`
+    /// with no parentheses means [`Pattern::single`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = PatParser {
+            s: s.as_bytes(),
+            pos: 0,
+        };
+        let pat = p.parse_expr()?;
+        p.skip_ws();
+        if p.pos != p.s.len() {
+            return Err(ParsePatternError {
+                message: format!("trailing input at byte {}", p.pos),
+            });
+        }
+        Ok(pat)
+    }
+}
+
+struct PatParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PatParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParsePatternError {
+        ParsePatternError {
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.s.get(self.pos).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .s
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.s[start..self.pos]).into_owned()
+    }
+
+    fn parse_op(&mut self) -> Result<ElemOp, ParsePatternError> {
+        let name = self.ident();
+        let amount = if self.s.get(self.pos) == Some(&b'[') {
+            self.pos += 1;
+            let num = self.ident();
+            if self.s.get(self.pos) != Some(&b']') {
+                return Err(self.err("expected ']'"));
+            }
+            self.pos += 1;
+            num.parse::<u32>().map_err(|_| self.err("bad shift amount"))?
+        } else {
+            SHIFT_ANY
+        };
+        let op = match name.as_str() {
+            "Add" => ElemOp::Add,
+            "Sub" => ElemOp::Sub,
+            "Mul" => ElemOp::Mul,
+            "Div" => ElemOp::Div,
+            "Shr" => ElemOp::Shr(amount),
+            "Shl" => ElemOp::Shl(amount),
+            "BitNot" => ElemOp::BitNot,
+            "BitAnd" => ElemOp::BitAnd,
+            "BitOr" => ElemOp::BitOr,
+            "BitXor" => ElemOp::BitXor,
+            "Min" => ElemOp::Min,
+            "Max" => ElemOp::Max,
+            "Abs" => ElemOp::Abs,
+            "Abd" => ElemOp::Abd,
+            "Recp" => ElemOp::Recp,
+            "Sqrt" => ElemOp::Sqrt,
+            "Neg" => ElemOp::Neg,
+            other => return Err(self.err(format!("unknown op {other:?}"))),
+        };
+        Ok(op)
+    }
+
+    fn parse_expr(&mut self) -> Result<Pattern, ParsePatternError> {
+        self.skip_ws();
+        let op = self.parse_op()?;
+        self.skip_ws();
+        if self.s.get(self.pos) != Some(&b'(') {
+            return Ok(Pattern::single(op));
+        }
+        self.pos += 1;
+        let mut args = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.s.get(self.pos) == Some(&b'I')
+                && self.s.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit())
+            {
+                self.pos += 1;
+                let num = self.ident();
+                let slot: usize = num.parse().map_err(|_| self.err("bad input index"))?;
+                if slot == 0 {
+                    return Err(self.err("input slots start at I1"));
+                }
+                args.push(PatternArg::Input(slot - 1));
+            } else {
+                args.push(PatternArg::Node(Box::new(self.parse_expr()?)));
+            }
+            self.skip_ws();
+            match self.s.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ')'")),
+            }
+        }
+        if args.len() != op.arity() {
+            return Err(self.err(format!(
+                "{} takes {} operand(s), got {}",
+                op,
+                op.arity(),
+                args.len()
+            )));
+        }
+        Ok(Pattern { op, args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_op_patterns() {
+        let p: Pattern = "Add".parse().unwrap();
+        assert_eq!(p, Pattern::single(ElemOp::Add));
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.input_count(), 2);
+    }
+
+    #[test]
+    fn explicit_inputs() {
+        let p: Pattern = "Sub(I1, I2)".parse().unwrap();
+        assert_eq!(p, Pattern::single(ElemOp::Sub));
+    }
+
+    #[test]
+    fn mla_pattern() {
+        let p: Pattern = "Add(I1, Mul(I2, I3))".parse().unwrap();
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.input_count(), 3);
+        assert_eq!(p.ops(), vec![ElemOp::Add, ElemOp::Mul]);
+    }
+
+    #[test]
+    fn vhadd_pattern_with_shift() {
+        let p: Pattern = "Shr[1](Add(I1, I2))".parse().unwrap();
+        assert_eq!(p.op, ElemOp::Shr(1));
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.input_count(), 2);
+    }
+
+    #[test]
+    fn repeated_input_slot_counts_once() {
+        // Squaring accumulate: Add(I1, Mul(I2, I2)).
+        let p: Pattern = "Add(I1, Mul(I2, I2))".parse().unwrap();
+        assert_eq!(p.input_count(), 2);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "Add(I1, I2)",
+            "Add(I1, Mul(I2, I3))",
+            "Shr[1](Add(I1, I2))",
+            "Abd(I1, I2)",
+            "Sqrt(I1)",
+        ] {
+            let p: Pattern = s.parse().unwrap();
+            let again: Pattern = p.to_string().parse().unwrap();
+            assert_eq!(p, again, "{s}");
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!("Add(I1)".parse::<Pattern>().is_err());
+        assert!("Abs(I1, I2)".parse::<Pattern>().is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!("".parse::<Pattern>().is_err());
+        assert!("Frob(I1)".parse::<Pattern>().is_err());
+        assert!("Add(I0, I1)".parse::<Pattern>().is_err());
+        assert!("Add(I1, I2) junk".parse::<Pattern>().is_err());
+        assert!("Shr[x](I1)".parse::<Pattern>().is_err());
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let p: Pattern = "Add(Mul(I1, I2), Mul(I3, I4))".parse().unwrap();
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.input_count(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Built-in instruction sets, loaded from the external `.isa` files shipped
+//! with the crate (paper §3.3: instruction-set information lives in external
+//! files so that supporting a new architecture only means writing a new
+//! file).
+
+use crate::arch::Arch;
+use crate::instr::InstrSet;
+use crate::parse::instr_set_from_text;
+
+/// Source text of the ARM NEON instruction-set file.
+pub const NEON128_TEXT: &str = include_str!("../data/neon128.isa");
+/// Source text of the Intel SSE4 instruction-set file.
+pub const SSE128_TEXT: &str = include_str!("../data/sse128.isa");
+/// Source text of the Intel AVX2+FMA instruction-set file.
+pub const AVX256_TEXT: &str = include_str!("../data/avx256.isa");
+
+/// Load the built-in instruction set of an architecture.
+///
+/// # Panics
+///
+/// Panics if a bundled `.isa` file fails to parse — that is a packaging bug,
+/// covered by tests.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_isa::{sets, Arch};
+/// let neon = sets::builtin(Arch::Neon128);
+/// assert!(neon.find("vmlaq_s32").is_some());
+/// assert!(neon.find("vhaddq_s32").is_some());
+/// ```
+pub fn builtin(arch: Arch) -> InstrSet {
+    let text = match arch {
+        Arch::Neon128 => NEON128_TEXT,
+        Arch::Sse128 => SSE128_TEXT,
+        Arch::Avx256 => AVX256_TEXT,
+    };
+    let set = instr_set_from_text(text).expect("bundled .isa files are valid");
+    debug_assert_eq!(set.arch, arch);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::op::ElemOp;
+    use hcg_model::DataType;
+
+    #[test]
+    fn all_builtin_sets_parse() {
+        for arch in Arch::ALL {
+            let set = builtin(arch);
+            assert_eq!(set.arch, arch);
+            assert!(!set.is_empty(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn lane_counts_match_arch() {
+        for arch in Arch::ALL {
+            for i in &builtin(arch).instrs {
+                assert_eq!(
+                    i.lanes,
+                    arch.lanes(i.dtype),
+                    "{arch}: {} has {} lanes, register fits {}",
+                    i.name,
+                    i.lanes,
+                    arch.lanes(i.dtype)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_respect_dtype_rules() {
+        for arch in Arch::ALL {
+            for i in &builtin(arch).instrs {
+                for op in i.pattern.ops() {
+                    assert!(
+                        op.supports(i.dtype),
+                        "{arch}: {} uses {op} on {}",
+                        i.name,
+                        i.dtype
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neon_has_paper_instructions() {
+        let neon = builtin(Arch::Neon128);
+        // Listing 1 of the paper.
+        for name in ["vsubq_s32", "vhaddq_s32", "vmlaq_s32", "vaddq_s32"] {
+            assert!(neon.find(name).is_some(), "{name}");
+        }
+        let vhadd = neon.find("vhaddq_s32").unwrap();
+        assert_eq!(vhadd.pattern.op, ElemOp::Shr(1));
+        assert_eq!(vhadd.pattern.node_count(), 2);
+    }
+
+    #[test]
+    fn sse_has_no_compound_instructions() {
+        let sse = builtin(Arch::Sse128);
+        assert!(sse.instrs.iter().all(|i| i.pattern.node_count() == 1));
+    }
+
+    #[test]
+    fn avx_has_fma_only_for_floats() {
+        let avx = builtin(Arch::Avx256);
+        let compounds: Vec<_> = avx
+            .instrs
+            .iter()
+            .filter(|i| i.pattern.node_count() > 1)
+            .collect();
+        assert!(!compounds.is_empty());
+        assert!(compounds.iter().all(|i| i.dtype.is_float()));
+    }
+
+    #[test]
+    fn integer_division_absent_everywhere() {
+        for arch in Arch::ALL {
+            for i in &builtin(arch).instrs {
+                if i.pattern.ops().contains(&ElemOp::Div) {
+                    assert!(i.dtype.is_float(), "{arch}: {}", i.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_sets_roundtrip_through_text() {
+        use crate::parse::{instr_set_from_text, instr_set_to_text};
+        for arch in Arch::ALL {
+            let set = builtin(arch);
+            let back = instr_set_from_text(&instr_set_to_text(&set)).unwrap();
+            assert_eq!(set, back, "{arch}");
+        }
+    }
+
+    #[test]
+    fn max_graph_bounds() {
+        let neon = builtin(Arch::Neon128);
+        assert_eq!(neon.max_depth(DataType::I32, 4), 2);
+        assert_eq!(neon.max_nodes(DataType::I32, 4), 2);
+        let sse = builtin(Arch::Sse128);
+        assert_eq!(sse.max_depth(DataType::I32, 4), 1);
+    }
+}

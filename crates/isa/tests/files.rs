@@ -1,0 +1,52 @@
+//! Disk round trips for instruction-set files and cross-checks between the
+//! bundled sets and the text format.
+
+use hcg_isa::parse::{instr_set_from_file, instr_set_from_text, instr_set_to_file};
+use hcg_isa::{sets, Arch};
+
+#[test]
+fn builtin_sets_roundtrip_through_disk() {
+    let dir = std::env::temp_dir().join(format!("hcg_isa_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for arch in Arch::ALL {
+        let set = sets::builtin(arch);
+        let path = dir.join(format!("{arch}.isa"));
+        instr_set_to_file(&set, &path).expect("writes");
+        let back = instr_set_from_file(&path).expect("reads");
+        assert_eq!(set, back, "{arch}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_parse_error() {
+    let e = instr_set_from_file("/nonexistent/path/to.isa").unwrap_err();
+    assert_eq!(e.line, 0);
+    assert!(e.message.contains("cannot read"));
+}
+
+#[test]
+fn bundled_source_text_matches_builtin() {
+    // The include_str! constants and the builtin() loader must agree.
+    assert_eq!(
+        instr_set_from_text(sets::NEON128_TEXT).expect("parses"),
+        sets::builtin(Arch::Neon128)
+    );
+    assert_eq!(
+        instr_set_from_text(sets::SSE128_TEXT).expect("parses"),
+        sets::builtin(Arch::Sse128)
+    );
+    assert_eq!(
+        instr_set_from_text(sets::AVX256_TEXT).expect("parses"),
+        sets::builtin(Arch::Avx256)
+    );
+}
+
+#[test]
+fn comments_and_blank_lines_ignored() {
+    let set = instr_set_from_text(
+        "# leading comment\n\nset t arch neon128\n# mid comment\n\nGraph: Add, i32, 4, I1, I2, O1 ; Code: O1 = f(I1, I2);\n",
+    )
+    .expect("parses");
+    assert_eq!(set.len(), 1);
+}

@@ -1,0 +1,476 @@
+//! Algorithm 1 of the paper: adaptive pre-calculation that selects the
+//! optimal implementation for an intensive computing actor at its concrete
+//! input scale, with a selection history for quick re-synthesis.
+
+use crate::registry::{CodeLibrary, Kernel, KernelError, KernelSize};
+use hcg_model::{ActorKind, DataType, SignalType, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// How implementation cost is measured during pre-calculation (Algorithm 1
+/// line 14, `runImplementation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Meter {
+    /// Deterministic analytic operation counts — reproducible across
+    /// machines, used by tests and the default benchmark harness.
+    OpCount,
+    /// Wall-clock execution of the implementation on the generated test
+    /// input, repeated `reps` times and summed — the paper's methodology.
+    WallClock {
+        /// Number of timed repetitions.
+        reps: u32,
+    },
+}
+
+/// One remembered decision (`storeSelection` of Algorithm 1 line 18).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Actor type.
+    pub actor: ActorKind,
+    /// Input data type.
+    pub dtype: DataType,
+    /// Input size signature.
+    pub size: KernelSize,
+    /// Winning implementation name.
+    pub impl_name: String,
+    /// Measured cost of the winner.
+    pub cost: u64,
+}
+
+/// Error from implementation selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// The library has no implementation at all for the actor kind.
+    NoImplementation(ActorKind),
+    /// Every candidate failed to execute on the test input.
+    AllFailed {
+        /// Actor kind that failed.
+        actor: ActorKind,
+        /// Last execution error.
+        last: KernelError,
+    },
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::NoImplementation(k) => {
+                write!(f, "code library has no implementation for {k}")
+            }
+            SelectError::AllFailed { actor, last } => {
+                write!(f, "every {actor} implementation failed pre-calculation: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// The Algorithm 1 engine: selection history plus pre-calculation.
+#[derive(Debug, Clone)]
+pub struct Autotuner {
+    history: BTreeMap<(ActorKind, DataType, KernelSize), Selection>,
+    /// Cost measurement strategy.
+    pub meter: Meter,
+    /// Seed for `generateTestInput` (line 10) so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for Autotuner {
+    fn default() -> Self {
+        Self::new(Meter::OpCount)
+    }
+}
+
+impl Autotuner {
+    /// A fresh tuner with an empty history.
+    pub fn new(meter: Meter) -> Self {
+        Autotuner {
+            history: BTreeMap::new(),
+            meter,
+            seed: 0x5eed_c0de,
+        }
+    }
+
+    /// Number of remembered selections.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// `loadSelectionHistory(ActorType)` (line 1): the remembered
+    /// selections for one actor kind.
+    pub fn history_for(&self, actor: ActorKind) -> Vec<&Selection> {
+        self.history
+            .values()
+            .filter(|s| s.actor == actor)
+            .collect()
+    }
+
+    /// Algorithm 1 in full: history lookup (lines 3–6), then
+    /// pre-calculation over the filtered implementation list (lines 7–17),
+    /// then `storeSelection` (line 18).
+    ///
+    /// Returns the chosen kernel and whether it was served from history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectError`] when the library has no implementation for
+    /// the kind or every candidate fails to execute.
+    pub fn select<'lib>(
+        &mut self,
+        lib: &'lib CodeLibrary,
+        actor: ActorKind,
+        dtype: DataType,
+        size: &KernelSize,
+    ) -> Result<(&'lib Kernel, bool), SelectError> {
+        // Lines 3–6: history lookup.
+        let key = (actor, dtype, size.clone());
+        if let Some(sel) = self.history.get(&key) {
+            if let Some(k) = lib.find(actor, &sel.impl_name) {
+                return Ok((k, true));
+            }
+        }
+
+        // Line 7: load the implementation list.
+        let impls = lib.for_actor(actor);
+        if impls.is_empty() {
+            return Err(SelectError::NoImplementation(actor));
+        }
+        // Line 8: start from the general implementation.
+        let mut best = lib
+            .general_for(actor)
+            .ok_or(SelectError::NoImplementation(actor))?;
+        let mut min_cost = u64::MAX;
+        // Line 10: random test input at the actor's input size.
+        let test_input = generate_test_input(actor, dtype, size, self.seed);
+        let mut last_err = None;
+        let mut any_ok = false;
+        for imp in impls {
+            // Lines 12–13: dtype/size filters.
+            if !imp.can_handle_dtype(dtype) || !imp.can_handle_size(size) {
+                continue;
+            }
+            // Line 14: run and cost.
+            let cost = match self.measure(imp, size, &test_input) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            any_ok = true;
+            // Lines 15–17: keep the minimum.
+            if cost < min_cost {
+                best = imp;
+                min_cost = cost;
+            }
+        }
+        if !any_ok {
+            return Err(SelectError::AllFailed {
+                actor,
+                last: last_err.unwrap_or_else(|| KernelError("no candidate passed filters".into())),
+            });
+        }
+        // Line 18: store.
+        self.history.insert(
+            key,
+            Selection {
+                actor,
+                dtype,
+                size: size.clone(),
+                impl_name: best.name.to_owned(),
+                cost: min_cost,
+            },
+        );
+        Ok((best, false))
+    }
+
+    fn measure(
+        &self,
+        imp: &Kernel,
+        size: &KernelSize,
+        input: &[Tensor],
+    ) -> Result<u64, KernelError> {
+        // Always execute once: a kernel that cannot run must never win.
+        imp.run(input)?;
+        match self.meter {
+            Meter::OpCount => Ok(imp.op_count(size)),
+            Meter::WallClock { reps } => {
+                let start = Instant::now();
+                for _ in 0..reps.max(1) {
+                    imp.run(input)?;
+                }
+                Ok(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+            }
+        }
+    }
+
+    /// Serialise the history to a line-oriented text form (one selection per
+    /// line) for persistence across runs.
+    pub fn history_to_text(&self) -> String {
+        let mut out = String::new();
+        for s in self.history.values() {
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                s.actor, s.dtype, s.size, s.impl_name, s.cost
+            ));
+        }
+        out
+    }
+
+    /// Persist the selection history to a file (the paper stores history
+    /// "for a quick search" across code-generation runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save_history_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.history_to_text())
+    }
+
+    /// Load and merge a history file written by
+    /// [`Autotuner::save_history_file`]. A missing file is not an error
+    /// (first run); malformed lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors other than `NotFound`.
+    pub fn load_history_file(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                self.load_history_text(&text);
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Load history lines written by [`Autotuner::history_to_text`],
+    /// merging into the current history (malformed lines are skipped).
+    pub fn load_history_text(&mut self, text: &str) {
+        for line in text.lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let [actor, dtype, size, name, cost] = parts.as_slice() else {
+                continue;
+            };
+            let (Ok(actor), Ok(dtype)) = (actor.parse::<ActorKind>(), dtype.parse::<DataType>())
+            else {
+                continue;
+            };
+            let dims: Option<Vec<usize>> = size.split('x').map(|d| d.parse().ok()).collect();
+            let (Some(dims), Ok(cost)) = (dims, cost.parse::<u64>()) else {
+                continue;
+            };
+            let size = KernelSize(dims);
+            self.history.insert(
+                (actor, dtype, size.clone()),
+                Selection {
+                    actor,
+                    dtype,
+                    size,
+                    impl_name: (*name).to_owned(),
+                    cost,
+                },
+            );
+        }
+    }
+}
+
+/// `generateTestInput(DataSize)` (Algorithm 1 line 10): random input
+/// tensors matching the actor's input contract at the given size.
+pub fn generate_test_input(
+    actor: ActorKind,
+    dtype: DataType,
+    size: &KernelSize,
+    seed: u64,
+) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vec_t = |n: usize, rng: &mut StdRng| {
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Tensor::from_f64(SignalType::vector(dtype, n), data).expect("sized data")
+    };
+    let mat_t = |r: usize, c: usize, diag_boost: f64, rng: &mut StdRng| {
+        let data: Vec<f64> = (0..r * c)
+            .map(|i| {
+                let base: f64 = rng.gen_range(-1.0..1.0);
+                // Diagonal dominance keeps inversion test inputs regular.
+                if r == c && i / c == i % c {
+                    base + diag_boost
+                } else {
+                    base
+                }
+            })
+            .collect();
+        Tensor::from_f64(SignalType::matrix(dtype, r, c), data).expect("sized data")
+    };
+    use ActorKind::*;
+    match actor {
+        Fft | Dct | Idct => vec![vec_t(size.0[0], &mut rng)],
+        Ifft => vec![vec_t(size.0[0] * 2, &mut rng)],
+        Conv => vec![vec_t(size.0[0], &mut rng), vec_t(size.0[1], &mut rng)],
+        MatMul => {
+            let (r, k, c) = (size.0[0], size.0[1], size.0[2]);
+            vec![mat_t(r, k, 0.0, &mut rng), mat_t(k, c, 0.0, &mut rng)]
+        }
+        MatInv | MatDet => {
+            let n = size.0[0];
+            vec![mat_t(n, n, n as f64 + 1.0, &mut rng)]
+        }
+        Fft2d | Dct2d => vec![mat_t(size.0[0], size.0[1], 0.0, &mut rng)],
+        Conv2d => vec![
+            mat_t(size.0[0], size.0[1], 0.0, &mut rng),
+            mat_t(size.0[2], size.0[3], 0.0, &mut rng),
+        ],
+        other => panic!("{other} is not an intensive computing actor"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_radix4_for_1024_like_the_paper() {
+        // Paper §3: "the FFT actor … with 1024 floating point data as input
+        // will be translated into the Radix-4 butterfly FFT implementation".
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        let (k, from_history) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+            .unwrap();
+        assert_eq!(k.name, "radix4");
+        assert!(!from_history);
+    }
+
+    #[test]
+    fn second_select_hits_history() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        let size = KernelSize(vec![256]);
+        let (first, h1) = t.select(&lib, ActorKind::Fft, DataType::F32, &size).unwrap();
+        let (second, h2) = t.select(&lib, ActorKind::Fft, DataType::F32, &size).unwrap();
+        assert!(!h1);
+        assert!(h2);
+        assert_eq!(first.name, second.name);
+        assert_eq!(t.history_len(), 1);
+    }
+
+    #[test]
+    fn tiny_sizes_prefer_naive() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        let (k, _) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![4]))
+            .unwrap();
+        assert_eq!(k.name, "naive_dft");
+    }
+
+    #[test]
+    fn non_pow2_excludes_radix_kernels() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        let (k, _) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1000]))
+            .unwrap();
+        assert!(k.name == "mixed" || k.name == "bluestein" || k.name == "naive_dft");
+        assert_ne!(k.name, "radix2");
+    }
+
+    #[test]
+    fn conv_crossover_short_vs_long_kernel() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        let (short, _) = t
+            .select(&lib, ActorKind::Conv, DataType::F32, &KernelSize(vec![1024, 4]))
+            .unwrap();
+        assert_eq!(short.name, "direct");
+        let (long, _) = t
+            .select(&lib, ActorKind::Conv, DataType::F32, &KernelSize(vec![1024, 512]))
+            .unwrap();
+        assert_eq!(long.name, "via_fft");
+    }
+
+    #[test]
+    fn matrix_kernels_prefer_specialised_small_sizes() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        let (mm, _) = t
+            .select(&lib, ActorKind::MatMul, DataType::F64, &KernelSize(vec![4, 4, 4]))
+            .unwrap();
+        assert_eq!(mm.name, "unrolled");
+        let (inv, _) = t
+            .select(&lib, ActorKind::MatInv, DataType::F64, &KernelSize(vec![3]))
+            .unwrap();
+        assert_eq!(inv.name, "analytic");
+        let (big, _) = t
+            .select(&lib, ActorKind::MatInv, DataType::F64, &KernelSize(vec![8]))
+            .unwrap();
+        assert_eq!(big.name, "gauss");
+    }
+
+    #[test]
+    fn wall_clock_meter_selects_a_working_impl() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::WallClock { reps: 2 });
+        let size = KernelSize(vec![64]);
+        let (k, _) = t.select(&lib, ActorKind::Fft, DataType::F32, &size).unwrap();
+        assert!(k.can_handle_size(&size));
+        // Whatever won must be recorded.
+        assert_eq!(t.history_for(ActorKind::Fft).len(), 1);
+    }
+
+    #[test]
+    fn history_roundtrips_through_text() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        t.select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+            .unwrap();
+        t.select(&lib, ActorKind::Conv, DataType::F32, &KernelSize(vec![100, 9]))
+            .unwrap();
+        let text = t.history_to_text();
+        let mut t2 = Autotuner::new(Meter::OpCount);
+        t2.load_history_text(&text);
+        assert_eq!(t2.history_len(), 2);
+        // A select on the restored tuner is a pure history hit.
+        let (k, from_history) = t2
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+            .unwrap();
+        assert!(from_history);
+        assert_eq!(k.name, "radix4");
+    }
+
+    #[test]
+    fn malformed_history_lines_skipped() {
+        let mut t = Autotuner::new(Meter::OpCount);
+        t.load_history_text("garbage\nFFT f32 1024 radix4\nFFT f32 1024 radix4 12 extra\n");
+        assert_eq!(t.history_len(), 0);
+    }
+
+    #[test]
+    fn test_input_respects_contract() {
+        let inp = generate_test_input(ActorKind::Conv, DataType::F32, &KernelSize(vec![10, 3]), 1);
+        assert_eq!(inp.len(), 2);
+        assert_eq!(inp[0].len(), 10);
+        assert_eq!(inp[1].len(), 3);
+        let ifft = generate_test_input(ActorKind::Ifft, DataType::F32, &KernelSize(vec![8]), 1);
+        assert_eq!(ifft[0].len(), 16);
+        // Deterministic with the same seed.
+        let a = generate_test_input(ActorKind::Fft, DataType::F32, &KernelSize(vec![8]), 7);
+        let b = generate_test_input(ActorKind::Fft, DataType::F32, &KernelSize(vec![8]), 7);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn non_intensive_select_errors() {
+        let lib = CodeLibrary::new();
+        let mut t = Autotuner::new(Meter::OpCount);
+        assert!(matches!(
+            t.select(&lib, ActorKind::Add, DataType::I32, &KernelSize(vec![4])),
+            Err(SelectError::NoImplementation(_))
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal complex arithmetic for the transform kernels (kept local so the
+//! kernel library has no numeric dependencies).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_kernels::Complex64;
+/// let i = Complex64::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^(i·theta)`.
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+/// Interpret an interleaved `[re0, im0, re1, im1, …]` slice as complex
+/// values.
+pub fn from_interleaved(data: &[f64]) -> Vec<Complex64> {
+    debug_assert_eq!(data.len() % 2, 0);
+    data.chunks_exact(2)
+        .map(|p| Complex64::new(p[0], p[1]))
+        .collect()
+}
+
+/// Flatten complex values to interleaved `[re0, im0, …]` form.
+pub fn to_interleaved(data: &[Complex64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for c in data {
+        out.push(c.re);
+        out.push(c.im);
+    }
+    out
+}
+
+/// Maximum absolute component-wise difference between two complex slices.
+pub fn max_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex64::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let q = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((q.re).abs() < 1e-15);
+        assert!((q.im - 1.0).abs() < 1e-15);
+        assert!((Complex64::cis(1.23).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let v = vec![
+            Complex64::new(1.0, 2.0),
+            Complex64::new(-3.0, 0.5),
+        ];
+        assert_eq!(from_interleaved(&to_interleaved(&v)), v);
+    }
+
+    #[test]
+    fn max_diff_measures() {
+        let a = vec![Complex64::ONE, Complex64::ZERO];
+        let b = vec![Complex64::ONE, Complex64::new(0.0, 0.25)];
+        assert_eq!(max_diff(&a, &b), 0.25);
+    }
+}

@@ -1,0 +1,220 @@
+//! DCT implementation family: naive `O(n²)` DCT-II/DCT-III and FFT-based
+//! `O(n log n)` variants, plus separable 2-D transforms.
+
+use crate::complex::Complex64;
+use crate::fft::{fft_mixed, Direction};
+use std::f64::consts::PI;
+
+/// Naive DCT-II: `y[k] = Σ x[j]·cos(π(2j+1)k / 2n)`.
+pub fn dct2_naive(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    let mut out = vec![0.0; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &x) in input.iter().enumerate() {
+            acc += x * (PI * (2 * j + 1) as f64 * k as f64 / (2.0 * n as f64)).cos();
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Naive DCT-III (the inverse of DCT-II up to a `2/n` factor):
+/// `y[j] = x[0]/2 + Σ_{k≥1} x[k]·cos(π(2j+1)k / 2n)`, scaled by `2/n` so
+/// that `dct3_naive(dct2_naive(x)) == x`.
+pub fn dct3_naive(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; n];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut acc = input[0] / 2.0;
+        for (k, &x) in input.iter().enumerate().skip(1) {
+            acc += x * (PI * (2 * j + 1) as f64 * k as f64 / (2.0 * n as f64)).cos();
+        }
+        *slot = acc * 2.0 / n as f64;
+    }
+    out
+}
+
+/// DCT-II via a length-`2n` complex FFT (Makhoul's even-extension method):
+/// asymptotically `O(n log n)`.
+pub fn dct2_fft(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Even extension: v = [x0..x_{n-1}, x_{n-1}..x0], length 2n.
+    let mut v = Vec::with_capacity(2 * n);
+    v.extend(input.iter().map(|&x| Complex64::new(x, 0.0)));
+    v.extend(input.iter().rev().map(|&x| Complex64::new(x, 0.0)));
+    let spec = fft_mixed(&v, Direction::Forward);
+    (0..n)
+        .map(|k| {
+            let w = Complex64::cis(-PI * k as f64 / (2.0 * n as f64));
+            (spec[k] * w).re / 2.0
+        })
+        .collect()
+}
+
+/// DCT-III via FFT, scaled to invert [`dct2_fft`]/[`dct2_naive`] exactly
+/// like [`dct3_naive`] does.
+///
+/// Derivation: [`dct2_fft`] computes `X[k] = Re(F(v)[k]·e^(−iπk/2n))/2`
+/// where `v` is the even extension of `x` and `F(v)[n] = 0`. Inverting,
+/// `F(v)[k] = 2·X[k]·e^(iπk/2n)` with conjugate symmetry for the negative
+/// frequencies, so one inverse FFT of the reconstructed spectrum recovers
+/// `v` (whose first `n` entries are `x`).
+pub fn dct3_fft(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut spec = vec![Complex64::ZERO; 2 * n];
+    for k in 0..n {
+        let w = Complex64::cis(PI * k as f64 / (2.0 * n as f64));
+        spec[k] = w.scale(2.0 * input[k]);
+    }
+    // spec[n] stays 0; negative frequencies are the conjugates.
+    for k in 1..n {
+        spec[2 * n - k] = spec[k].conj();
+    }
+    let v = fft_mixed(&spec, Direction::Inverse);
+    (0..n).map(|j| v[j].re).collect()
+}
+
+/// Separable 2-D DCT-II over a row-major `rows×cols` matrix: 1-D DCT on
+/// every row, then on every column.
+pub fn dct2_2d(input: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(input.len(), rows * cols);
+    let mut tmp = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let row = dct2_fft(&input[r * cols..(r + 1) * cols]);
+        tmp[r * cols..(r + 1) * cols].copy_from_slice(&row);
+    }
+    let mut out = vec![0.0; rows * cols];
+    let mut col = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = tmp[r * cols + c];
+        }
+        let t = dct2_fft(&col);
+        for r in 0..rows {
+            out[r * cols + c] = t[r];
+        }
+    }
+    out
+}
+
+/// Analytic operation counts for the deterministic cost meter.
+pub mod ops {
+    /// Generic DCT: any-length, runtime-twiddle generic library function
+    /// (~3x the tuned FFT-based transform).
+    pub fn dct_generic(n: usize) -> u64 {
+        3 * dct_fft(n) + 32
+    }
+
+    /// Naive DCT-II/III: `n²` MACs.
+    pub fn dct_naive(n: usize) -> u64 {
+        (n as u64).saturating_mul(n as u64)
+    }
+
+    /// FFT-based DCT: one length-2n mixed FFT plus twiddles.
+    pub fn dct_fft(n: usize) -> u64 {
+        crate::fft::ops::fft_mixed(2 * n) + 4 * n as u64 + 32
+    }
+
+    /// Separable 2-D DCT.
+    pub fn dct_2d(rows: usize, cols: usize) -> u64 {
+        rows as u64 * dct_fft(cols) + cols as u64 * dct_fft(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64) * 0.37).sin() + 0.2).collect()
+    }
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn dct2_of_constant_concentrates_in_dc() {
+        let y = dct2_naive(&[1.0; 8]);
+        assert!((y[0] - 8.0).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_dct_matches_naive() {
+        for n in [1usize, 2, 3, 8, 16, 30, 64, 100] {
+            let x = signal(n);
+            assert!(
+                close(&dct2_naive(&x), &dct2_fft(&x), 1e-8),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dct3_inverts_dct2() {
+        for n in [1usize, 4, 16, 33] {
+            let x = signal(n);
+            let back = dct3_naive(&dct2_naive(&x));
+            assert!(close(&back, &x, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dct3_fft_matches_naive() {
+        for n in [1usize, 2, 8, 16, 30] {
+            let x = signal(n);
+            assert!(
+                close(&dct3_naive(&x), &dct3_fft(&x), 1e-8),
+                "n={n}: {:?} vs {:?}",
+                dct3_naive(&x),
+                dct3_fft(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn dct_2d_matches_double_naive() {
+        let (r, c) = (4, 6);
+        let x: Vec<f64> = (0..r * c).map(|i| (i as f64 * 0.13).cos()).collect();
+        // Reference: rows then cols with the naive transform.
+        let mut tmp = vec![0.0; r * c];
+        for i in 0..r {
+            tmp[i * c..(i + 1) * c].copy_from_slice(&dct2_naive(&x[i * c..(i + 1) * c]));
+        }
+        let mut reference = vec![0.0; r * c];
+        for j in 0..c {
+            let col: Vec<f64> = (0..r).map(|i| tmp[i * c + j]).collect();
+            let t = dct2_naive(&col);
+            for i in 0..r {
+                reference[i * c + j] = t[i];
+            }
+        }
+        assert!(close(&dct2_2d(&x, r, c), &reference, 1e-8));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(dct2_naive(&[]).is_empty());
+        assert!(dct2_fft(&[]).is_empty());
+        assert!(dct3_naive(&[]).is_empty());
+    }
+
+    #[test]
+    fn op_models_cross_over() {
+        assert!(ops::dct_naive(4) < ops::dct_fft(4));
+        assert!(ops::dct_fft(1024) < ops::dct_naive(1024));
+    }
+}

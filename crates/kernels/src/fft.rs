@@ -1,0 +1,482 @@
+//! The FFT implementation family of paper Figure 1: a naive DFT, a radix-2
+//! FFT, a radix-4 FFT, a mixed-radix FFT (the "Mix-FFT" analogue, handling
+//! any length via recursive Cooley–Tukey with naive DFTs at prime factors)
+//! and Bluestein's chirp-z FFT. No single implementation wins at every input
+//! scale — which is exactly why HCG's Algorithm 1 pre-calculates.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward DFT (negative exponent).
+    Forward,
+    /// Inverse DFT (positive exponent, scaled by `1/n`).
+    Inverse,
+}
+
+impl Direction {
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+fn post_scale(dir: Direction, out: &mut [Complex64]) {
+    if dir == Direction::Inverse {
+        let k = 1.0 / out.len() as f64;
+        for v in out.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+}
+
+/// Naive `O(n²)` DFT — the general implementation that handles any length
+/// (and the correctness reference for every other FFT).
+pub fn dft_naive(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = dir.sign();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let w = Complex64::cis(sign * 2.0 * PI * (k * j % n) as f64 / n as f64);
+            acc = acc + x * w;
+        }
+        *slot = acc;
+    }
+    post_scale(dir, &mut out);
+    out
+}
+
+/// `true` when `n` is a power of two (the radix-2 filter of Algorithm 1
+/// lines 12–13).
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// `true` when `n` is a power of four.
+pub fn is_pow4(n: usize) -> bool {
+    is_pow2(n) && n.trailing_zeros().is_multiple_of(2)
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics when the length is not a power of two — callers filter via
+/// [`is_pow2`] (Algorithm 1's `canHandleDataSize`).
+pub fn fft_radix2(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    assert!(is_pow2(n), "radix-2 FFT requires power-of-two length");
+    if n == 1 {
+        return input.to_vec();
+    }
+    let mut a = input.to_vec();
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let sign = dir.sign();
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = a[start + k];
+                let v = a[start + k + len / 2] * w;
+                a[start + k] = u + v;
+                a[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    post_scale(dir, &mut a);
+    a
+}
+
+/// Recursive radix-4 FFT (butterflies of four), the implementation the
+/// paper's Figure-1 discussion selects for large power-of-four scales.
+///
+/// # Panics
+///
+/// Panics when the length is not a power of four.
+pub fn fft_radix4(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    assert!(is_pow4(n), "radix-4 FFT requires power-of-four length");
+    let mut out = radix4_rec(input, dir.sign());
+    post_scale(dir, &mut out);
+    out
+}
+
+fn radix4_rec(x: &[Complex64], sign: f64) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 1 {
+        return x.to_vec();
+    }
+    let q = n / 4;
+    let mut parts: Vec<Vec<Complex64>> = (0..4)
+        .map(|r| {
+            let sub: Vec<Complex64> = (0..q).map(|j| x[4 * j + r]).collect();
+            radix4_rec(&sub, sign)
+        })
+        .collect();
+    // j = e^(sign*i*pi/2): the radix-4 rotation.
+    let jrot = Complex64::new(0.0, sign);
+    let mut out = vec![Complex64::ZERO; n];
+    for k in 0..q {
+        let w1 = Complex64::cis(sign * 2.0 * PI * k as f64 / n as f64);
+        let w2 = w1 * w1;
+        let w3 = w2 * w1;
+        let t0 = parts[0][k];
+        let t1 = parts[1][k] * w1;
+        let t2 = parts[2][k] * w2;
+        let t3 = parts[3][k] * w3;
+        let a0 = t0 + t2;
+        let a1 = t0 - t2;
+        let a2 = t1 + t3;
+        let a3 = (t1 - t3) * jrot;
+        out[k] = a0 + a2;
+        out[k + q] = a1 + a3;
+        out[k + 2 * q] = a0 - a2;
+        out[k + 3 * q] = a1 - a3;
+    }
+    parts.clear();
+    out
+}
+
+/// Mixed-radix Cooley–Tukey FFT: factors the length recursively (smallest
+/// factor first) and falls back to the naive DFT at prime factors — the
+/// analogue of the paper's Mix-FFT, efficient for smooth lengths of any
+/// radix and correct for every length.
+pub fn fft_mixed(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let mut out = mixed_rec(input, dir.sign());
+    post_scale(dir, &mut out);
+    out
+}
+
+fn smallest_factor(n: usize) -> usize {
+    for p in [2usize, 3, 5, 7] {
+        if n.is_multiple_of(p) {
+            return p;
+        }
+    }
+    let mut f = 11;
+    while f * f <= n {
+        if n.is_multiple_of(f) {
+            return f;
+        }
+        f += 2;
+    }
+    n
+}
+
+fn mixed_rec(x: &[Complex64], sign: f64) -> Vec<Complex64> {
+    let n = x.len();
+    if n <= 1 {
+        return x.to_vec();
+    }
+    let p = smallest_factor(n);
+    if p == n {
+        // Prime length: naive DFT without scaling.
+        let mut out = vec![Complex64::ZERO; n];
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                acc = acc + v * Complex64::cis(sign * 2.0 * PI * (k * j % n) as f64 / n as f64);
+            }
+            *slot = acc;
+        }
+        return out;
+    }
+    let m = n / p;
+    // p interleaved sub-transforms of length m.
+    let subs: Vec<Vec<Complex64>> = (0..p)
+        .map(|r| {
+            let sub: Vec<Complex64> = (0..m).map(|j| x[p * j + r]).collect();
+            mixed_rec(&sub, sign)
+        })
+        .collect();
+    let mut out = vec![Complex64::ZERO; n];
+    for k1 in 0..m {
+        for k2 in 0..p {
+            let k = k1 + k2 * m;
+            let mut acc = Complex64::ZERO;
+            for (r, sub) in subs.iter().enumerate() {
+                let tw = Complex64::cis(sign * 2.0 * PI * (r * k % n) as f64 / n as f64);
+                acc = acc + sub[k1] * tw;
+            }
+            out[k] = acc;
+        }
+    }
+    out
+}
+
+/// Bluestein chirp-z FFT: any length in `O(n log n)` by re-expressing the
+/// DFT as a convolution evaluated with power-of-two radix-2 FFTs. Heavier
+/// constant factor than Cooley–Tukey — it loses at smooth sizes and wins at
+/// large prime sizes.
+pub fn fft_bluestein(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return input.to_vec();
+    }
+    let sign = dir.sign();
+    // Chirp: w[k] = e^(sign*i*pi*k^2/n).
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let kk = (k as u128 * k as u128) % (2 * n as u128);
+            Complex64::cis(sign * PI * kk as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        b[k] = chirp[k].conj();
+        b[m - k] = chirp[k].conj();
+    }
+    let fa = fft_radix2(&a, Direction::Forward);
+    let fb = fft_radix2(&b, Direction::Forward);
+    let prod: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+    let conv = fft_radix2(&prod, Direction::Inverse);
+    let mut out: Vec<Complex64> = (0..n).map(|k| conv[k] * chirp[k]).collect();
+    post_scale(dir, &mut out);
+    out
+}
+
+/// Analytic operation-count models (complex multiply-adds) used by the
+/// deterministic cost meter; constants reflect the relative overheads of
+/// each algorithm.
+pub mod ops {
+    /// Generic FFT: a table-driven any-length implementation with runtime
+    /// twiddle computation and no size specialisation — the shape of the
+    /// "generic function" a template-based code generator links in. Same
+    /// asymptotic class as radix-2 with ~3x the constant.
+    pub fn fft_generic(n: usize) -> u64 {
+        3 * fft_radix2(n) + 32
+    }
+
+    use super::{is_pow2, is_pow4, smallest_factor};
+
+    fn log2f(n: usize) -> f64 {
+        (n.max(1) as f64).log2()
+    }
+
+    /// Naive DFT: `n²` complex MACs.
+    pub fn dft_naive(n: usize) -> u64 {
+        (n as u64).saturating_mul(n as u64)
+    }
+
+    /// Radix-2: `5·n·log2 n` real flops-ish.
+    pub fn fft_radix2(n: usize) -> u64 {
+        (5.0 * n as f64 * log2f(n)) as u64 + 16
+    }
+
+    /// Radix-4: ~25 % fewer multiplies than radix-2.
+    pub fn fft_radix4(n: usize) -> u64 {
+        (4.25 * n as f64 * log2f(n)) as u64 + 24
+    }
+
+    /// Mixed radix: `n · Σfactors` butterflies with a generic-twiddle
+    /// constant (~3×) that loses to the specialised radix-2/radix-4
+    /// kernels on pure power-of-two sizes but wins on large smooth
+    /// composite sizes.
+    pub fn fft_mixed(n: usize) -> u64 {
+        let mut m = n;
+        let mut factor_sum = 0u64;
+        while m > 1 {
+            let p = smallest_factor(m);
+            factor_sum += p as u64;
+            m /= p;
+        }
+        (n as u64).saturating_mul(factor_sum.max(1)) * 3 + 64
+    }
+
+    /// Bluestein: three radix-2 FFTs of the padded size plus chirps.
+    pub fn fft_bluestein(n: usize) -> u64 {
+        let m = (2 * n - 1).next_power_of_two();
+        3 * fft_radix2(m) + 6 * n as u64 + 48
+    }
+
+    /// Sanity helper for tests.
+    pub fn cheapest_for(n: usize) -> &'static str {
+        let mut best = ("naive", dft_naive(n));
+        for (name, c) in [
+            ("radix2", if is_pow2(n) { fft_radix2(n) } else { u64::MAX }),
+            ("radix4", if is_pow4(n) { fft_radix4(n) } else { u64::MAX }),
+            ("mixed", fft_mixed(n)),
+            ("bluestein", fft_bluestein(n)),
+        ] {
+            if c < best.1 {
+                best = (name, c);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_diff;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex64::new((0.3 * t).sin() + 0.1 * t, (0.7 * t).cos() * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let y = dft_naive(&x, Direction::Forward);
+        for v in y {
+            assert!((v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_linearity_constant_signal() {
+        let x = vec![Complex64::ONE; 16];
+        let y = dft_naive(&x, Direction::Forward);
+        assert!((y[0].re - 16.0).abs() < 1e-9);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let x = signal(n);
+            let a = dft_naive(&x, Direction::Forward);
+            let b = fft_radix2(&x, Direction::Forward);
+            assert!(max_diff(&a, &b) < 1e-6, "n={n}: {}", max_diff(&a, &b));
+        }
+    }
+
+    #[test]
+    fn radix4_matches_naive() {
+        for n in [4usize, 16, 64, 256] {
+            let x = signal(n);
+            let a = dft_naive(&x, Direction::Forward);
+            let b = fft_radix4(&x, Direction::Forward);
+            assert!(max_diff(&a, &b) < 1e-6, "n={n}");
+        }
+    }
+
+    #[test]
+    fn mixed_matches_naive_any_length() {
+        for n in [1usize, 2, 3, 6, 12, 15, 30, 60, 100, 120, 13, 17] {
+            let x = signal(n);
+            let a = dft_naive(&x, Direction::Forward);
+            let b = fft_mixed(&x, Direction::Forward);
+            assert!(max_diff(&a, &b) < 1e-6, "n={n}: {}", max_diff(&a, &b));
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_any_length() {
+        for n in [1usize, 2, 5, 7, 11, 13, 16, 31, 100] {
+            let x = signal(n);
+            let a = dft_naive(&x, Direction::Forward);
+            let b = fft_bluestein(&x, Direction::Forward);
+            assert!(max_diff(&a, &b) < 1e-6, "n={n}: {}", max_diff(&a, &b));
+        }
+    }
+
+    #[test]
+    fn inverse_recovers_signal_all_impls() {
+        let x = signal(64);
+        for (name, fwd, inv) in [
+            (
+                "radix2",
+                fft_radix2(&x, Direction::Forward),
+                fft_radix2 as fn(&[Complex64], Direction) -> Vec<Complex64>,
+            ),
+            ("radix4", fft_radix4(&x, Direction::Forward), fft_radix4),
+            ("mixed", fft_mixed(&x, Direction::Forward), fft_mixed),
+            (
+                "bluestein",
+                fft_bluestein(&x, Direction::Forward),
+                fft_bluestein,
+            ),
+            ("naive", dft_naive(&x, Direction::Forward), dft_naive),
+        ] {
+            let back = inv(&fwd, Direction::Inverse);
+            assert!(max_diff(&back, &x) < 1e-6, "{name}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x = signal(128);
+        let y = fft_radix2(&x, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
+        let ey: f64 = y.iter().map(|v| v.abs() * v.abs()).sum::<f64>() / 128.0;
+        assert!((ex - ey).abs() / ex < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn radix2_rejects_non_pow2() {
+        fft_radix2(&signal(12), Direction::Forward);
+    }
+
+    #[test]
+    #[should_panic]
+    fn radix4_rejects_non_pow4() {
+        fft_radix4(&signal(8), Direction::Forward);
+    }
+
+    #[test]
+    fn size_predicates() {
+        assert!(is_pow2(1) && is_pow2(2) && is_pow2(1024));
+        assert!(!is_pow2(0) && !is_pow2(12));
+        assert!(is_pow4(1) && is_pow4(4) && is_pow4(256) && is_pow4(1024));
+        assert!(!is_pow4(2) && !is_pow4(8) && !is_pow4(512));
+    }
+
+    #[test]
+    fn op_models_have_figure1_shape() {
+        // Tiny sizes: naive cheapest; large pow-4: radix-4 cheapest; large
+        // prime: bluestein beats naive.
+        assert_eq!(ops::cheapest_for(4), "naive");
+        assert_eq!(ops::cheapest_for(1024), "radix4");
+        assert!(ops::fft_bluestein(1009) < ops::dft_naive(1009));
+        // Radix-2-only sizes pick radix2 over mixed at scale.
+        assert_eq!(ops::cheapest_for(2048), "radix2");
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(dft_naive(&[], Direction::Forward).is_empty());
+        assert!(fft_bluestein(&[], Direction::Forward).is_empty());
+        assert!(fft_mixed(&[], Direction::Forward).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # hcg-kernels — the intensive computing actor code library
+//!
+//! Implements paper §3.2.1: a one-to-many library of implementations for
+//! every intensive computing actor of Table 1a (FFT / DCT / convolution /
+//! matrix algebra families, each with multiple algorithms whose relative
+//! speed depends on the input scale — the Figure 1 phenomenon), and the
+//! adaptive pre-calculation engine of **Algorithm 1** ([`Autotuner`]) that
+//! picks the optimal implementation per actor instance and remembers its
+//! choices.
+//!
+//! # Examples
+//!
+//! ```
+//! use hcg_kernels::{Autotuner, CodeLibrary, KernelSize, Meter};
+//! use hcg_model::{ActorKind, DataType};
+//!
+//! # fn main() -> Result<(), hcg_kernels::SelectError> {
+//! let lib = CodeLibrary::new();
+//! let mut tuner = Autotuner::new(Meter::OpCount);
+//! let (best, _) = tuner.select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))?;
+//! // The paper's example: 1024-point FFT selects the radix-4 butterfly.
+//! assert_eq!(best.name, "radix4");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+
+pub mod autotune;
+pub mod conv;
+pub mod dct;
+pub mod fft;
+pub mod matrix;
+pub mod registry;
+
+pub use autotune::{generate_test_input, Autotuner, Meter, SelectError, Selection};
+pub use complex::{from_interleaved, max_diff, to_interleaved, Complex64};
+pub use registry::{CodeLibrary, Kernel, KernelError, KernelSize};

@@ -1,0 +1,447 @@
+//! Matrix kernels (paper Table 1a): multiplication, inversion and
+//! determinant, each with a general implementation and size-specialised
+//! unrolled implementations for the 2×2 / 3×3 / 4×4 cases the paper calls
+//! out.
+
+use std::fmt;
+
+/// Error from a matrix kernel (dimension mismatch or singular input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixError(String);
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix kernel error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+fn err(msg: impl Into<String>) -> MatrixError {
+    MatrixError(msg.into())
+}
+
+/// General row-major matrix multiply `(r×k)·(k×c)`.
+///
+/// # Errors
+///
+/// Fails when slice lengths do not match the dimensions.
+pub fn matmul_general(
+    a: &[f64],
+    b: &[f64],
+    r: usize,
+    k: usize,
+    c: usize,
+) -> Result<Vec<f64>, MatrixError> {
+    if a.len() != r * k || b.len() != k * c {
+        return Err(err("dimension mismatch"));
+    }
+    let mut out = vec![0.0; r * c];
+    for i in 0..r {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..c {
+                out[i * c + j] += av * b[p * c + j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fully unrolled square multiply for n ∈ {2, 3, 4} — the size-specialised
+/// implementations of the code library.
+///
+/// # Errors
+///
+/// Fails for other sizes or mismatched slices.
+pub fn matmul_unrolled(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, MatrixError> {
+    if !(2..=4).contains(&n) {
+        return Err(err("unrolled multiply supports 2x2..4x4"));
+    }
+    if a.len() != n * n || b.len() != n * n {
+        return Err(err("dimension mismatch"));
+    }
+    let mut out = vec![0.0; n * n];
+    // Macro-free unroll: the loop bounds are compile-time-visible per n so
+    // the optimiser flattens them; correctness is what matters here.
+    match n {
+        2 => {
+            out[0] = a[0] * b[0] + a[1] * b[2];
+            out[1] = a[0] * b[1] + a[1] * b[3];
+            out[2] = a[2] * b[0] + a[3] * b[2];
+            out[3] = a[2] * b[1] + a[3] * b[3];
+        }
+        3 => {
+            for i in 0..3 {
+                for j in 0..3 {
+                    out[i * 3 + j] =
+                        a[i * 3] * b[j] + a[i * 3 + 1] * b[3 + j] + a[i * 3 + 2] * b[6 + j];
+                }
+            }
+        }
+        _ => {
+            for i in 0..4 {
+                for j in 0..4 {
+                    out[i * 4 + j] = a[i * 4] * b[j]
+                        + a[i * 4 + 1] * b[4 + j]
+                        + a[i * 4 + 2] * b[8 + j]
+                        + a[i * 4 + 3] * b[12 + j];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Determinant via analytic cofactor expansion for n ∈ {1, 2, 3, 4}.
+///
+/// # Errors
+///
+/// Fails for other sizes.
+pub fn det_analytic(m: &[f64], n: usize) -> Result<f64, MatrixError> {
+    if m.len() != n * n {
+        return Err(err("dimension mismatch"));
+    }
+    Ok(match n {
+        1 => m[0],
+        2 => m[0] * m[3] - m[1] * m[2],
+        3 => {
+            m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6])
+                + m[2] * (m[3] * m[7] - m[4] * m[6])
+        }
+        4 => {
+            let mut det = 0.0;
+            for j in 0..4 {
+                let minor = minor_of(m, 4, 0, j);
+                let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                det += sign * m[j] * det_analytic(&minor, 3)?;
+            }
+            det
+        }
+        _ => return Err(err("analytic determinant supports 1x1..4x4")),
+    })
+}
+
+/// Determinant via LU decomposition with partial pivoting — the general
+/// implementation for any `n`.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch.
+pub fn det_lu(m: &[f64], n: usize) -> Result<f64, MatrixError> {
+    if m.len() != n * n {
+        return Err(err("dimension mismatch"));
+    }
+    let mut a = m.to_vec();
+    let mut det = 1.0;
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i * n + col]
+                    .abs()
+                    .partial_cmp(&a[j * n + col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if a[pivot * n + col].abs() < 1e-300 {
+            return Ok(0.0);
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            det = -det;
+        }
+        det *= a[col * n + col];
+        for i in col + 1..n {
+            let f = a[i * n + col] / a[col * n + col];
+            for j in col..n {
+                a[i * n + j] -= f * a[col * n + j];
+            }
+        }
+    }
+    Ok(det)
+}
+
+/// Extract the `(row, col)` minor of an `n×n` matrix.
+fn minor_of(m: &[f64], n: usize, row: usize, col: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity((n - 1) * (n - 1));
+    for i in 0..n {
+        if i == row {
+            continue;
+        }
+        for j in 0..n {
+            if j == col {
+                continue;
+            }
+            out.push(m[i * n + j]);
+        }
+    }
+    out
+}
+
+/// Analytic inverse via the adjugate for n ∈ {1, 2, 3, 4}.
+///
+/// # Errors
+///
+/// Fails for other sizes or singular matrices.
+pub fn inv_analytic(m: &[f64], n: usize) -> Result<Vec<f64>, MatrixError> {
+    if m.len() != n * n {
+        return Err(err("dimension mismatch"));
+    }
+    if !(1..=4).contains(&n) {
+        return Err(err("analytic inverse supports 1x1..4x4"));
+    }
+    let det = det_analytic(m, n)?;
+    if det.abs() < 1e-300 {
+        return Err(err("singular matrix"));
+    }
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let minor = minor_of(m, n, i, j);
+            let cof = det_analytic(&minor, n - 1).unwrap_or(1.0);
+            let sign = if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+            // Adjugate transposes the cofactor matrix.
+            out[j * n + i] = sign * cof / det;
+        }
+    }
+    if n == 1 {
+        out[0] = 1.0 / m[0];
+    }
+    Ok(out)
+}
+
+/// Gauss–Jordan inverse with partial pivoting — the general implementation.
+///
+/// # Errors
+///
+/// Fails on dimension mismatch or singular matrices.
+pub fn inv_gauss(m: &[f64], n: usize) -> Result<Vec<f64>, MatrixError> {
+    if m.len() != n * n {
+        return Err(err("dimension mismatch"));
+    }
+    let mut a = m.to_vec();
+    let mut inv: Vec<f64> = (0..n * n)
+        .map(|i| if i / n == i % n { 1.0 } else { 0.0 })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i * n + col]
+                    .abs()
+                    .partial_cmp(&a[j * n + col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if a[pivot * n + col].abs() < 1e-12 {
+            return Err(err("singular matrix"));
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+                inv.swap(col * n + j, pivot * n + j);
+            }
+        }
+        let p = a[col * n + col];
+        for j in 0..n {
+            a[col * n + j] /= p;
+            inv[col * n + j] /= p;
+        }
+        for i in 0..n {
+            if i == col {
+                continue;
+            }
+            let f = a[i * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                a[i * n + j] -= f * a[col * n + j];
+                inv[i * n + j] -= f * inv[col * n + j];
+            }
+        }
+    }
+    Ok(inv)
+}
+
+/// Analytic operation counts for the deterministic cost meter.
+pub mod ops {
+    /// General multiply: `r·k·c` MACs plus loop overhead.
+    pub fn matmul_general(r: usize, k: usize, c: usize) -> u64 {
+        (r * k * c) as u64 + (r * c) as u64
+    }
+
+    /// Unrolled multiply: same MACs, no loop overhead (modelled 20 % off).
+    pub fn matmul_unrolled(n: usize) -> u64 {
+        ((n * n * n) as f64 * 0.8) as u64
+    }
+
+    /// Analytic inverse cost for tiny n.
+    pub fn inv_analytic(n: usize) -> u64 {
+        match n {
+            1 => 1,
+            2 => 8,
+            3 => 40,
+            _ => 220,
+        }
+    }
+
+    /// Gauss–Jordan: `~2n³` plus pivot bookkeeping.
+    pub fn inv_gauss(n: usize) -> u64 {
+        2 * (n * n * n) as u64 + 8 * (n * n) as u64 + 16
+    }
+
+    /// Analytic determinant.
+    pub fn det_analytic(n: usize) -> u64 {
+        match n {
+            1 => 1,
+            2 => 3,
+            3 => 14,
+            _ => 60,
+        }
+    }
+
+    /// LU determinant: `~(2/3)n³` plus pivoting.
+    pub fn det_lu(n: usize) -> u64 {
+        (2 * n * n * n) as u64 / 3 + 4 * (n * n) as u64 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    fn test_matrix(n: usize) -> Vec<f64> {
+        // Diagonally dominant → invertible.
+        (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                if r == c {
+                    n as f64 + 1.0 + r as f64
+                } else {
+                    ((r * 3 + c * 7) % 5) as f64 * 0.3 - 0.6
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = test_matrix(3);
+        let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let out = matmul_general(&a, &eye, 3, 3, 3).unwrap();
+        assert!(close(&out, &a, 1e-12));
+    }
+
+    #[test]
+    fn unrolled_matches_general() {
+        for n in [2usize, 3, 4] {
+            let a = test_matrix(n);
+            let b: Vec<f64> = a.iter().rev().copied().collect();
+            let g = matmul_general(&a, &b, n, n, n).unwrap();
+            let u = matmul_unrolled(&a, &b, n).unwrap();
+            assert!(close(&g, &u, 1e-12), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rectangular_multiply() {
+        // (2x3)·(3x1)
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 0.5, -1.0];
+        let out = matmul_general(&a, &b, 2, 3, 1).unwrap();
+        assert!(close(&out, &[-1.0, 0.5], 1e-12));
+    }
+
+    #[test]
+    fn matmul_dimension_errors() {
+        assert!(matmul_general(&[1.0], &[1.0], 2, 2, 2).is_err());
+        assert!(matmul_unrolled(&[1.0; 25], &[1.0; 25], 5).is_err());
+    }
+
+    #[test]
+    fn det_analytic_matches_lu() {
+        for n in [1usize, 2, 3, 4] {
+            let m = test_matrix(n);
+            let a = det_analytic(&m, n).unwrap();
+            let l = det_lu(&m, n).unwrap();
+            assert!((a - l).abs() / a.abs().max(1.0) < 1e-9, "n={n}: {a} vs {l}");
+        }
+    }
+
+    #[test]
+    fn det_known_values() {
+        assert_eq!(det_analytic(&[3.0], 1).unwrap(), 3.0);
+        assert_eq!(det_analytic(&[1.0, 2.0, 3.0, 4.0], 2).unwrap(), -2.0);
+        // Singular.
+        assert_eq!(det_lu(&[1.0, 2.0, 2.0, 4.0], 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn det_lu_large() {
+        // Upper triangular: determinant = product of the diagonal.
+        let n = 6;
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                m[i * n + j] = if i == j { (i + 1) as f64 } else { 0.5 };
+            }
+        }
+        assert!((det_lu(&m, n).unwrap() - 720.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        for n in [1usize, 2, 3, 4, 5, 7] {
+            let m = test_matrix(n);
+            let inv = if n <= 4 {
+                inv_analytic(&m, n).unwrap()
+            } else {
+                inv_gauss(&m, n).unwrap()
+            };
+            let prod = matmul_general(&m, &inv, n, n, n).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    let expected = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (prod[i * n + j] - expected).abs() < 1e-8,
+                        "n={n} at ({i},{j}): {}",
+                        prod[i * n + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_and_gauss_inverses_agree() {
+        for n in [2usize, 3, 4] {
+            let m = test_matrix(n);
+            let a = inv_analytic(&m, n).unwrap();
+            let g = inv_gauss(&m, n).unwrap();
+            assert!(close(&a, &g, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let s = [1.0, 2.0, 2.0, 4.0];
+        assert!(inv_analytic(&s, 2).is_err());
+        assert!(inv_gauss(&s, 2).is_err());
+    }
+
+    #[test]
+    fn op_models_prefer_unrolled_small() {
+        for n in [2usize, 3, 4] {
+            assert!(ops::matmul_unrolled(n) < ops::matmul_general(n, n, n));
+            assert!(ops::inv_analytic(n) < ops::inv_gauss(n));
+            assert!(ops::det_analytic(n) < ops::det_lu(n));
+        }
+    }
+}

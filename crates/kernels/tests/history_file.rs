@@ -1,0 +1,39 @@
+//! Algorithm 1 selection-history persistence across process runs.
+
+use hcg_kernels::{Autotuner, CodeLibrary, KernelSize, Meter};
+use hcg_model::{ActorKind, DataType};
+
+#[test]
+fn history_survives_disk_roundtrip() {
+    let lib = CodeLibrary::new();
+    let path = std::env::temp_dir().join(format!("hcg_history_{}.txt", std::process::id()));
+
+    let mut first = Autotuner::new(Meter::OpCount);
+    first
+        .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+        .expect("selects");
+    first
+        .select(&lib, ActorKind::Conv, DataType::F64, &KernelSize(vec![512, 64]))
+        .expect("selects");
+    first.save_history_file(&path).expect("saves");
+
+    let mut second = Autotuner::new(Meter::OpCount);
+    second.load_history_file(&path).expect("loads");
+    assert_eq!(second.history_len(), 2);
+    // A warm select on the restored tuner hits the history.
+    let (kernel, from_history) = second
+        .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+        .expect("selects");
+    assert!(from_history);
+    assert_eq!(kernel.name, "radix4");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_history_file_is_fine() {
+    let mut tuner = Autotuner::new(Meter::OpCount);
+    tuner
+        .load_history_file("/definitely/not/here.txt")
+        .expect("missing file treated as empty history");
+    assert_eq!(tuner.history_len(), 0);
+}

@@ -1,0 +1,168 @@
+//! Property tests for the kernel library: transform identities,
+//! convolution algebra, matrix invariants and Algorithm 1's contract.
+
+use hcg_kernels::{
+    conv, dct,
+    fft::{self, Direction},
+    from_interleaved, matrix, to_interleaved, Autotuner, CodeLibrary, Complex64, KernelSize,
+    Meter,
+};
+use hcg_model::{ActorKind, DataType};
+use proptest::prelude::*;
+
+fn signal(n: usize, seed: i64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let t = (i as i64 + seed) as f64;
+            Complex64::new((0.31 * t).sin(), (0.17 * t).cos() * 0.5)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every FFT algorithm that accepts a length agrees with the naive DFT.
+    #[test]
+    fn ffts_agree_with_dft(n in 1usize..150, seed in 0i64..50) {
+        let x = signal(n, seed);
+        let reference = fft::dft_naive(&x, Direction::Forward);
+        let mixed = fft::fft_mixed(&x, Direction::Forward);
+        prop_assert!(hcg_kernels::max_diff(&reference, &mixed) < 1e-6);
+        let blu = fft::fft_bluestein(&x, Direction::Forward);
+        prop_assert!(hcg_kernels::max_diff(&reference, &blu) < 1e-6);
+        if fft::is_pow2(n) {
+            let r2 = fft::fft_radix2(&x, Direction::Forward);
+            prop_assert!(hcg_kernels::max_diff(&reference, &r2) < 1e-6);
+        }
+        if fft::is_pow4(n) {
+            let r4 = fft::fft_radix4(&x, Direction::Forward);
+            prop_assert!(hcg_kernels::max_diff(&reference, &r4) < 1e-6);
+        }
+    }
+
+    /// Forward-then-inverse recovers the signal (linearity + unitarity).
+    #[test]
+    fn fft_inverse_identity(n in 1usize..120, seed in 0i64..50) {
+        let x = signal(n, seed);
+        let back = fft::fft_mixed(&fft::fft_mixed(&x, Direction::Forward), Direction::Inverse);
+        prop_assert!(hcg_kernels::max_diff(&x, &back) < 1e-7);
+    }
+
+    /// Parseval: energy preserved by the forward transform (scaled by n).
+    #[test]
+    fn fft_parseval(n in 1usize..100, seed in 0i64..30) {
+        let x = signal(n, seed);
+        let y = fft::fft_mixed(&x, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
+        let ey: f64 = y.iter().map(|v| v.abs() * v.abs()).sum::<f64>() / n as f64;
+        prop_assert!((ex - ey).abs() <= 1e-6 * ex.max(1.0));
+    }
+
+    /// Interleaved encode/decode is the identity.
+    #[test]
+    fn interleave_roundtrip(n in 0usize..60, seed in 0i64..20) {
+        let x = signal(n, seed);
+        prop_assert_eq!(from_interleaved(&to_interleaved(&x)), x);
+    }
+
+    /// DCT-III inverts DCT-II in both implementations.
+    #[test]
+    fn dct_inverse_identity(n in 1usize..80, seed in 0i64..30) {
+        let x: Vec<f64> = signal(n, seed).iter().map(|c| c.re).collect();
+        let back_naive = dct::dct3_naive(&dct::dct2_naive(&x));
+        let back_fft = dct::dct3_fft(&dct::dct2_fft(&x));
+        for i in 0..n {
+            prop_assert!((back_naive[i] - x[i]).abs() < 1e-8);
+            prop_assert!((back_fft[i] - x[i]).abs() < 1e-7);
+        }
+    }
+
+    /// Convolution is commutative and linear; all three 1-D algorithms
+    /// agree.
+    #[test]
+    fn conv_algebra(n in 1usize..60, k in 1usize..20, seed in 0i64..20) {
+        let x: Vec<f64> = signal(n, seed).iter().map(|c| c.re).collect();
+        let h: Vec<f64> = signal(k, seed + 7).iter().map(|c| c.im).collect();
+        let direct = conv::conv_direct(&x, &h);
+        let generic = conv::conv_generic(&x, &h);
+        let via_fft = conv::conv_fft(&x, &h);
+        let swapped = conv::conv_direct(&h, &x);
+        prop_assert_eq!(direct.len(), n + k - 1);
+        for i in 0..direct.len() {
+            prop_assert!((direct[i] - generic[i]).abs() < 1e-9);
+            prop_assert!((direct[i] - via_fft[i]).abs() < 1e-7);
+            prop_assert!((direct[i] - swapped[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Convolving with a unit impulse is the identity.
+    #[test]
+    fn conv_impulse_identity(n in 1usize..80, seed in 0i64..20) {
+        let x: Vec<f64> = signal(n, seed).iter().map(|c| c.re).collect();
+        let out = conv::conv_direct(&x, &[1.0]);
+        prop_assert_eq!(out, x);
+    }
+
+    /// inv(M)·M ≈ I for diagonally dominant matrices, both algorithms.
+    #[test]
+    fn matrix_inverse_identity(n in 1usize..6, seed in 0i64..40) {
+        let m: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                let base = (((i as i64 + seed) * 37 % 19) as f64) / 10.0 - 0.9;
+                if r == c { base + n as f64 + 2.0 } else { base }
+            })
+            .collect();
+        let inv = matrix::inv_gauss(&m, n).expect("diag dominant is invertible");
+        let prod = matrix::matmul_general(&m, &inv, n, n, n).expect("dims");
+        for r in 0..n {
+            for c in 0..n {
+                let want = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod[r * n + c] - want).abs() < 1e-7);
+            }
+        }
+        if n <= 4 {
+            let inv2 = matrix::inv_analytic(&m, n).expect("analytic");
+            for i in 0..n * n {
+                prop_assert!((inv[i] - inv2[i]).abs() < 1e-7);
+            }
+        }
+    }
+
+    /// det(A·B) == det(A)·det(B).
+    #[test]
+    fn determinant_multiplicative(seed in 0i64..60) {
+        let n = 3;
+        let gen_m = |s: i64| -> Vec<f64> {
+            (0..9).map(|i| (((i as i64 + s) * 23 % 13) as f64) / 5.0 + if i % 4 == 0 { 2.0 } else { 0.0 }).collect()
+        };
+        let a = gen_m(seed);
+        let b = gen_m(seed + 31);
+        let ab = matrix::matmul_general(&a, &b, n, n, n).expect("dims");
+        let da = matrix::det_lu(&a, n).expect("det");
+        let db = matrix::det_lu(&b, n).expect("det");
+        let dab = matrix::det_lu(&ab, n).expect("det");
+        prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+    }
+
+    /// Algorithm 1 contract: the winner always passes its own filters, and
+    /// the winner's cost is minimal among accepted candidates.
+    #[test]
+    fn autotuner_picks_feasible_minimum(n in 1usize..300) {
+        let lib = CodeLibrary::new();
+        let mut tuner = Autotuner::new(Meter::OpCount);
+        let size = KernelSize(vec![n]);
+        let (winner, _) = tuner
+            .select(&lib, ActorKind::Fft, DataType::F32, &size)
+            .expect("fft always selectable");
+        prop_assert!(winner.can_handle_size(&size));
+        prop_assert!(winner.can_handle_dtype(DataType::F32));
+        for k in lib.for_actor(ActorKind::Fft) {
+            if k.can_handle_size(&size) {
+                prop_assert!(winner.op_count(&size) <= k.op_count(&size),
+                    "{} beat the winner {} at n={n}", k.name, winner.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Fluent construction of [`Model`]s.
+
+use crate::actor::{Actor, ActorId, ActorKind};
+use crate::model::{Connection, Model, ModelError, PortRef};
+use crate::types::{Param, SignalType};
+use std::collections::BTreeMap;
+
+/// Incremental builder for [`Model`]s.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_model::{ModelBuilder, ActorKind, SignalType, DataType};
+///
+/// # fn main() -> Result<(), hcg_model::ModelError> {
+/// let mut b = ModelBuilder::new("double");
+/// let x = b.inport("x", SignalType::vector(DataType::F32, 4));
+/// let add = b.add_actor("sum", ActorKind::Add);
+/// let y = b.outport("y");
+/// b.connect(x, 0, add, 0);
+/// b.connect(x, 0, add, 1);
+/// b.connect(add, 0, y, 0);
+/// let model = b.build()?;
+/// assert_eq!(model.actors.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelBuilder {
+    name: String,
+    actors: Vec<Actor>,
+    connections: Vec<Connection>,
+}
+
+impl ModelBuilder {
+    /// Start a new empty model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            actors: Vec::new(),
+            connections: Vec::new(),
+        }
+    }
+
+    /// Add an actor of the given kind; returns its id.
+    pub fn add_actor(&mut self, name: impl Into<String>, kind: ActorKind) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Actor {
+            id,
+            name: name.into(),
+            kind,
+            params: BTreeMap::new(),
+        });
+        id
+    }
+
+    /// Set (or overwrite) a parameter on an existing actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this builder.
+    pub fn set_param(&mut self, id: ActorId, name: impl Into<String>, value: Param) -> &mut Self {
+        self.actors[id.0].params.insert(name.into(), value);
+        self
+    }
+
+    /// Add an `Inport` with a declared signal type.
+    pub fn inport(&mut self, name: impl Into<String>, ty: SignalType) -> ActorId {
+        let id = self.add_actor(name, ActorKind::Inport);
+        self.set_param(id, "type", Param::Str(ty.to_string()));
+        id
+    }
+
+    /// Add an `Outport`.
+    pub fn outport(&mut self, name: impl Into<String>) -> ActorId {
+        self.add_actor(name, ActorKind::Outport)
+    }
+
+    /// Add a `Constant` with a declared type and value (one value per
+    /// element, or a single broadcast value).
+    pub fn constant(
+        &mut self,
+        name: impl Into<String>,
+        ty: SignalType,
+        value: Vec<f64>,
+    ) -> ActorId {
+        let id = self.add_actor(name, ActorKind::Constant);
+        self.set_param(id, "type", Param::Str(ty.to_string()));
+        // Normalise so the textual model format round-trips exactly.
+        let value = if value.len() == 1 {
+            Param::Float(value[0])
+        } else {
+            Param::FloatVec(value)
+        };
+        self.set_param(id, "value", value);
+        id
+    }
+
+    /// Add a `Gain` actor with the given factor.
+    pub fn gain(&mut self, name: impl Into<String>, factor: f64) -> ActorId {
+        let id = self.add_actor(name, ActorKind::Gain);
+        self.set_param(id, "gain", Param::Float(factor));
+        id
+    }
+
+    /// Add a `UnitDelay`, optionally with a declared type to break inference
+    /// cycles.
+    pub fn unit_delay(&mut self, name: impl Into<String>, ty: Option<SignalType>) -> ActorId {
+        let id = self.add_actor(name, ActorKind::UnitDelay);
+        if let Some(t) = ty {
+            self.set_param(id, "type", Param::Str(t.to_string()));
+        }
+        id
+    }
+
+    /// Add a `Shr`/`Shl` actor with its shift amount.
+    pub fn shift(&mut self, name: impl Into<String>, kind: ActorKind, amount: i64) -> ActorId {
+        debug_assert!(matches!(kind, ActorKind::Shr | ActorKind::Shl));
+        let id = self.add_actor(name, kind);
+        self.set_param(id, "amount", Param::Int(amount));
+        id
+    }
+
+    /// Wire output `from_port` of `from` to input `to_port` of `to`.
+    pub fn connect(&mut self, from: ActorId, from_port: usize, to: ActorId, to_port: usize) {
+        self.connections.push(Connection {
+            from: PortRef::new(from, from_port),
+            to: PortRef::new(to, to_port),
+        });
+    }
+
+    /// Finish and validate structure + types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the model is structurally invalid or does
+    /// not type-check.
+    pub fn build(self) -> Result<Model, ModelError> {
+        let m = self.build_unchecked();
+        m.infer_types()?;
+        Ok(m)
+    }
+
+    /// Finish without any validation (useful for negative tests).
+    pub fn build_unchecked(self) -> Model {
+        Model {
+            name: self.name,
+            actors: self.actors,
+            connections: self.connections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = ModelBuilder::new("m");
+        let a = b.inport("a", SignalType::scalar(DataType::F32));
+        let c = b.outport("c");
+        assert_eq!(a, ActorId(0));
+        assert_eq!(c, ActorId(1));
+    }
+
+    #[test]
+    fn build_validates() {
+        let mut b = ModelBuilder::new("m");
+        b.add_actor("orphan_sum", ActorKind::Add);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn helpers_set_required_params() {
+        let mut b = ModelBuilder::new("m");
+        let g = b.gain("g", 2.5);
+        let s = b.shift("s", ActorKind::Shr, 1);
+        let m = b.build_unchecked();
+        assert_eq!(m.actor(g).param("gain"), Some(&Param::Float(2.5)));
+        assert_eq!(m.actor(s).param("amount"), Some(&Param::Int(1)));
+    }
+}

@@ -1,0 +1,569 @@
+//! The benchmark model library: every model used in the paper's evaluation
+//! (§4: FFT, DCT, Conv, HighPass, LowPass, FIR), the illustrative models of
+//! Figures 2 and 4, and generators of small synthetic models for testing.
+
+use crate::actor::ActorKind;
+use crate::builder::ModelBuilder;
+use crate::model::Model;
+use crate::types::{DataType, SignalType};
+
+/// The six benchmark models of paper §4, at their paper input scales.
+pub fn paper_benchmarks() -> Vec<Model> {
+    vec![
+        fft_model(1024),
+        dct_model(1024),
+        conv_model(1024, 64),
+        highpass_model(1024),
+        lowpass_model(1024),
+        fir_model(1024, 4),
+    ]
+}
+
+/// "FFT" benchmark: windowed fast Fourier transform of a real `n`-point
+/// signal (one batch `Mul` feeding an intensive `FFT` actor).
+pub fn fft_model(n: usize) -> Model {
+    let mut b = ModelBuilder::new(format!("FFT_{n}"));
+    let x = b.inport("x", SignalType::vector(DataType::F32, n));
+    let w = b.constant("window", SignalType::vector(DataType::F32, n), hann(n));
+    let mul = b.add_actor("windowed", ActorKind::Mul);
+    let fft = b.add_actor("fft", ActorKind::Fft);
+    let y = b.outport("spectrum");
+    b.connect(x, 0, mul, 0);
+    b.connect(w, 0, mul, 1);
+    b.connect(mul, 0, fft, 0);
+    b.connect(fft, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// "DCT" benchmark: type-II discrete cosine transform of `n` points.
+pub fn dct_model(n: usize) -> Model {
+    let mut b = ModelBuilder::new(format!("DCT_{n}"));
+    let x = b.inport("x", SignalType::vector(DataType::F32, n));
+    let dct = b.add_actor("dct", ActorKind::Dct);
+    let y = b.outport("coeffs");
+    b.connect(x, 0, dct, 0);
+    b.connect(dct, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// "Conv" benchmark: 1-D convolution of an `n`-point signal with a `k`-tap
+/// kernel held in a constant.
+pub fn conv_model(n: usize, k: usize) -> Model {
+    let mut b = ModelBuilder::new(format!("Conv_{n}x{k}"));
+    let x = b.inport("x", SignalType::vector(DataType::F32, n));
+    let h = b.constant(
+        "kernel",
+        SignalType::vector(DataType::F32, k),
+        (0..k).map(|i| 1.0 / (1.0 + i as f64)).collect(),
+    );
+    let conv = b.add_actor("conv", ActorKind::Conv);
+    let y = b.outport("filtered");
+    b.connect(x, 0, conv, 0);
+    b.connect(h, 0, conv, 1);
+    b.connect(conv, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// "HighPass" benchmark: first-order high-pass over `n` parallel channels,
+/// `y = α · (y⁻¹ + x − x⁻¹)` — batch `Sub`, `Add`, `Mul` with two delays.
+pub fn highpass_model(n: usize) -> Model {
+    let ty = SignalType::vector(DataType::F32, n);
+    let mut b = ModelBuilder::new(format!("HighPass_{n}"));
+    let x = b.inport("x", ty);
+    let xd = b.unit_delay("x_prev", Some(ty));
+    let yd = b.unit_delay("y_prev", Some(ty));
+    let alpha = b.constant("alpha", ty, vec![0.95]);
+    let sub = b.add_actor("diff", ActorKind::Sub);
+    let add = b.add_actor("acc", ActorKind::Add);
+    let mul = b.add_actor("scaled", ActorKind::Mul);
+    let y = b.outport("y");
+    b.connect(x, 0, xd, 0);
+    b.connect(x, 0, sub, 0);
+    b.connect(xd, 0, sub, 1);
+    b.connect(yd, 0, add, 0);
+    b.connect(sub, 0, add, 1);
+    b.connect(add, 0, mul, 0);
+    b.connect(alpha, 0, mul, 1);
+    b.connect(mul, 0, yd, 0);
+    b.connect(mul, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// "LowPass" benchmark: first-order exponential low-pass over `n` parallel
+/// channels, `y = y⁻¹ + α · (x − y⁻¹)` — a `Sub` → `Mul` → `Add` chain (a
+/// fused multiply-add opportunity).
+pub fn lowpass_model(n: usize) -> Model {
+    let ty = SignalType::vector(DataType::F32, n);
+    let mut b = ModelBuilder::new(format!("LowPass_{n}"));
+    let x = b.inport("x", ty);
+    let yd = b.unit_delay("y_prev", Some(ty));
+    let alpha = b.constant("alpha", ty, vec![0.2]);
+    let sub = b.add_actor("err", ActorKind::Sub);
+    let mul = b.add_actor("step", ActorKind::Mul);
+    let add = b.add_actor("next", ActorKind::Add);
+    let y = b.outport("y");
+    b.connect(x, 0, sub, 0);
+    b.connect(yd, 0, sub, 1);
+    b.connect(sub, 0, mul, 0);
+    b.connect(alpha, 0, mul, 1);
+    b.connect(yd, 0, add, 0);
+    b.connect(mul, 0, add, 1);
+    b.connect(add, 0, yd, 0);
+    b.connect(add, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// "FIR" benchmark: `taps`-tap finite impulse response filter over `n`
+/// parallel integer channels — the paper's "two connected batch computing
+/// actors, batch Mul (i32*1024) and batch Add (i32*1024)" scaled to any tap
+/// count (each tap adds one delayed `Mul` into an `Add` tree).
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+pub fn fir_model(n: usize, taps: usize) -> Model {
+    assert!(taps >= 1, "FIR needs at least one tap");
+    let ty = SignalType::vector(DataType::I32, n);
+    let mut b = ModelBuilder::new(format!("FIR_{n}t{taps}"));
+    let x = b.inport("x", ty);
+    let y = b.outport("y");
+
+    // Delay line.
+    let mut line = vec![x];
+    for k in 1..taps {
+        let d = b.unit_delay(format!("z{k}"), Some(ty));
+        b.connect(line[k - 1], 0, d, 0);
+        line.push(d);
+    }
+    // Products.
+    let mut products = Vec::new();
+    for (k, &src) in line.iter().enumerate() {
+        let c = b.constant(format!("c{k}"), ty, vec![(k as f64) + 1.0]);
+        let m = b.add_actor(format!("m{k}"), ActorKind::Mul);
+        b.connect(src, 0, m, 0);
+        b.connect(c, 0, m, 1);
+        products.push(m);
+    }
+    // Additive reduction.
+    let mut acc = products[0];
+    for (k, &p) in products.iter().enumerate().skip(1) {
+        let a = b.add_actor(format!("s{k}"), ActorKind::Add);
+        b.connect(acc, 0, a, 0);
+        b.connect(p, 0, a, 1);
+        acc = a;
+    }
+    b.connect(acc, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// The sample model of paper Figure 2: `out = 1 / (a·b + c)` on `f32*4` —
+/// four multiplications, four additions and four reciprocals when unrolled,
+/// or `vmlaq_f32` + `vrecpsq`-style code when vectorised.
+pub fn fig2_model() -> Model {
+    let ty = SignalType::vector(DataType::F32, 4);
+    let mut b = ModelBuilder::new("Fig2");
+    let a = b.inport("a", ty);
+    let bb = b.inport("b", ty);
+    let c = b.inport("c", ty);
+    let mul = b.add_actor("prod", ActorKind::Mul);
+    let add = b.add_actor("sum", ActorKind::Add);
+    let recp = b.add_actor("recp", ActorKind::Recp);
+    let out = b.outport("out");
+    b.connect(a, 0, mul, 0);
+    b.connect(bb, 0, mul, 1);
+    b.connect(mul, 0, add, 0);
+    b.connect(c, 0, add, 1);
+    b.connect(add, 0, recp, 0);
+    b.connect(recp, 0, out, 0);
+    b.build().expect("library model is valid")
+}
+
+/// The sample model of paper Figure 4 / Listing 1 on `i32*4`:
+///
+/// * `s = b − c`
+/// * `Shr_out = (a + s) >> 1` (the `vhaddq_s32` pattern)
+/// * `Add_out = s + s·d`      (the `vmlaq_s32` pattern)
+pub fn fig4_model() -> Model {
+    fig4_model_sized(4)
+}
+
+/// [`fig4_model`] generalised to `n` lanes (the paper uses 4).
+pub fn fig4_model_sized(n: usize) -> Model {
+    let ty = SignalType::vector(DataType::I32, n);
+    let mut b = ModelBuilder::new(format!("Fig4_{n}"));
+    let a = b.inport("a", ty);
+    let bb = b.inport("b", ty);
+    let c = b.inport("c", ty);
+    let d = b.inport("d", ty);
+    let sub = b.add_actor("Sub", ActorKind::Sub);
+    let addh = b.add_actor("AddH", ActorKind::Add);
+    let shr = b.shift("Shr", ActorKind::Shr, 1);
+    let mul = b.add_actor("Mul", ActorKind::Mul);
+    let addm = b.add_actor("AddM", ActorKind::Add);
+    let shr_out = b.outport("Shr_out");
+    let add_out = b.outport("Add_out");
+    b.connect(bb, 0, sub, 0);
+    b.connect(c, 0, sub, 1);
+    b.connect(a, 0, addh, 0);
+    b.connect(sub, 0, addh, 1);
+    b.connect(addh, 0, shr, 0);
+    b.connect(shr, 0, shr_out, 0);
+    b.connect(sub, 0, mul, 0);
+    b.connect(d, 0, mul, 1);
+    b.connect(sub, 0, addm, 0);
+    b.connect(mul, 0, addm, 1);
+    b.connect(addm, 0, add_out, 0);
+    b.build().expect("library model is valid")
+}
+
+/// A model with exactly one batch actor — the §4.3 discussion case where
+/// SIMD may lose to scalar code because of load/store overhead.
+pub fn single_batch_model(n: usize) -> Model {
+    let ty = SignalType::vector(DataType::I32, n);
+    let mut b = ModelBuilder::new(format!("Single_{n}"));
+    let x = b.inport("x", ty);
+    let y2 = b.inport("y", ty);
+    let add = b.add_actor("sum", ActorKind::Add);
+    let o = b.outport("o");
+    b.connect(x, 0, add, 0);
+    b.connect(y2, 0, add, 1);
+    b.connect(add, 0, o, 0);
+    b.build().expect("library model is valid")
+}
+
+/// A deterministic pseudo-random model made of chained batch actors, for
+/// property tests: all three generators must produce identical results on
+/// it. Uses an internal xorshift PRNG so the model crate stays
+/// dependency-free.
+pub fn random_batch_model(seed: u64, n: usize, actor_count: usize) -> Model {
+    let mut rng = XorShift::new(seed);
+    let dtype = match rng.next() % 6 {
+        0 | 1 => DataType::I32,
+        2 | 3 => DataType::F32,
+        4 => DataType::U16,
+        _ => DataType::I8,
+    };
+    let ty = SignalType::vector(dtype, n);
+    let mut b = ModelBuilder::new(format!("Rand_{seed}_{n}"));
+    let mut values = vec![
+        b.inport("in0", ty),
+        b.inport("in1", ty),
+    ];
+    let binary_int = [
+        ActorKind::Add,
+        ActorKind::Sub,
+        ActorKind::Mul,
+        ActorKind::Min,
+        ActorKind::Max,
+        ActorKind::Abd,
+        ActorKind::BitAnd,
+        ActorKind::BitOr,
+        ActorKind::BitXor,
+    ];
+    let binary_float = [
+        ActorKind::Add,
+        ActorKind::Sub,
+        ActorKind::Mul,
+        ActorKind::Min,
+        ActorKind::Max,
+        ActorKind::Abd,
+    ];
+    let choices: &[ActorKind] = if dtype.is_float() {
+        &binary_float
+    } else {
+        &binary_int
+    };
+    for i in 0..actor_count {
+        let pick = |rng: &mut XorShift, vals: &[crate::actor::ActorId]| {
+            vals[(rng.next() as usize) % vals.len()]
+        };
+        // Occasionally a unary op.
+        if rng.next().is_multiple_of(4) {
+            let kind = if dtype.is_float()
+                || (dtype.is_signed() && rng.next().is_multiple_of(2))
+            {
+                ActorKind::Abs
+            } else {
+                ActorKind::BitNot
+            };
+            let src = pick(&mut rng, &values);
+            let a = b.add_actor(format!("u{i}"), kind);
+            b.connect(src, 0, a, 0);
+            values.push(a);
+        } else {
+            let kind = choices[(rng.next() as usize) % choices.len()];
+            let s0 = pick(&mut rng, &values);
+            let s1 = pick(&mut rng, &values);
+            let a = b.add_actor(format!("b{i}"), kind);
+            b.connect(s0, 0, a, 0);
+            b.connect(s1, 0, a, 1);
+            values.push(a);
+        }
+    }
+    let o = b.outport("out");
+    let last = *values.last().expect("at least the inports exist");
+    b.connect(last, 0, o, 0);
+    b.build().expect("random model construction is valid")
+}
+
+/// 2-D DCT benchmark (paper Table 1a lists 2-D transforms): an `r×c` image
+/// block through `DCT2D`.
+pub fn dct2d_model(rows: usize, cols: usize) -> Model {
+    let mut b = ModelBuilder::new(format!("DCT2D_{rows}x{cols}"));
+    let x = b.inport("block", SignalType::matrix(DataType::F32, rows, cols));
+    let d = b.add_actor("dct2d", ActorKind::Dct2d);
+    let y = b.outport("coeffs");
+    b.connect(x, 0, d, 0);
+    b.connect(d, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// 2-D FFT benchmark: an `r×c` real image through `FFT2D` (output is
+/// `r×2c` interleaved complex rows).
+pub fn fft2d_model(rows: usize, cols: usize) -> Model {
+    let mut b = ModelBuilder::new(format!("FFT2D_{rows}x{cols}"));
+    let x = b.inport("image", SignalType::matrix(DataType::F32, rows, cols));
+    let f = b.add_actor("fft2d", ActorKind::Fft2d);
+    let y = b.outport("spectrum");
+    b.connect(x, 0, f, 0);
+    b.connect(f, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// 2-D convolution benchmark: an `r×c` image convolved with a constant
+/// `kr×kc` kernel.
+pub fn conv2d_model(rows: usize, cols: usize, kr: usize, kc: usize) -> Model {
+    let mut b = ModelBuilder::new(format!("Conv2D_{rows}x{cols}k{kr}x{kc}"));
+    let x = b.inport("image", SignalType::matrix(DataType::F32, rows, cols));
+    let h = b.constant(
+        "psf",
+        SignalType::matrix(DataType::F32, kr, kc),
+        (0..kr * kc).map(|i| 1.0 / (1.0 + i as f64)).collect(),
+    );
+    let c = b.add_actor("conv2d", ActorKind::Conv2d);
+    let y = b.outport("filtered");
+    b.connect(x, 0, c, 0);
+    b.connect(h, 0, c, 1);
+    b.connect(c, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// Matrix-algebra pipeline (Table 1a): `P = A·B`, `Q = P⁻¹`, `d = det(Q)` —
+/// exercises all three matrix actor kinds in one model.
+pub fn matrix_pipeline_model(n: usize) -> Model {
+    let ty = SignalType::matrix(DataType::F64, n, n);
+    let mut b = ModelBuilder::new(format!("MatPipe_{n}"));
+    let a = b.inport("A", ty);
+    let bb = b.inport("B", ty);
+    let mm = b.add_actor("prod", ActorKind::MatMul);
+    let inv = b.add_actor("inv", ActorKind::MatInv);
+    let det = b.add_actor("det", ActorKind::MatDet);
+    let out_inv = b.outport("Qinv");
+    let out_det = b.outport("d");
+    b.connect(a, 0, mm, 0);
+    b.connect(bb, 0, mm, 1);
+    b.connect(mm, 0, inv, 0);
+    b.connect(inv, 0, det, 0);
+    b.connect(inv, 0, out_inv, 0);
+    b.connect(det, 0, out_det, 0);
+    b.build().expect("library model is valid")
+}
+
+/// A branch-logic model (the DFSynth specialty the paper's related work
+/// discusses): per-element select between a scaled and a saturated path,
+/// followed by a batch region.
+pub fn switch_model(n: usize) -> Model {
+    let ty = SignalType::vector(DataType::F32, n);
+    let mut b = ModelBuilder::new(format!("Switch_{n}"));
+    let x = b.inport("x", ty);
+    let c = b.inport("ctl", ty);
+    let gain = b.gain("boost", 2.0);
+    let sat = b.add_actor("limit", ActorKind::Saturate);
+    b.set_param(sat, "min", crate::types::Param::Float(-0.5));
+    b.set_param(sat, "max", crate::types::Param::Float(0.5));
+    let sw = b.add_actor("route", ActorKind::Switch);
+    let post = b.add_actor("post", ActorKind::Add);
+    let y = b.outport("y");
+    b.connect(x, 0, gain, 0);
+    b.connect(x, 0, sat, 0);
+    b.connect(c, 0, sw, 0);
+    b.connect(gain, 0, sw, 1);
+    b.connect(sat, 0, sw, 2);
+    b.connect(sw, 0, post, 0);
+    b.connect(x, 0, post, 1);
+    b.connect(post, 0, y, 0);
+    b.build().expect("library model is valid")
+}
+
+/// A mixed-dtype model: an i16 batch front end cast to i32 for a second
+/// batch region — exercises `Cast` between two regions of different lane
+/// counts.
+pub fn mixed_width_model(n: usize) -> Model {
+    let narrow = SignalType::vector(DataType::I16, n);
+    let mut b = ModelBuilder::new(format!("MixedWidth_{n}"));
+    let x = b.inport("x", narrow);
+    let y2 = b.inport("y", narrow);
+    let add = b.add_actor("sum16", ActorKind::Add);
+    let cast = b.add_actor("widen", ActorKind::Cast);
+    b.set_param(cast, "to", crate::types::Param::Str("i32".into()));
+    let sq = b.add_actor("sq32", ActorKind::Mul);
+    let o = b.outport("o");
+    b.connect(x, 0, add, 0);
+    b.connect(y2, 0, add, 1);
+    b.connect(add, 0, cast, 0);
+    b.connect(cast, 0, sq, 0);
+    b.connect(cast, 0, sq, 1);
+    b.connect(sq, 0, o, 0);
+    b.build().expect("library model is valid")
+}
+
+/// Hann window coefficients (used by [`fft_model`]).
+fn hann(n: usize) -> Vec<f64> {
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| {
+            let t = core::f64::consts::PI * 2.0 * i as f64 / (n as f64 - 1.0);
+            0.5 * (1.0 - t.cos())
+        })
+        .collect()
+}
+
+/// Minimal xorshift64 PRNG for dependency-free deterministic model
+/// generation.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule;
+
+    #[test]
+    fn all_paper_benchmarks_validate_and_schedule() {
+        for m in paper_benchmarks() {
+            m.infer_types().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            schedule(&m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn fir_actor_counts_scale_with_taps() {
+        let m1 = fir_model(64, 1);
+        let m4 = fir_model(64, 4);
+        assert!(m4.actors.len() > m1.actors.len());
+        // taps=1: inport, constant, mul, outport.
+        assert_eq!(m1.actors.len(), 4);
+    }
+
+    #[test]
+    fn fig4_types_check() {
+        let m = fig4_model();
+        let t = m.infer_types().unwrap();
+        let shr = m.actor_by_name("Shr").unwrap().id;
+        assert_eq!(t.output(shr, 0), SignalType::vector(DataType::I32, 4));
+    }
+
+    #[test]
+    fn fig2_has_mul_add_recp_chain() {
+        let m = fig2_model();
+        assert!(m.actor_by_name("prod").is_some());
+        assert!(m.actor_by_name("recp").is_some());
+        m.infer_types().unwrap();
+    }
+
+    #[test]
+    fn random_models_are_valid_for_many_seeds() {
+        for seed in 1..40 {
+            let m = random_batch_model(seed, 16, 10);
+            m.infer_types()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            schedule(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_model_is_deterministic() {
+        let a = random_batch_model(7, 8, 6);
+        let b = random_batch_model(7, 8, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extended_models_validate_and_schedule() {
+        let models = [
+            dct2d_model(8, 8),
+            fft2d_model(4, 8),
+            conv2d_model(8, 8, 3, 3),
+            matrix_pipeline_model(3),
+            switch_model(32),
+            mixed_width_model(24),
+        ];
+        for m in models {
+            m.infer_types().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            schedule(&m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn fft2d_output_shape() {
+        let m = fft2d_model(4, 8);
+        let t = m.infer_types().unwrap();
+        let f = m.actor_by_name("fft2d").unwrap().id;
+        assert_eq!(
+            t.output(f, 0),
+            SignalType::matrix(DataType::F32, 4, 16)
+        );
+    }
+
+    #[test]
+    fn conv2d_output_shape() {
+        let m = conv2d_model(8, 8, 3, 3);
+        let t = m.infer_types().unwrap();
+        let c = m.actor_by_name("conv2d").unwrap().id;
+        assert_eq!(
+            t.output(c, 0),
+            SignalType::matrix(DataType::F32, 10, 10)
+        );
+    }
+
+    #[test]
+    fn matrix_pipeline_det_is_scalar() {
+        let m = matrix_pipeline_model(4);
+        let t = m.infer_types().unwrap();
+        let d = m.actor_by_name("det").unwrap().id;
+        assert_eq!(t.output(d, 0), SignalType::scalar(DataType::F64));
+    }
+
+    #[test]
+    fn hann_window_edges() {
+        let w = hann(8);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(hann(1), vec![1.0]);
+    }
+
+    #[test]
+    fn model_files_roundtrip() {
+        use crate::parser::{model_from_xml, model_to_xml};
+        for m in paper_benchmarks() {
+            let back = model_from_xml(&model_to_xml(&m)).unwrap();
+            assert_eq!(back, m, "{}", m.name);
+        }
+    }
+}

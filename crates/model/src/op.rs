@@ -1,0 +1,409 @@
+//! The element-wise operation vocabulary shared by the dataflow graph, the
+//! instruction-set descriptions and the virtual machine, together with its
+//! reference scalar semantics.
+//!
+//! Keeping the semantics in one place guarantees that scalar code (the
+//! baselines), SIMD code (HCG) and the golden reference interpreter agree —
+//! the paper's §4.1 consistency claim is checked against these functions.
+
+use crate::actor::ActorKind;
+use crate::types::DataType;
+use std::fmt;
+
+/// An element-wise operation over one or two operands.
+///
+/// This is the vocabulary of the batch computing actors (paper Table 1b)
+/// plus the basic element-wise actors (`Neg`, `Gain`-style scaling is
+/// expressed as `Mul` with a constant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division by zero yields 0 by definition).
+    Div,
+    /// Shift right by a compile-time constant (arithmetic for signed types,
+    /// logical for unsigned).
+    Shr(u32),
+    /// Shift left by a compile-time constant.
+    Shl(u32),
+    /// Bitwise NOT.
+    BitNot,
+    /// Bitwise AND.
+    BitAnd,
+    /// Bitwise OR.
+    BitOr,
+    /// Bitwise XOR.
+    BitXor,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Absolute difference `|a − b|`.
+    Abd,
+    /// Reciprocal (floats only).
+    Recp,
+    /// Square root (floats only).
+    Sqrt,
+    /// Negation.
+    Neg,
+}
+
+impl ElemOp {
+    /// Number of operands (1 or 2).
+    pub const fn arity(self) -> usize {
+        use ElemOp::*;
+        match self {
+            Shr(_) | Shl(_) | BitNot | Abs | Recp | Sqrt | Neg => 1,
+            _ => 2,
+        }
+    }
+
+    /// `true` when the operation is commutative (`a op b == b op a`), which
+    /// the subgraph matcher uses to try operand swaps.
+    pub const fn commutative(self) -> bool {
+        use ElemOp::*;
+        matches!(self, Add | Mul | BitAnd | BitOr | BitXor | Min | Max | Abd)
+    }
+
+    /// `true` when only floating-point element types are legal.
+    pub const fn float_only(self) -> bool {
+        matches!(self, ElemOp::Recp | ElemOp::Sqrt)
+    }
+
+    /// `true` when only integer element types are legal.
+    pub const fn int_only(self) -> bool {
+        use ElemOp::*;
+        matches!(self, Shr(_) | Shl(_) | BitNot | BitAnd | BitOr | BitXor)
+    }
+
+    /// `true` when the operation is legal on the given element type.
+    pub fn supports(self, dtype: DataType) -> bool {
+        if self.float_only() {
+            dtype.is_float()
+        } else if self.int_only() {
+            dtype.is_int()
+        } else if matches!(self, ElemOp::Neg | ElemOp::Abs) {
+            dtype.is_signed()
+        } else {
+            true
+        }
+    }
+
+    /// The base mnemonic, ignoring any shift amount (used by the
+    /// instruction-set text format, e.g. `Shr` for `Shr(1)`).
+    pub const fn mnemonic(self) -> &'static str {
+        use ElemOp::*;
+        match self {
+            Add => "Add",
+            Sub => "Sub",
+            Mul => "Mul",
+            Div => "Div",
+            Shr(_) => "Shr",
+            Shl(_) => "Shl",
+            BitNot => "BitNot",
+            BitAnd => "BitAnd",
+            BitOr => "BitOr",
+            BitXor => "BitXor",
+            Min => "Min",
+            Max => "Max",
+            Abs => "Abs",
+            Abd => "Abd",
+            Recp => "Recp",
+            Sqrt => "Sqrt",
+            Neg => "Neg",
+        }
+    }
+
+    /// The batch-actor kind corresponding to this operation, if any.
+    pub const fn actor_kind(self) -> Option<ActorKind> {
+        use ElemOp::*;
+        Some(match self {
+            Add => ActorKind::Add,
+            Sub => ActorKind::Sub,
+            Mul => ActorKind::Mul,
+            Div => ActorKind::Div,
+            Shr(_) => ActorKind::Shr,
+            Shl(_) => ActorKind::Shl,
+            BitNot => ActorKind::BitNot,
+            BitAnd => ActorKind::BitAnd,
+            BitOr => ActorKind::BitOr,
+            BitXor => ActorKind::BitXor,
+            Min => ActorKind::Min,
+            Max => ActorKind::Max,
+            Abs => ActorKind::Abs,
+            Abd => ActorKind::Abd,
+            Recp => ActorKind::Recp,
+            Sqrt => ActorKind::Sqrt,
+            Neg => ActorKind::Neg,
+        })
+    }
+
+    /// The element operation implemented by a batch-capable actor kind, with
+    /// the shift amount taken from the actor's `amount` parameter.
+    pub fn from_actor(kind: ActorKind, shift_amount: u32) -> Option<ElemOp> {
+        use ActorKind::*;
+        Some(match kind {
+            Add => ElemOp::Add,
+            Sub => ElemOp::Sub,
+            Mul => ElemOp::Mul,
+            Div => ElemOp::Div,
+            Shr => ElemOp::Shr(shift_amount),
+            Shl => ElemOp::Shl(shift_amount),
+            BitNot => ElemOp::BitNot,
+            BitAnd => ElemOp::BitAnd,
+            BitOr => ElemOp::BitOr,
+            BitXor => ElemOp::BitXor,
+            Min => ElemOp::Min,
+            Max => ElemOp::Max,
+            Abs => ElemOp::Abs,
+            Abd => ElemOp::Abd,
+            Recp => ElemOp::Recp,
+            Sqrt => ElemOp::Sqrt,
+            Neg => ElemOp::Neg,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ElemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemOp::Shr(n) => write!(f, "Shr[{n}]"),
+            ElemOp::Shl(n) => write!(f, "Shl[{n}]"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// Wrap an `i64` value into the representable range of an integer `dtype`
+/// (two's-complement truncation, then sign- or zero-extension).
+///
+/// # Examples
+///
+/// ```
+/// use hcg_model::{op::wrap_int, DataType};
+/// assert_eq!(wrap_int(DataType::I8, 130), -126);
+/// assert_eq!(wrap_int(DataType::U8, 300), 44);
+/// ```
+pub fn wrap_int(dtype: DataType, v: i64) -> i64 {
+    let bits = dtype.bit_width();
+    if bits == 64 {
+        return v; // u64 is stored as the bit-equivalent i64.
+    }
+    let mask = (1i64 << bits) - 1;
+    let t = v & mask;
+    if dtype.is_signed() && (t >> (bits - 1)) & 1 == 1 {
+        t | !mask
+    } else {
+        t
+    }
+}
+
+/// Reference semantics of a unary operation on one float element.
+///
+/// # Panics
+///
+/// Panics on integer-only operations (callers dispatch on dtype first).
+pub fn eval_unary_f(op: ElemOp, a: f64) -> f64 {
+    match op {
+        ElemOp::Abs => a.abs(),
+        ElemOp::Recp => 1.0 / a,
+        ElemOp::Sqrt => a.sqrt(),
+        ElemOp::Neg => -a,
+        other => panic!("{other} is not a float unary op"),
+    }
+}
+
+/// Reference semantics of a binary operation on float elements.
+///
+/// # Panics
+///
+/// Panics on integer-only operations.
+pub fn eval_binary_f(op: ElemOp, a: f64, b: f64) -> f64 {
+    match op {
+        ElemOp::Add => a + b,
+        ElemOp::Sub => a - b,
+        ElemOp::Mul => a * b,
+        ElemOp::Div => a / b,
+        ElemOp::Min => a.min(b),
+        ElemOp::Max => a.max(b),
+        ElemOp::Abd => (a - b).abs(),
+        other => panic!("{other} is not a float binary op"),
+    }
+}
+
+/// Reference semantics of a unary operation on one integer element of the
+/// given type; the result is wrapped back into the type's range.
+///
+/// # Panics
+///
+/// Panics on float-only operations.
+pub fn eval_unary_i(op: ElemOp, dtype: DataType, a: i64) -> i64 {
+    let a = wrap_int(dtype, a);
+    let r = match op {
+        ElemOp::Abs => a.wrapping_abs(),
+        ElemOp::Neg => a.wrapping_neg(),
+        ElemOp::BitNot => !a,
+        ElemOp::Shl(n) => a.wrapping_shl(n),
+        ElemOp::Shr(n) => {
+            if dtype.is_signed() {
+                a >> n.min(63)
+            } else {
+                let bits = dtype.bit_width();
+                let mask = if bits == 64 { !0i64 } else { (1i64 << bits) - 1 };
+                ((a & mask) as u64 >> n.min(63)) as i64
+            }
+        }
+        other => panic!("{other} is not an int unary op"),
+    };
+    wrap_int(dtype, r)
+}
+
+/// Reference semantics of a binary operation on integer elements of the
+/// given type; the result is wrapped back into the type's range. Division by
+/// zero yields 0 (embedded targets commonly trap; a total function keeps the
+/// generators comparable).
+///
+/// # Panics
+///
+/// Panics on float-only operations.
+pub fn eval_binary_i(op: ElemOp, dtype: DataType, a: i64, b: i64) -> i64 {
+    let a = wrap_int(dtype, a);
+    let b = wrap_int(dtype, b);
+    let r = match op {
+        ElemOp::Add => a.wrapping_add(b),
+        ElemOp::Sub => a.wrapping_sub(b),
+        ElemOp::Mul => a.wrapping_mul(b),
+        ElemOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        ElemOp::BitAnd => a & b,
+        ElemOp::BitOr => a | b,
+        ElemOp::BitXor => a ^ b,
+        ElemOp::Min => a.min(b),
+        ElemOp::Max => a.max(b),
+        ElemOp::Abd => a.wrapping_sub(b).wrapping_abs(),
+        other => panic!("{other} is not an int binary op"),
+    };
+    wrap_int(dtype, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_flags() {
+        assert_eq!(ElemOp::Add.arity(), 2);
+        assert_eq!(ElemOp::Shr(1).arity(), 1);
+        assert!(ElemOp::Add.commutative());
+        assert!(!ElemOp::Sub.commutative());
+        assert!(ElemOp::Recp.float_only());
+        assert!(ElemOp::BitAnd.int_only());
+    }
+
+    #[test]
+    fn supports_matrix() {
+        assert!(ElemOp::Add.supports(DataType::I32));
+        assert!(ElemOp::Add.supports(DataType::F32));
+        assert!(!ElemOp::Sqrt.supports(DataType::I32));
+        assert!(!ElemOp::Shr(1).supports(DataType::F32));
+        assert!(!ElemOp::Neg.supports(DataType::U8));
+        assert!(ElemOp::Neg.supports(DataType::I8));
+    }
+
+    #[test]
+    fn actor_kind_roundtrip() {
+        for op in [
+            ElemOp::Add,
+            ElemOp::Sub,
+            ElemOp::Mul,
+            ElemOp::Div,
+            ElemOp::Shr(3),
+            ElemOp::Shl(2),
+            ElemOp::BitNot,
+            ElemOp::BitAnd,
+            ElemOp::BitOr,
+            ElemOp::BitXor,
+            ElemOp::Min,
+            ElemOp::Max,
+            ElemOp::Abs,
+            ElemOp::Abd,
+            ElemOp::Recp,
+            ElemOp::Sqrt,
+            ElemOp::Neg,
+        ] {
+            let kind = op.actor_kind().unwrap();
+            let shift = match op {
+                ElemOp::Shr(n) | ElemOp::Shl(n) => n,
+                _ => 0,
+            };
+            assert_eq!(ElemOp::from_actor(kind, shift), Some(op));
+        }
+        assert_eq!(ElemOp::from_actor(ActorKind::Fft, 0), None);
+    }
+
+    #[test]
+    fn wrap_int_boundaries() {
+        assert_eq!(wrap_int(DataType::I8, 127), 127);
+        assert_eq!(wrap_int(DataType::I8, 128), -128);
+        assert_eq!(wrap_int(DataType::I8, -129), 127);
+        assert_eq!(wrap_int(DataType::U8, 255), 255);
+        assert_eq!(wrap_int(DataType::U8, 256), 0);
+        assert_eq!(wrap_int(DataType::U8, -1), 255);
+        assert_eq!(wrap_int(DataType::I64, i64::MIN), i64::MIN);
+        assert_eq!(wrap_int(DataType::U16, 65536 + 5), 5);
+    }
+
+    #[test]
+    fn int_add_wraps() {
+        assert_eq!(eval_binary_i(ElemOp::Add, DataType::I8, 120, 10), -126);
+        assert_eq!(eval_binary_i(ElemOp::Add, DataType::I32, 1, 2), 3);
+    }
+
+    #[test]
+    fn int_div_by_zero_is_zero() {
+        assert_eq!(eval_binary_i(ElemOp::Div, DataType::I32, 5, 0), 0);
+    }
+
+    #[test]
+    fn shr_arithmetic_vs_logical() {
+        // -4 >> 1 arithmetic = -2 for signed.
+        assert_eq!(eval_unary_i(ElemOp::Shr(1), DataType::I32, -4), -2);
+        // For u8, 0xFC >> 1 = 0x7E.
+        assert_eq!(eval_unary_i(ElemOp::Shr(1), DataType::U8, 0xFC), 0x7E);
+    }
+
+    #[test]
+    fn vhadd_semantics_reference() {
+        // The ARM vhadd instruction of the paper: (a + b) >> 1 on i32.
+        let a = 7;
+        let b = 4;
+        let sum = eval_binary_i(ElemOp::Add, DataType::I32, a, b);
+        assert_eq!(eval_unary_i(ElemOp::Shr(1), DataType::I32, sum), 5);
+    }
+
+    #[test]
+    fn float_ops() {
+        assert_eq!(eval_binary_f(ElemOp::Abd, 3.0, 5.0), 2.0);
+        assert_eq!(eval_unary_f(ElemOp::Recp, 4.0), 0.25);
+        assert_eq!(eval_binary_f(ElemOp::Min, 1.0, 2.0), 1.0);
+        assert!(eval_unary_f(ElemOp::Sqrt, -1.0).is_nan());
+    }
+
+    #[test]
+    #[should_panic]
+    fn float_eval_rejects_int_only_op() {
+        eval_binary_f(ElemOp::BitAnd, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Runtime signal values: a typed tensor with integer or floating-point
+//! storage, used by the reference interpreter, the virtual machine and the
+//! kernel library so that every execution path shares one value
+//! representation.
+
+use crate::op::{eval_binary_f, eval_binary_i, eval_unary_f, eval_unary_i, wrap_int, ElemOp};
+use crate::types::{DataType, SignalType};
+use std::fmt;
+
+/// Element storage of a [`Tensor`]: floats in `f64`, integers in `i64`
+/// (wrapped to the signal's declared bit width on every operation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorData {
+    /// Floating-point elements.
+    F(Vec<f64>),
+    /// Integer elements (bit pattern of the declared type, sign-extended).
+    I(Vec<i64>),
+}
+
+/// Error produced by tensor operations with incompatible operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorError(String);
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tensor error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A typed runtime value: one sample of a model signal.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_model::{Tensor, SignalType, DataType, op::ElemOp};
+/// let t = SignalType::vector(DataType::I32, 4);
+/// let a = Tensor::from_i64(t, vec![1, 2, 3, 4]).unwrap();
+/// let b = Tensor::from_i64(t, vec![10, 20, 30, 40]).unwrap();
+/// let sum = a.binary(ElemOp::Add, &b).unwrap();
+/// assert_eq!(sum.as_i64(), vec![11, 22, 33, 44]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// The declared signal type.
+    pub ty: SignalType,
+    data: TensorData,
+}
+
+impl Tensor {
+    /// An all-zero tensor of the given type.
+    pub fn zeros(ty: SignalType) -> Tensor {
+        if ty.dtype.is_float() {
+            Tensor {
+                ty,
+                data: TensorData::F(vec![0.0; ty.len()]),
+            }
+        } else {
+            Tensor {
+                ty,
+                data: TensorData::I(vec![0; ty.len()]),
+            }
+        }
+    }
+
+    /// Build from `f64` values; integers are rounded and wrapped.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element count does not match the type.
+    pub fn from_f64(ty: SignalType, values: Vec<f64>) -> Result<Tensor, TensorError> {
+        if values.len() != ty.len() {
+            return Err(TensorError(format!(
+                "expected {} elements for {ty}, got {}",
+                ty.len(),
+                values.len()
+            )));
+        }
+        Ok(if ty.dtype.is_float() {
+            Tensor {
+                ty,
+                data: TensorData::F(values),
+            }
+        } else {
+            Tensor {
+                ty,
+                data: TensorData::I(
+                    values
+                        .into_iter()
+                        .map(|v| wrap_int(ty.dtype, v.round() as i64))
+                        .collect(),
+                ),
+            }
+        })
+    }
+
+    /// Build from `i64` values; float types convert losslessly where
+    /// possible.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element count does not match the type.
+    pub fn from_i64(ty: SignalType, values: Vec<i64>) -> Result<Tensor, TensorError> {
+        if values.len() != ty.len() {
+            return Err(TensorError(format!(
+                "expected {} elements for {ty}, got {}",
+                ty.len(),
+                values.len()
+            )));
+        }
+        Ok(if ty.dtype.is_float() {
+            Tensor {
+                ty,
+                data: TensorData::F(values.into_iter().map(|v| v as f64).collect()),
+            }
+        } else {
+            Tensor {
+                ty,
+                data: TensorData::I(values.into_iter().map(|v| wrap_int(ty.dtype, v)).collect()),
+            }
+        })
+    }
+
+    /// Borrow the raw storage.
+    pub fn data(&self) -> &TensorData {
+        &self.data
+    }
+
+    /// Elements as `f64` (integers convert exactly up to 2^53).
+    pub fn as_f64(&self) -> Vec<f64> {
+        match &self.data {
+            TensorData::F(v) => v.clone(),
+            TensorData::I(v) => v.iter().map(|&x| x as f64).collect(),
+        }
+    }
+
+    /// Elements as `i64` (floats are rounded).
+    pub fn as_i64(&self) -> Vec<i64> {
+        match &self.data {
+            TensorData::F(v) => v.iter().map(|&x| x.round() as i64).collect(),
+            TensorData::I(v) => v.clone(),
+        }
+    }
+
+    /// One element as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match &self.data {
+            TensorData::F(v) => v[i],
+            TensorData::I(v) => v[i] as f64,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            TensorData::F(v) => v.len(),
+            TensorData::I(v) => v.len(),
+        }
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Apply a unary element-wise operation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the operation does not support the element type.
+    pub fn unary(&self, op: ElemOp) -> Result<Tensor, TensorError> {
+        if !op.supports(self.ty.dtype) {
+            return Err(TensorError(format!("{op} unsupported on {}", self.ty.dtype)));
+        }
+        let data = match &self.data {
+            TensorData::F(v) => TensorData::F(v.iter().map(|&a| eval_unary_f(op, a)).collect()),
+            TensorData::I(v) => TensorData::I(
+                v.iter()
+                    .map(|&a| eval_unary_i(op, self.ty.dtype, a))
+                    .collect(),
+            ),
+        };
+        Ok(Tensor { ty: self.ty, data })
+    }
+
+    /// Apply a binary element-wise operation with scalar broadcast: either
+    /// operand may be scalar, otherwise shapes must match. The result takes
+    /// the array operand's shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dtype mismatch, unsupported dtype, or incompatible shapes.
+    pub fn binary(&self, op: ElemOp, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.ty.dtype != rhs.ty.dtype {
+            return Err(TensorError(format!(
+                "dtype mismatch {} vs {}",
+                self.ty.dtype, rhs.ty.dtype
+            )));
+        }
+        if !op.supports(self.ty.dtype) {
+            return Err(TensorError(format!("{op} unsupported on {}", self.ty.dtype)));
+        }
+        let (n, out_ty) = if self.len() == rhs.len() {
+            (self.len(), self.ty)
+        } else if self.len() == 1 {
+            (rhs.len(), rhs.ty)
+        } else if rhs.len() == 1 {
+            (self.len(), self.ty)
+        } else {
+            return Err(TensorError(format!(
+                "shape mismatch {} vs {}",
+                self.ty, rhs.ty
+            )));
+        };
+        let pick = |t: &Tensor, i: usize| if t.len() == 1 { 0 } else { i };
+        let data = match (&self.data, &rhs.data) {
+            (TensorData::F(a), TensorData::F(b)) => TensorData::F(
+                (0..n)
+                    .map(|i| eval_binary_f(op, a[pick(self, i)], b[pick(rhs, i)]))
+                    .collect(),
+            ),
+            (TensorData::I(a), TensorData::I(b)) => TensorData::I(
+                (0..n)
+                    .map(|i| eval_binary_i(op, self.ty.dtype, a[pick(self, i)], b[pick(rhs, i)]))
+                    .collect(),
+            ),
+            _ => unreachable!("dtype equality implies same storage"),
+        };
+        Ok(Tensor { ty: out_ty, data })
+    }
+
+    /// Convert element type (the `Cast` actor): float→int rounds and wraps,
+    /// int→float converts, int→int re-wraps.
+    pub fn cast(&self, to: DataType) -> Tensor {
+        let ty = SignalType {
+            dtype: to,
+            shape: self.ty.shape,
+        };
+        let data = if to.is_float() {
+            TensorData::F(self.as_f64())
+        } else {
+            TensorData::I(self.as_i64().into_iter().map(|v| wrap_int(to, v)).collect())
+        };
+        Tensor { ty, data }
+    }
+
+    /// Maximum absolute difference against another tensor (for approximate
+    /// float comparisons in tests and the consistency checker).
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        let a = self.as_f64();
+        let b = other.as_f64();
+        a.iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Shape;
+
+    fn vi32(vals: Vec<i64>) -> Tensor {
+        let n = vals.len();
+        Tensor::from_i64(SignalType::vector(DataType::I32, n), vals).unwrap()
+    }
+
+    fn vf32(vals: Vec<f64>) -> Tensor {
+        let n = vals.len();
+        Tensor::from_f64(SignalType::vector(DataType::F32, n), vals).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(SignalType::matrix(DataType::F64, 2, 3));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.as_f64(), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(Tensor::from_f64(SignalType::vector(DataType::F32, 3), vec![1.0]).is_err());
+        assert!(Tensor::from_i64(SignalType::scalar(DataType::I8), vec![]).is_err());
+    }
+
+    #[test]
+    fn int_storage_wraps_on_construction() {
+        let t = Tensor::from_i64(SignalType::scalar(DataType::I8), vec![200]).unwrap();
+        assert_eq!(t.as_i64(), vec![-56]);
+    }
+
+    #[test]
+    fn binary_elementwise() {
+        let a = vi32(vec![1, 2, 3]);
+        let b = vi32(vec![10, 20, 30]);
+        assert_eq!(a.binary(ElemOp::Add, &b).unwrap().as_i64(), vec![11, 22, 33]);
+        assert_eq!(b.binary(ElemOp::Sub, &a).unwrap().as_i64(), vec![9, 18, 27]);
+        assert_eq!(a.binary(ElemOp::Mul, &b).unwrap().as_i64(), vec![10, 40, 90]);
+    }
+
+    #[test]
+    fn scalar_broadcast_both_sides() {
+        let a = vf32(vec![1.0, 2.0, 4.0]);
+        let k = Tensor::from_f64(SignalType::scalar(DataType::F32), vec![2.0]).unwrap();
+        let left = k.binary(ElemOp::Mul, &a).unwrap();
+        let right = a.binary(ElemOp::Mul, &k).unwrap();
+        assert_eq!(left.as_f64(), vec![2.0, 4.0, 8.0]);
+        assert_eq!(right.as_f64(), vec![2.0, 4.0, 8.0]);
+        assert_eq!(left.ty.shape, Shape::Vector(3));
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let a = vi32(vec![1]);
+        let b = vf32(vec![1.0]);
+        assert!(a.binary(ElemOp::Add, &b).is_err());
+    }
+
+    #[test]
+    fn unsupported_op_rejected() {
+        let a = vi32(vec![1, 2]);
+        assert!(a.unary(ElemOp::Sqrt).is_err());
+        let b = vf32(vec![1.0]);
+        assert!(b.unary(ElemOp::BitNot).is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        let a = vf32(vec![4.0, 9.0]);
+        assert_eq!(a.unary(ElemOp::Sqrt).unwrap().as_f64(), vec![2.0, 3.0]);
+        let b = vi32(vec![-3, 5]);
+        assert_eq!(b.unary(ElemOp::Abs).unwrap().as_i64(), vec![3, 5]);
+        assert_eq!(b.unary(ElemOp::Neg).unwrap().as_i64(), vec![3, -5]);
+    }
+
+    #[test]
+    fn cast_float_to_int_rounds_and_wraps() {
+        let a = vf32(vec![1.6, 300.0]);
+        let c = a.cast(DataType::I8);
+        assert_eq!(c.as_i64(), vec![2, 44]);
+        assert_eq!(c.ty.dtype, DataType::I8);
+    }
+
+    #[test]
+    fn cast_int_widening() {
+        let a = Tensor::from_i64(SignalType::vector(DataType::I8, 2), vec![-1, 7]).unwrap();
+        let c = a.cast(DataType::I32);
+        assert_eq!(c.as_i64(), vec![-1, 7]);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = vf32(vec![1.0, 2.0]);
+        let b = vf32(vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

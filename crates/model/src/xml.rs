@@ -1,0 +1,465 @@
+//! A small from-scratch XML reader/writer.
+//!
+//! The paper's implementation parses Simulink `.slx` model files with
+//! TinyXML (§3.3); this module is the equivalent substrate. It supports the
+//! subset of XML that block-diagram model files use: elements, attributes,
+//! text content, self-closing tags, comments, processing instructions/
+//! declarations, and the five predefined entities.
+
+use std::fmt;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements (text nodes are accumulated into [`XmlElement::text`]).
+    pub children: Vec<XmlElement>,
+    /// Concatenated character data directly inside this element.
+    pub text: String,
+}
+
+impl XmlElement {
+    /// An element with no attributes, children or text.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlElement {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Add an attribute (builder style).
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Add a child element (builder style).
+    pub fn with_child(mut self, child: XmlElement) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// All children with the given tag name.
+    pub fn children_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// First child with the given tag name.
+    pub fn child<'a>(&'a self, name: &str) -> Option<&'a XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Serialise to a string with 2-space indentation.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write(out, depth + 1);
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escape the five predefined XML entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse a document and return its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed input (unterminated tags, mismatched
+/// close tags, bad entities, trailing content).
+///
+/// # Examples
+///
+/// ```
+/// use hcg_model::xml::parse;
+/// # fn main() -> Result<(), hcg_model::xml::XmlError> {
+/// let doc = parse("<model name=\"m\"><actor kind=\"Add\"/></model>")?;
+/// assert_eq!(doc.attr("name"), Some("m"));
+/// assert_eq!(doc.children.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_misc()
+    }
+
+    /// Skip whitespace, comments, declarations and processing instructions.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!") {
+                // DOCTYPE and friends — skip to the closing '>'.
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        let hay = &self.bytes[self.pos..];
+        match hay
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected {end:?}"))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut el = XmlElement::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self
+                        .peek()
+                        .filter(|&q| q == b'"' || q == b'\'')
+                        .ok_or_else(|| self.err("expected quoted attribute value"))?;
+                    self.pos += 1;
+                    let value = self.parse_text_until(quote)?;
+                    self.expect(quote)?;
+                    el.attrs.push((attr, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != el.name {
+                    return Err(self.err(format!(
+                        "mismatched close tag </{}> for <{}>",
+                        close, el.name
+                    )));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                el.text = el.text.trim().to_owned();
+                return Ok(el);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    el.children.push(child);
+                }
+                Some(_) => {
+                    let t = self.parse_text_until(b'<')?;
+                    el.text.push_str(&t);
+                }
+                None => return Err(self.err(format!("unterminated element <{}>", el.name))),
+            }
+        }
+    }
+
+    /// Read character data until (not including) the terminator byte,
+    /// resolving entities.
+    fn parse_text_until(&mut self, terminator: u8) -> Result<String, XmlError> {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c == terminator {
+                return Ok(out);
+            }
+            if c == b'&' {
+                let rest = &self.bytes[self.pos..];
+                let semi = rest
+                    .iter()
+                    .position(|&b| b == b';')
+                    .ok_or_else(|| self.err("unterminated entity"))?;
+                let ent = &rest[1..semi];
+                let ch = match ent {
+                    b"lt" => '<',
+                    b"gt" => '>',
+                    b"amp" => '&',
+                    b"quot" => '"',
+                    b"apos" => '\'',
+                    _ if ent.first() == Some(&b'#') => {
+                        let num = &ent[1..];
+                        let code = if num.first() == Some(&b'x') {
+                            u32::from_str_radix(&String::from_utf8_lossy(&num[1..]), 16)
+                        } else {
+                            String::from_utf8_lossy(num).parse()
+                        }
+                        .map_err(|_| self.err("bad character reference"))?;
+                        char::from_u32(code).ok_or_else(|| self.err("bad character reference"))?
+                    }
+                    _ => return Err(self.err("unknown entity")),
+                };
+                out.push(ch);
+                self.pos += semi + 1;
+            } else {
+                // Multi-byte UTF-8 passes through untouched.
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                    self.pos += 1;
+                }
+                out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+            }
+        }
+        Err(self.err("unexpected end of input in character data"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.name, "a");
+        assert!(doc.attrs.is_empty());
+    }
+
+    #[test]
+    fn attributes_and_children() {
+        let doc = parse(r#"<m name="top"><x k="1"/><x k="2"/><y/></m>"#).unwrap();
+        assert_eq!(doc.attr("name"), Some("top"));
+        assert_eq!(doc.children_named("x").count(), 2);
+        assert_eq!(doc.child("y").unwrap().name, "y");
+        assert_eq!(doc.children[1].attr("k"), Some("2"));
+    }
+
+    #[test]
+    fn text_content() {
+        let doc = parse("<p>hello <b>world</b> tail</p>").unwrap();
+        assert!(doc.text.contains("hello"));
+        assert_eq!(doc.child("b").unwrap().text, "world");
+    }
+
+    #[test]
+    fn entities_decode() {
+        let doc = parse(r#"<p a="&lt;&gt;&amp;&quot;&apos;">&#65;&#x42;</p>"#).unwrap();
+        assert_eq!(doc.attr("a"), Some("<>&\"'"));
+        assert_eq!(doc.text, "AB");
+    }
+
+    #[test]
+    fn comments_and_prolog_skipped() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!-- c1 --><root><!-- inside --><a/></root><!-- after -->",
+        )
+        .unwrap();
+        assert_eq!(doc.children.len(), 1);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let doc = parse("<a k='v'/>").unwrap();
+        assert_eq!(doc.attr("k"), Some("v"));
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a b=>").is_err());
+        assert!(parse("<a b=\"x>").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let el = XmlElement::new("model")
+            .with_attr("name", "t<&>t")
+            .with_child(XmlElement::new("actor").with_attr("kind", "Add"))
+            .with_child(XmlElement::new("note"));
+        let text = el.to_xml();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.attr("name"), Some("t<&>t"));
+        assert_eq!(back.children.len(), 2);
+    }
+
+    #[test]
+    fn utf8_text_preserved() {
+        let doc = parse("<p>héllo — 世界</p>").unwrap();
+        assert_eq!(doc.text, "héllo — 世界");
+    }
+}

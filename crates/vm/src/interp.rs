@@ -1,0 +1,750 @@
+//! Value-correct execution of generated programs — the machinery behind the
+//! paper's §4.1 claim that all generators' "computation results of each
+//! execution are consistent".
+
+use crate::program::{BufferId, ElemRef, Program, RegId, ScalarOp, Stmt};
+use hcg_isa::{Pattern, PatternArg};
+use hcg_kernels::{CodeLibrary, KernelError};
+use hcg_model::op::{
+    eval_binary_f, eval_binary_i, eval_unary_f, eval_unary_i, wrap_int,
+};
+use hcg_model::{DataType, Tensor};
+use std::fmt;
+
+/// Runtime error during program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Element access outside a buffer.
+    OutOfBounds {
+        /// Buffer name.
+        buffer: String,
+        /// Offending index.
+        index: usize,
+    },
+    /// Input tensor did not match the buffer's declared type.
+    BadInput(String),
+    /// Unknown buffer name.
+    UnknownBuffer(String),
+    /// Kernel library failure.
+    Kernel(KernelError),
+    /// Kernel implementation missing from the library.
+    MissingKernel(String),
+    /// Nested loops are not part of the IR contract.
+    NestedLoop,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { buffer, index } => {
+                write!(f, "access to element {index} outside buffer {buffer:?}")
+            }
+            ExecError::BadInput(m) => write!(f, "bad input: {m}"),
+            ExecError::UnknownBuffer(n) => write!(f, "unknown buffer {n:?}"),
+            ExecError::Kernel(e) => write!(f, "{e}"),
+            ExecError::MissingKernel(n) => write!(f, "kernel implementation {n:?} not in library"),
+            ExecError::NestedLoop => f.write_str("nested loops are not supported by the IR"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<KernelError> for ExecError {
+    fn from(e: KernelError) -> Self {
+        ExecError::Kernel(e)
+    }
+}
+
+/// Typed storage for one buffer or register.
+#[derive(Debug, Clone, PartialEq)]
+enum Mem {
+    F(Vec<f64>),
+    I(Vec<i64>),
+}
+
+impl Mem {
+    fn zeros(dtype: DataType, len: usize) -> Mem {
+        if dtype.is_float() {
+            Mem::F(vec![0.0; len])
+        } else {
+            Mem::I(vec![0; len])
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Mem::F(v) => v.len(),
+            Mem::I(v) => v.len(),
+        }
+    }
+}
+
+/// An executable instance of a [`Program`]: owns buffer memory and the
+/// vector register file, and executes one model step at a time.
+///
+/// # Examples
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    prog: &'p Program,
+    lib: &'p CodeLibrary,
+    mem: Vec<Mem>,
+    regs: Vec<Mem>,
+}
+
+impl<'p> Machine<'p> {
+    /// Instantiate a program: allocates buffers, applies `init` data to
+    /// constants and states.
+    pub fn new(prog: &'p Program, lib: &'p CodeLibrary) -> Self {
+        let mut m = Machine {
+            prog,
+            lib,
+            mem: Vec::new(),
+            regs: prog
+                .reg_types
+                .iter()
+                .map(|(d, l)| Mem::zeros(*d, *l))
+                .collect(),
+        };
+        m.mem = prog
+            .buffers
+            .iter()
+            .map(|b| {
+                let mut mem = Mem::zeros(b.ty.dtype, b.ty.len());
+                if let Some(init) = &b.init {
+                    match &mut mem {
+                        Mem::F(v) => {
+                            for (i, slot) in v.iter_mut().enumerate() {
+                                *slot = init.get(i).or(init.first()).copied().unwrap_or(0.0);
+                            }
+                        }
+                        Mem::I(v) => {
+                            for (i, slot) in v.iter_mut().enumerate() {
+                                let raw = init.get(i).or(init.first()).copied().unwrap_or(0.0);
+                                *slot = wrap_int(b.ty.dtype, raw.round() as i64);
+                            }
+                        }
+                    }
+                }
+                mem
+            })
+            .collect();
+        m
+    }
+
+    /// Reset states and temporaries to their initial contents.
+    pub fn reset(&mut self) {
+        let fresh = Machine::new(self.prog, self.lib);
+        self.mem = fresh.mem;
+        self.regs = fresh.regs;
+    }
+
+    /// Write an input buffer by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is unknown or the tensor's type mismatches the
+    /// declaration.
+    pub fn set_input(&mut self, name: &str, value: &Tensor) -> Result<(), ExecError> {
+        let id = self
+            .prog
+            .buffer_by_name(name)
+            .ok_or_else(|| ExecError::UnknownBuffer(name.to_owned()))?;
+        let decl = self.prog.buffer(id);
+        if decl.ty != value.ty {
+            return Err(ExecError::BadInput(format!(
+                "buffer {name:?} is {}, tensor is {}",
+                decl.ty, value.ty
+            )));
+        }
+        self.mem[id.0] = match decl.ty.dtype.is_float() {
+            true => Mem::F(value.as_f64()),
+            false => Mem::I(value.as_i64()),
+        };
+        Ok(())
+    }
+
+    /// Read any buffer by name as a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is unknown.
+    pub fn read_buffer(&self, name: &str) -> Result<Tensor, ExecError> {
+        let id = self
+            .prog
+            .buffer_by_name(name)
+            .ok_or_else(|| ExecError::UnknownBuffer(name.to_owned()))?;
+        let decl = self.prog.buffer(id);
+        let t = match &self.mem[id.0] {
+            Mem::F(v) => Tensor::from_f64(decl.ty, v.clone()),
+            Mem::I(v) => Tensor::from_i64(decl.ty, v.clone()),
+        };
+        t.map_err(|e| ExecError::BadInput(e.to_string()))
+    }
+
+    /// Execute one model step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on out-of-bounds access or kernel failures.
+    pub fn step(&mut self) -> Result<(), ExecError> {
+        self.exec_block(&self.prog.body.clone(), None)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], loop_var: Option<usize>) -> Result<(), ExecError> {
+        for s in stmts {
+            self.exec_stmt(s, loop_var)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, loop_var: Option<usize>) -> Result<(), ExecError> {
+        match stmt {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body,
+            } => {
+                if loop_var.is_some() {
+                    return Err(ExecError::NestedLoop);
+                }
+                debug_assert!(*step > 0);
+                let mut i = *start;
+                while i < *end {
+                    self.exec_block(body, Some(i))?;
+                    i += step;
+                }
+                Ok(())
+            }
+            Stmt::Scalar { op, dst, srcs } => self.exec_scalar(op, *dst, srcs, loop_var),
+            Stmt::VLoad { reg, buf, index } => {
+                let i0 = index.eval(loop_var.unwrap_or(0));
+                let (dtype, lanes) = self.prog.reg_types[reg.0];
+                self.check_bounds(*buf, i0 + lanes - 1)?;
+                let _ = dtype;
+                self.regs[reg.0] = match &self.mem[buf.0] {
+                    Mem::F(v) => Mem::F(v[i0..i0 + lanes].to_vec()),
+                    Mem::I(v) => Mem::I(v[i0..i0 + lanes].to_vec()),
+                };
+                Ok(())
+            }
+            Stmt::VStore { buf, index, reg } => {
+                let i0 = index.eval(loop_var.unwrap_or(0));
+                let lanes = self.regs[reg.0].len();
+                self.check_bounds(*buf, i0 + lanes - 1)?;
+                let src = self.regs[reg.0].clone();
+                match (&mut self.mem[buf.0], &src) {
+                    (Mem::F(dst), Mem::F(s)) => dst[i0..i0 + lanes].copy_from_slice(s),
+                    (Mem::I(dst), Mem::I(s)) => dst[i0..i0 + lanes].copy_from_slice(s),
+                    (Mem::F(dst), Mem::I(s)) => {
+                        for (d, &x) in dst[i0..i0 + lanes].iter_mut().zip(s) {
+                            *d = x as f64;
+                        }
+                    }
+                    (Mem::I(dst), Mem::F(s)) => {
+                        let dt = self.prog.buffer(*buf).ty.dtype;
+                        for (d, &x) in dst[i0..i0 + lanes].iter_mut().zip(s) {
+                            *d = wrap_int(dt, x.round() as i64);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::VOp {
+                pattern, dst, srcs, ..
+            } => self.exec_vop(pattern, *dst, srcs),
+            Stmt::KernelCall {
+                actor,
+                impl_name,
+                inputs,
+                output,
+            } => {
+                let kernel = self
+                    .lib
+                    .find(*actor, impl_name)
+                    .ok_or_else(|| ExecError::MissingKernel(format!("{actor}::{impl_name}")))?;
+                let in_tensors: Result<Vec<Tensor>, ExecError> = inputs
+                    .iter()
+                    .map(|b| self.read_buffer(&self.prog.buffer(*b).name.clone()))
+                    .collect();
+                let result = kernel.run(&in_tensors?)?;
+                let decl = self.prog.buffer(*output);
+                if result.len() != decl.ty.len() {
+                    return Err(ExecError::BadInput(format!(
+                        "kernel {} produced {} elements for buffer of {}",
+                        impl_name,
+                        result.len(),
+                        decl.ty.len()
+                    )));
+                }
+                self.mem[output.0] = if decl.ty.dtype.is_float() {
+                    Mem::F(result.as_f64())
+                } else {
+                    Mem::I(result.as_i64())
+                };
+                Ok(())
+            }
+            Stmt::Copy { dst, src } => {
+                let data = self.mem[src.0].clone();
+                let n = self.mem[dst.0].len().min(data.len());
+                match (&mut self.mem[dst.0], &data) {
+                    (Mem::F(d), Mem::F(s)) => d[..n].copy_from_slice(&s[..n]),
+                    (Mem::I(d), Mem::I(s)) => d[..n].copy_from_slice(&s[..n]),
+                    (Mem::F(d), Mem::I(s)) => {
+                        for (x, &y) in d[..n].iter_mut().zip(s) {
+                            *x = y as f64;
+                        }
+                    }
+                    (Mem::I(d), Mem::F(s)) => {
+                        let dt = self.prog.buffer(*dst).ty.dtype;
+                        for (x, &y) in d[..n].iter_mut().zip(s) {
+                            *x = wrap_int(dt, y.round() as i64);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_bounds(&self, buf: BufferId, last: usize) -> Result<(), ExecError> {
+        if last >= self.mem[buf.0].len() {
+            return Err(ExecError::OutOfBounds {
+                buffer: self.prog.buffer(buf).name.clone(),
+                index: last,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_elem(&self, r: ElemRef, loop_var: Option<usize>) -> Result<(f64, i64), ExecError> {
+        let i = r.index.eval(loop_var.unwrap_or(0));
+        self.check_bounds(r.buf, i)?;
+        Ok(match &self.mem[r.buf.0] {
+            Mem::F(v) => (v[i], v[i].round() as i64),
+            Mem::I(v) => (v[i] as f64, v[i]),
+        })
+    }
+
+    fn exec_scalar(
+        &mut self,
+        op: &ScalarOp,
+        dst: ElemRef,
+        srcs: &[ElemRef],
+        loop_var: Option<usize>,
+    ) -> Result<(), ExecError> {
+        let dt = self.prog.buffer(dst.buf).ty.dtype;
+        let vals: Result<Vec<(f64, i64)>, ExecError> =
+            srcs.iter().map(|s| self.read_elem(*s, loop_var)).collect();
+        let vals = vals?;
+        let (fv, iv) = match op {
+            ScalarOp::Elem(e) => {
+                if dt.is_float() {
+                    let f = match e.arity() {
+                        1 => eval_unary_f(*e, vals[0].0),
+                        _ => eval_binary_f(*e, vals[0].0, vals[1].0),
+                    };
+                    (f, f.round() as i64)
+                } else {
+                    let i = match e.arity() {
+                        1 => eval_unary_i(*e, dt, vals[0].1),
+                        _ => eval_binary_i(*e, dt, vals[0].1, vals[1].1),
+                    };
+                    (i as f64, i)
+                }
+            }
+            ScalarOp::Select => {
+                
+                if vals[0].0 > 0.0 { vals[1] } else { vals[2] }
+            }
+            ScalarOp::Clamp { lo, hi } => {
+                let f = vals[0].0.clamp(*lo, *hi);
+                (f, f.round() as i64)
+            }
+            ScalarOp::Cast | ScalarOp::Copy => vals[0],
+        };
+        // Inline write (avoiding the helper's borrow gymnastics).
+        let idx = dst.index.eval(loop_var.unwrap_or(0));
+        self.check_bounds(dst.buf, idx)?;
+        match &mut self.mem[dst.buf.0] {
+            Mem::F(v) => v[idx] = fv,
+            Mem::I(v) => v[idx] = wrap_int(dt, iv),
+        }
+        Ok(())
+    }
+
+    fn exec_vop(
+        &mut self,
+        pattern: &Pattern,
+        dst: RegId,
+        srcs: &[RegId],
+    ) -> Result<(), ExecError> {
+        let (dtype, lanes) = self.prog.reg_types[dst.0];
+        let out: Mem = if dtype.is_float() {
+            let mut v = vec![0.0; lanes];
+            for (lane, slot) in v.iter_mut().enumerate() {
+                *slot = self.eval_pattern_f(pattern, srcs, lane);
+            }
+            Mem::F(v)
+        } else {
+            let mut v = vec![0i64; lanes];
+            for (lane, slot) in v.iter_mut().enumerate() {
+                *slot = self.eval_pattern_i(pattern, srcs, lane, dtype);
+            }
+            Mem::I(v)
+        };
+        self.regs[dst.0] = out;
+        Ok(())
+    }
+
+    fn reg_lane_f(&self, reg: RegId, lane: usize) -> f64 {
+        match &self.regs[reg.0] {
+            Mem::F(v) => v[lane],
+            Mem::I(v) => v[lane] as f64,
+        }
+    }
+
+    fn reg_lane_i(&self, reg: RegId, lane: usize) -> i64 {
+        match &self.regs[reg.0] {
+            Mem::F(v) => v[lane].round() as i64,
+            Mem::I(v) => v[lane],
+        }
+    }
+
+    fn eval_arg_f(&self, arg: &PatternArg, srcs: &[RegId], lane: usize) -> f64 {
+        match arg {
+            PatternArg::Input(slot) => self.reg_lane_f(srcs[*slot], lane),
+            PatternArg::Node(p) => self.eval_pattern_f(p, srcs, lane),
+        }
+    }
+
+    fn eval_pattern_f(&self, p: &Pattern, srcs: &[RegId], lane: usize) -> f64 {
+        match p.op.arity() {
+            1 => eval_unary_f(p.op, self.eval_arg_f(&p.args[0], srcs, lane)),
+            _ => eval_binary_f(
+                p.op,
+                self.eval_arg_f(&p.args[0], srcs, lane),
+                self.eval_arg_f(&p.args[1], srcs, lane),
+            ),
+        }
+    }
+
+    fn eval_arg_i(&self, arg: &PatternArg, srcs: &[RegId], lane: usize, dt: DataType) -> i64 {
+        match arg {
+            PatternArg::Input(slot) => self.reg_lane_i(srcs[*slot], lane),
+            PatternArg::Node(p) => self.eval_pattern_i(p, srcs, lane, dt),
+        }
+    }
+
+    fn eval_pattern_i(&self, p: &Pattern, srcs: &[RegId], lane: usize, dt: DataType) -> i64 {
+        match p.op.arity() {
+            1 => eval_unary_i(p.op, dt, self.eval_arg_i(&p.args[0], srcs, lane, dt)),
+            _ => eval_binary_i(
+                p.op,
+                dt,
+                self.eval_arg_i(&p.args[0], srcs, lane, dt),
+                self.eval_arg_i(&p.args[1], srcs, lane, dt),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{BufferKind, IndexExpr};
+    use hcg_model::op::ElemOp;
+    use hcg_isa::Arch;
+    use hcg_model::SignalType;
+
+    fn lib() -> CodeLibrary {
+        CodeLibrary::new()
+    }
+
+    fn i32vec(vals: Vec<i64>) -> Tensor {
+        let n = vals.len();
+        Tensor::from_i64(SignalType::vector(DataType::I32, n), vals).unwrap()
+    }
+
+    /// out[i] = a[i] + b[i] as a scalar loop.
+    fn scalar_add_program(n: usize) -> Program {
+        let ty = SignalType::vector(DataType::I32, n);
+        let mut p = Program::new("add", "test", Arch::Neon128);
+        let a = p.add_buffer("a", ty, BufferKind::Input, None);
+        let b = p.add_buffer("b", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, BufferKind::Output, None);
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: n,
+            step: 1,
+            body: vec![Stmt::Scalar {
+                op: ScalarOp::Elem(ElemOp::Add),
+                dst: ElemRef {
+                    buf: o,
+                    index: IndexExpr::Loop(0),
+                },
+                srcs: vec![
+                    ElemRef {
+                        buf: a,
+                        index: IndexExpr::Loop(0),
+                    },
+                    ElemRef {
+                        buf: b,
+                        index: IndexExpr::Loop(0),
+                    },
+                ],
+            }],
+        });
+        p
+    }
+
+    #[test]
+    fn scalar_loop_add() {
+        let p = scalar_add_program(4);
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        m.set_input("a", &i32vec(vec![1, 2, 3, 4])).unwrap();
+        m.set_input("b", &i32vec(vec![10, 20, 30, 40])).unwrap();
+        m.step().unwrap();
+        assert_eq!(m.read_buffer("o").unwrap().as_i64(), vec![11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn simd_add_matches_scalar() {
+        let n = 8;
+        let ty = SignalType::vector(DataType::I32, n);
+        let mut p = Program::new("vadd", "test", Arch::Neon128);
+        let a = p.add_buffer("a", ty, BufferKind::Input, None);
+        let b = p.add_buffer("b", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, BufferKind::Output, None);
+        let ra = p.add_reg(DataType::I32, 4);
+        let rb = p.add_reg(DataType::I32, 4);
+        let ro = p.add_reg(DataType::I32, 4);
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: n,
+            step: 4,
+            body: vec![
+                Stmt::VLoad {
+                    reg: ra,
+                    buf: a,
+                    index: IndexExpr::Loop(0),
+                },
+                Stmt::VLoad {
+                    reg: rb,
+                    buf: b,
+                    index: IndexExpr::Loop(0),
+                },
+                Stmt::VOp {
+                    instr: "vaddq_s32".into(),
+                    pattern: "Add(I1, I2)".parse().unwrap(),
+                    cost: 1,
+                    dst: ro,
+                    srcs: vec![ra, rb],
+                    code: String::new(),
+                },
+                Stmt::VStore {
+                    buf: o,
+                    index: IndexExpr::Loop(0),
+                    reg: ro,
+                },
+            ],
+        });
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        let av: Vec<i64> = (0..8).collect();
+        let bv: Vec<i64> = (0..8).map(|x| x * 100).collect();
+        m.set_input("a", &i32vec(av.clone())).unwrap();
+        m.set_input("b", &i32vec(bv.clone())).unwrap();
+        m.step().unwrap();
+        let expect: Vec<i64> = av.iter().zip(&bv).map(|(x, y)| x + y).collect();
+        assert_eq!(m.read_buffer("o").unwrap().as_i64(), expect);
+    }
+
+    #[test]
+    fn compound_vop_vmla() {
+        // o = acc + x*y over one vector.
+        let ty = SignalType::vector(DataType::I32, 4);
+        let mut p = Program::new("vmla", "test", Arch::Neon128);
+        let acc = p.add_buffer("acc", ty, BufferKind::Input, None);
+        let x = p.add_buffer("x", ty, BufferKind::Input, None);
+        let y = p.add_buffer("y", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, BufferKind::Output, None);
+        let r = [
+            p.add_reg(DataType::I32, 4),
+            p.add_reg(DataType::I32, 4),
+            p.add_reg(DataType::I32, 4),
+            p.add_reg(DataType::I32, 4),
+        ];
+        p.body.extend([
+            Stmt::VLoad {
+                reg: r[0],
+                buf: acc,
+                index: IndexExpr::Const(0),
+            },
+            Stmt::VLoad {
+                reg: r[1],
+                buf: x,
+                index: IndexExpr::Const(0),
+            },
+            Stmt::VLoad {
+                reg: r[2],
+                buf: y,
+                index: IndexExpr::Const(0),
+            },
+            Stmt::VOp {
+                instr: "vmlaq_s32".into(),
+                pattern: "Add(I1, Mul(I2, I3))".parse().unwrap(),
+                cost: 2,
+                dst: r[3],
+                srcs: vec![r[0], r[1], r[2]],
+                code: String::new(),
+            },
+            Stmt::VStore {
+                buf: o,
+                index: IndexExpr::Const(0),
+                reg: r[3],
+            },
+        ]);
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        m.set_input("acc", &i32vec(vec![1, 1, 1, 1])).unwrap();
+        m.set_input("x", &i32vec(vec![2, 3, 4, 5])).unwrap();
+        m.set_input("y", &i32vec(vec![10, 10, 10, 10])).unwrap();
+        m.step().unwrap();
+        assert_eq!(m.read_buffer("o").unwrap().as_i64(), vec![21, 31, 41, 51]);
+    }
+
+    #[test]
+    fn kernel_call_runs_library_fft() {
+        let in_ty = SignalType::vector(DataType::F32, 4);
+        let out_ty = SignalType::vector(DataType::F32, 8);
+        let mut p = Program::new("fft", "test", Arch::Neon128);
+        let x = p.add_buffer("x", in_ty, BufferKind::Input, None);
+        let o = p.add_buffer("spec", out_ty, BufferKind::Output, None);
+        p.body.push(Stmt::KernelCall {
+            actor: hcg_model::ActorKind::Fft,
+            impl_name: "naive_dft".into(),
+            inputs: vec![x],
+            output: o,
+        });
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        m.set_input(
+            "x",
+            &Tensor::from_f64(in_ty, vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
+        )
+        .unwrap();
+        m.step().unwrap();
+        let spec = m.read_buffer("spec").unwrap().as_f64();
+        for b in 0..4 {
+            assert!((spec[2 * b] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn const_and_state_init() {
+        let ty = SignalType::vector(DataType::F32, 4);
+        let mut p = Program::new("c", "test", Arch::Neon128);
+        let c = p.add_buffer("k", ty, BufferKind::Const, Some(vec![2.5]));
+        let s = p.add_buffer("z", ty, BufferKind::State, Some(vec![1.0, 2.0, 3.0, 4.0]));
+        let _ = (c, s);
+        let l = lib();
+        let m = Machine::new(&p, &l);
+        // Broadcast single init value; explicit per-element init.
+        assert_eq!(m.read_buffer("k").unwrap().as_f64(), vec![2.5; 4]);
+        assert_eq!(
+            m.read_buffer("z").unwrap().as_f64(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn copy_latches_state() {
+        let ty = SignalType::vector(DataType::I32, 2);
+        let mut p = Program::new("d", "test", Arch::Neon128);
+        let x = p.add_buffer("x", ty, BufferKind::Input, None);
+        let z = p.add_buffer("z", ty, BufferKind::State, None);
+        p.body.push(Stmt::Copy { dst: z, src: x });
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        m.set_input("x", &i32vec(vec![7, 8])).unwrap();
+        m.step().unwrap();
+        assert_eq!(m.read_buffer("z").unwrap().as_i64(), vec![7, 8]);
+        m.reset();
+        assert_eq!(m.read_buffer("z").unwrap().as_i64(), vec![0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let ty = SignalType::vector(DataType::I32, 4);
+        let mut p = Program::new("oob", "test", Arch::Neon128);
+        let a = p.add_buffer("a", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, BufferKind::Output, None);
+        p.body.push(Stmt::Scalar {
+            op: ScalarOp::Copy,
+            dst: ElemRef {
+                buf: o,
+                index: IndexExpr::Const(9),
+            },
+            srcs: vec![ElemRef {
+                buf: a,
+                index: IndexExpr::Const(0),
+            }],
+        });
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        assert!(matches!(
+            m.step(),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn select_and_clamp_and_cast() {
+        let fty = SignalType::vector(DataType::F32, 1);
+        let ity = SignalType::vector(DataType::I8, 1);
+        let mut p = Program::new("misc", "test", Arch::Neon128);
+        let c = p.add_buffer("c", fty, BufferKind::Input, None);
+        let a = p.add_buffer("a", fty, BufferKind::Input, None);
+        let b = p.add_buffer("b", fty, BufferKind::Input, None);
+        let sel = p.add_buffer("sel", fty, BufferKind::Output, None);
+        let clamped = p.add_buffer("cl", fty, BufferKind::Output, None);
+        let casted = p.add_buffer("ci", ity, BufferKind::Output, None);
+        let at = |buf| ElemRef {
+            buf,
+            index: IndexExpr::Const(0),
+        };
+        p.body.extend([
+            Stmt::Scalar {
+                op: ScalarOp::Select,
+                dst: at(sel),
+                srcs: vec![at(c), at(a), at(b)],
+            },
+            Stmt::Scalar {
+                op: ScalarOp::Clamp { lo: -1.0, hi: 1.0 },
+                dst: at(clamped),
+                srcs: vec![at(a)],
+            },
+            Stmt::Scalar {
+                op: ScalarOp::Cast,
+                dst: at(casted),
+                srcs: vec![at(a)],
+            },
+        ]);
+        let l = lib();
+        let mut m = Machine::new(&p, &l);
+        let f1 = |v: f64| Tensor::from_f64(fty, vec![v]).unwrap();
+        m.set_input("c", &f1(1.0)).unwrap();
+        m.set_input("a", &f1(300.4)).unwrap();
+        m.set_input("b", &f1(-5.0)).unwrap();
+        m.step().unwrap();
+        assert_eq!(m.read_buffer("sel").unwrap().as_f64(), vec![300.4]);
+        assert_eq!(m.read_buffer("cl").unwrap().as_f64(), vec![1.0]);
+        // 300 wraps into i8.
+        assert_eq!(m.read_buffer("ci").unwrap().as_i64(), vec![44]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Static validation of generated programs: every buffer/register
+//! reference in range, operand arities correct, loop bounds within the
+//! buffers they index, kernel calls resolvable, and no nested loops.
+//!
+//! Generators run this in their test suites so that malformed programs are
+//! reported as structured errors instead of interpreter panics.
+
+use crate::program::{BufferId, ElemRef, IndexExpr, Program, RegId, ScalarOp, Stmt};
+use hcg_kernels::CodeLibrary;
+use std::fmt;
+
+/// A static defect found in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn verr(msg: impl Into<String>) -> ValidateError {
+    ValidateError(msg.into())
+}
+
+/// Validate a program against a kernel library.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found.
+pub fn validate(prog: &Program, lib: &CodeLibrary) -> Result<(), ValidateError> {
+    validate_block(prog, lib, &prog.body, None)
+}
+
+/// The maximal element index an [`IndexExpr`] can reach inside a loop with
+/// the given final induction value.
+fn max_index(index: IndexExpr, loop_max: Option<usize>) -> usize {
+    match index {
+        IndexExpr::Const(c) => c,
+        IndexExpr::Loop(off) => loop_max.unwrap_or(0) + off,
+    }
+}
+
+fn check_buffer(prog: &Program, buf: BufferId) -> Result<(), ValidateError> {
+    if buf.0 >= prog.buffers.len() {
+        return Err(verr(format!("buffer id {} out of range", buf.0)));
+    }
+    Ok(())
+}
+
+fn check_reg(prog: &Program, reg: RegId) -> Result<(), ValidateError> {
+    if reg.0 >= prog.reg_count {
+        return Err(verr(format!("register id {} out of range", reg.0)));
+    }
+    Ok(())
+}
+
+fn check_elem(
+    prog: &Program,
+    r: &ElemRef,
+    loop_max: Option<usize>,
+) -> Result<(), ValidateError> {
+    check_buffer(prog, r.buf)?;
+    let limit = prog.buffer(r.buf).ty.len();
+    let reach = max_index(r.index, loop_max);
+    if reach >= limit {
+        return Err(verr(format!(
+            "element {} of buffer {:?} (len {})",
+            reach,
+            prog.buffer(r.buf).name,
+            limit
+        )));
+    }
+    Ok(())
+}
+
+fn validate_block(
+    prog: &Program,
+    lib: &CodeLibrary,
+    stmts: &[Stmt],
+    loop_max: Option<usize>,
+) -> Result<(), ValidateError> {
+    for s in stmts {
+        match s {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body,
+            } => {
+                if loop_max.is_some() {
+                    return Err(verr("nested loop"));
+                }
+                if *step == 0 {
+                    return Err(verr("loop step of zero"));
+                }
+                if end > start {
+                    // Last induction value actually reached.
+                    let trips = (end - start).div_ceil(*step);
+                    let last = start + (trips - 1) * step;
+                    validate_block(prog, lib, body, Some(last))?;
+                }
+            }
+            Stmt::Scalar { op, dst, srcs } => {
+                if srcs.len() != op.arity() {
+                    return Err(verr(format!(
+                        "scalar op arity: {op:?} expects {}, got {}",
+                        op.arity(),
+                        srcs.len()
+                    )));
+                }
+                check_elem(prog, dst, loop_max)?;
+                for src in srcs {
+                    check_elem(prog, src, loop_max)?;
+                }
+                if let ScalarOp::Elem(e) = op {
+                    let dt = prog.buffer(dst.buf).ty.dtype;
+                    if !e.supports(dt) {
+                        return Err(verr(format!("{e} on unsupported dtype {dt}")));
+                    }
+                }
+            }
+            Stmt::VLoad { reg, buf, index } => {
+                check_reg(prog, *reg)?;
+                check_buffer(prog, *buf)?;
+                let (_, lanes) = prog.reg_types[reg.0];
+                let reach = max_index(*index, loop_max) + lanes - 1;
+                if reach >= prog.buffer(*buf).ty.len() {
+                    return Err(verr(format!(
+                        "vector load reaches element {reach} of {:?} (len {})",
+                        prog.buffer(*buf).name,
+                        prog.buffer(*buf).ty.len()
+                    )));
+                }
+            }
+            Stmt::VStore { buf, index, reg } => {
+                check_reg(prog, *reg)?;
+                check_buffer(prog, *buf)?;
+                let (_, lanes) = prog.reg_types[reg.0];
+                let reach = max_index(*index, loop_max) + lanes - 1;
+                if reach >= prog.buffer(*buf).ty.len() {
+                    return Err(verr(format!(
+                        "vector store reaches element {reach} of {:?} (len {})",
+                        prog.buffer(*buf).name,
+                        prog.buffer(*buf).ty.len()
+                    )));
+                }
+            }
+            Stmt::VOp {
+                pattern, dst, srcs, ..
+            } => {
+                check_reg(prog, *dst)?;
+                for s in srcs {
+                    check_reg(prog, *s)?;
+                }
+                if srcs.len() != pattern.input_count() {
+                    return Err(verr(format!(
+                        "vop operand count: pattern {} needs {}, got {}",
+                        pattern,
+                        pattern.input_count(),
+                        srcs.len()
+                    )));
+                }
+                // All operand registers must share the destination's shape.
+                let (dt, lanes) = prog.reg_types[dst.0];
+                for s in srcs {
+                    if prog.reg_types[s.0] != (dt, lanes) {
+                        return Err(verr("vop register shape mismatch"));
+                    }
+                }
+            }
+            Stmt::KernelCall {
+                actor,
+                impl_name,
+                inputs,
+                output,
+            } => {
+                for b in inputs {
+                    check_buffer(prog, *b)?;
+                }
+                check_buffer(prog, *output)?;
+                if lib.find(*actor, impl_name).is_none() {
+                    return Err(verr(format!("unknown kernel {actor}::{impl_name}")));
+                }
+            }
+            Stmt::Copy { dst, src } => {
+                check_buffer(prog, *dst)?;
+                check_buffer(prog, *src)?;
+                if prog.buffer(*dst).ty.len() > prog.buffer(*src).ty.len() {
+                    return Err(verr(format!(
+                        "copy from {:?} (len {}) underfills {:?} (len {})",
+                        prog.buffer(*src).name,
+                        prog.buffer(*src).ty.len(),
+                        prog.buffer(*dst).name,
+                        prog.buffer(*dst).ty.len()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BufferKind;
+    use hcg_isa::Arch;
+    use hcg_model::op::ElemOp;
+    use hcg_model::{DataType, SignalType};
+
+    fn base() -> (Program, BufferId, BufferId) {
+        let ty = SignalType::vector(DataType::I32, 8);
+        let mut p = Program::new("t", "test", Arch::Neon128);
+        let a = p.add_buffer("a", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, BufferKind::Output, None);
+        (p, a, o)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let (mut p, a, o) = base();
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: 8,
+            step: 1,
+            body: vec![Stmt::Scalar {
+                op: ScalarOp::Elem(ElemOp::Abs),
+                dst: ElemRef {
+                    buf: o,
+                    index: IndexExpr::Loop(0),
+                },
+                srcs: vec![ElemRef {
+                    buf: a,
+                    index: IndexExpr::Loop(0),
+                }],
+            }],
+        });
+        validate(&p, &CodeLibrary::new()).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_loop_index_caught() {
+        let (mut p, a, o) = base();
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: 9, // one past the buffer
+            step: 1,
+            body: vec![Stmt::Scalar {
+                op: ScalarOp::Copy,
+                dst: ElemRef {
+                    buf: o,
+                    index: IndexExpr::Loop(0),
+                },
+                srcs: vec![ElemRef {
+                    buf: a,
+                    index: IndexExpr::Loop(0),
+                }],
+            }],
+        });
+        assert!(validate(&p, &CodeLibrary::new()).is_err());
+    }
+
+    #[test]
+    fn vector_load_overrun_caught() {
+        let (mut p, a, _) = base();
+        let r = p.add_reg(DataType::I32, 4);
+        p.body.push(Stmt::VLoad {
+            reg: r,
+            buf: a,
+            index: IndexExpr::Const(6), // 6..10 > 8
+        });
+        assert!(validate(&p, &CodeLibrary::new()).is_err());
+    }
+
+    #[test]
+    fn vop_arity_mismatch_caught() {
+        let (mut p, _, _) = base();
+        let r = p.add_reg(DataType::I32, 4);
+        p.body.push(Stmt::VOp {
+            instr: "vaddq_s32".into(),
+            pattern: "Add(I1, I2)".parse().unwrap(),
+            cost: 1,
+            dst: r,
+            srcs: vec![r], // needs two
+            code: String::new(),
+        });
+        assert!(validate(&p, &CodeLibrary::new()).is_err());
+    }
+
+    #[test]
+    fn unknown_kernel_caught() {
+        let (mut p, a, o) = base();
+        p.body.push(Stmt::KernelCall {
+            actor: hcg_model::ActorKind::Fft,
+            impl_name: "warp_drive".into(),
+            inputs: vec![a],
+            output: o,
+        });
+        assert!(validate(&p, &CodeLibrary::new()).is_err());
+    }
+
+    #[test]
+    fn bad_dtype_for_op_caught() {
+        let ty = SignalType::vector(DataType::F32, 4);
+        let mut p = Program::new("t", "test", Arch::Neon128);
+        let a = p.add_buffer("a", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, BufferKind::Output, None);
+        p.body.push(Stmt::Scalar {
+            op: ScalarOp::Elem(ElemOp::BitAnd),
+            dst: ElemRef {
+                buf: o,
+                index: IndexExpr::Const(0),
+            },
+            srcs: vec![
+                ElemRef {
+                    buf: a,
+                    index: IndexExpr::Const(0),
+                },
+                ElemRef {
+                    buf: a,
+                    index: IndexExpr::Const(0),
+                },
+            ],
+        });
+        assert!(validate(&p, &CodeLibrary::new()).is_err());
+    }
+
+    #[test]
+    fn zero_step_loop_caught() {
+        let (mut p, _, _) = base();
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: 4,
+            step: 0,
+            body: vec![],
+        });
+        assert!(validate(&p, &CodeLibrary::new()).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Cost-model invariants: monotonicity in loop trip counts, platform
+//! orderings, and the spill mechanism that drives Figure 5(b).
+
+use hcg_isa::Arch;
+use hcg_kernels::CodeLibrary;
+use hcg_model::op::ElemOp;
+use hcg_model::{DataType, SignalType};
+use hcg_vm::{
+    BufferKind, Compiler, CostModel, ElemRef, IndexExpr, Program, ScalarOp, Stmt,
+};
+use proptest::prelude::*;
+
+fn scalar_loop(n: usize, op: ElemOp) -> Program {
+    let ty = SignalType::vector(DataType::F32, n.max(1));
+    let mut p = Program::new("t", "test", Arch::Neon128);
+    let a = p.add_buffer("a", ty, BufferKind::Input, None);
+    let o = p.add_buffer("o", ty, BufferKind::Output, None);
+    let at = |buf| ElemRef {
+        buf,
+        index: IndexExpr::Loop(0),
+    };
+    let srcs = if op.arity() == 1 {
+        vec![at(a)]
+    } else {
+        vec![at(a), at(a)]
+    };
+    p.body.push(Stmt::Loop {
+        start: 0,
+        end: n,
+        step: 1,
+        body: vec![Stmt::Scalar {
+            op: ScalarOp::Elem(op),
+            dst: at(o),
+            srcs,
+        }],
+    });
+    p
+}
+
+proptest! {
+    /// Cost is monotone in the element count.
+    #[test]
+    fn cost_monotone_in_length(n in 1usize..2000, extra in 1usize..500) {
+        let lib = CodeLibrary::new();
+        let m = CostModel::new(Arch::Neon128, Compiler::GccLike);
+        prop_assert!(m.cycles(&scalar_loop(n, ElemOp::Add), &lib)
+            < m.cycles(&scalar_loop(n + extra, ElemOp::Add), &lib));
+    }
+
+    /// Expensive operations cost at least as much as cheap ones.
+    #[test]
+    fn op_cost_ordering(n in 1usize..500) {
+        let lib = CodeLibrary::new();
+        let m = CostModel::new(Arch::Neon128, Compiler::GccLike);
+        let add = m.cycles(&scalar_loop(n, ElemOp::Add), &lib);
+        let mul = m.cycles(&scalar_loop(n, ElemOp::Mul), &lib);
+        let div = m.cycles(&scalar_loop(n, ElemOp::Div), &lib);
+        prop_assert!(add <= mul && mul <= div);
+    }
+
+    /// Clang-like scalar code is never slower than GCC-like (the scalar
+    /// quality factor).
+    #[test]
+    fn clang_scalar_quality(n in 1usize..500) {
+        let lib = CodeLibrary::new();
+        let p = scalar_loop(n, ElemOp::Mul);
+        let gcc = CostModel::new(Arch::Neon128, Compiler::GccLike).cycles(&p, &lib);
+        let clang = CostModel::new(Arch::Neon128, Compiler::ClangLike).cycles(&p, &lib);
+        prop_assert!(clang <= gcc);
+    }
+
+    /// Time scales linearly with iterations.
+    #[test]
+    fn time_linear_in_iterations(n in 1usize..200, iters in 1u64..100_000) {
+        let lib = CodeLibrary::new();
+        let m = CostModel::new(Arch::Avx256, Compiler::ClangLike);
+        let p = scalar_loop(n, ElemOp::Add);
+        let t1 = m.time_seconds(&p, &lib, iters);
+        let t2 = m.time_seconds(&p, &lib, 2 * iters);
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn spill_penalty_only_for_gcc_temps() {
+    let lib = CodeLibrary::new();
+    let mk = |kind: BufferKind| {
+        let ty = SignalType::vector(DataType::I32, 64);
+        let mut p = Program::new("t", "test", Arch::Avx256);
+        let a = p.add_buffer("a", ty, BufferKind::Input, None);
+        let o = p.add_buffer("o", ty, kind, None);
+        let r = p.add_reg(DataType::I32, 8);
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: 64,
+            step: 8,
+            body: vec![
+                Stmt::VLoad {
+                    reg: r,
+                    buf: a,
+                    index: IndexExpr::Loop(0),
+                },
+                Stmt::VStore {
+                    buf: o,
+                    index: IndexExpr::Loop(0),
+                    reg: r,
+                },
+            ],
+        });
+        p
+    };
+    let gcc = CostModel::new(Arch::Avx256, Compiler::GccLike);
+    let clang = CostModel::new(Arch::Avx256, Compiler::ClangLike);
+    let temp = mk(BufferKind::Temp);
+    let out = mk(BufferKind::Output);
+    // GCC: temps cost extra; outputs don't.
+    assert!(gcc.cycles(&temp, &lib) > gcc.cycles(&out, &lib));
+    // Clang: nearly flat.
+    assert!(clang.cycles(&temp, &lib) <= gcc.cycles(&temp, &lib));
+    assert_eq!(clang.cycles(&out, &lib), gcc.cycles(&out, &lib));
+}

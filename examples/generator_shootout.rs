@@ -1,0 +1,76 @@
+//! Generator shootout: run all six paper benchmarks through all three
+//! generators on all four paper platforms, verify result consistency, and
+//! print the full execution-time matrix — a condensed Table 2 + Figure 5.
+//!
+//! ```text
+//! cargo run --release --example generator_shootout
+//! ```
+
+use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg::core::{CodeGenerator, HcgGen, Reference};
+use hcg::kernels::CodeLibrary;
+use hcg::model::{library, ActorKind, Tensor};
+use hcg::vm::{paper_platforms, Machine};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = CodeLibrary::new();
+    let generators: Vec<Box<dyn CodeGenerator>> = vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ];
+
+    for platform in paper_platforms() {
+        println!(
+            "\n=== {} + {} ===",
+            platform.arch, platform.compiler
+        );
+        println!(
+            "{:>12} {:>16} {:>12} {:>12}",
+            "model", "simulink-coder", "dfsynth", "hcg"
+        );
+        for model in library::paper_benchmarks() {
+            print!("{:>12}", model.name.split('_').next().unwrap_or("?"));
+            for g in &generators {
+                let p = g.generate(&model, platform.arch)?;
+                print!("{:>16}", platform.cycles(&p, &lib));
+                // Narrow columns after the first.
+                if g.name() == "simulink-coder" {
+                    continue;
+                }
+            }
+            println!();
+        }
+    }
+
+    // Consistency spot-check on one model: every generator must match the
+    // golden reference.
+    println!("\n=== consistency spot check (FIR, ARM) ===");
+    let model = library::fir_model(64, 4);
+    let types = model.infer_types()?;
+    let mut inputs = BTreeMap::new();
+    for a in &model.actors {
+        if a.kind == ActorKind::Inport {
+            let ty = types.output(a.id, 0);
+            let vals: Vec<i64> = (0..ty.len() as i64).map(|i| i % 17 - 8).collect();
+            inputs.insert(a.name.clone(), Tensor::from_i64(ty, vals)?);
+        }
+    }
+    let mut reference = Reference::new(&model)?;
+    let want = reference.step(&inputs)?;
+    for g in &generators {
+        let p = g.generate(&model, hcg::isa::Arch::Neon128)?;
+        let mut m = Machine::new(&p, &lib);
+        for (n, v) in &inputs {
+            m.set_input(n, v)?;
+        }
+        m.step()?;
+        for (name, expected) in &want {
+            let got = m.read_buffer(name)?;
+            assert_eq!(got.as_i64(), expected.as_i64(), "{}", g.name());
+        }
+        println!("  {:>16}: results identical to reference", g.name());
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! A realistic signal-processing pipeline: window → FFT on a streaming
+//! input, with a low-pass pre-filter — the workload class the paper's
+//! introduction motivates. Demonstrates Algorithm 1's adaptive
+//! implementation choice at different input scales and the model-file
+//! round trip.
+//!
+//! ```text
+//! cargo run --example signal_pipeline
+//! ```
+
+use hcg::core::{CodeGenerator, HcgGen};
+use hcg::isa::Arch;
+use hcg::kernels::CodeLibrary;
+use hcg::model::parser::{model_from_xml, model_to_xml};
+use hcg::model::{library, DataType, SignalType, Tensor};
+use hcg::vm::{Machine, Stmt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = HcgGen::new();
+    let lib = CodeLibrary::new();
+
+    // Algorithm 1 in action: the same FFT model at different input scales
+    // selects different implementations.
+    println!("=== Algorithm 1: implementation choice per input scale ===");
+    for n in [8usize, 64, 500, 1000, 1024, 4096] {
+        let model = library::fft_model(n);
+        let program = generator.generate(&model, Arch::Neon128)?;
+        let implementation = program
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::KernelCall { impl_name, .. } => Some(impl_name.clone()),
+                _ => None,
+            })
+            .expect("FFT model contains a kernel call");
+        println!("  n = {n:>5} -> {implementation}");
+    }
+    println!(
+        "  selection history now holds {} entries (reused on re-synthesis)",
+        generator.history_len()
+    );
+
+    // Stream samples through the low-pass model and watch it settle.
+    println!("\n=== streaming through LowPass_64 ===");
+    let model = library::lowpass_model(64);
+
+    // Round-trip through the textual model format first (the paper's
+    // step ①: model files are parsed into structured actors).
+    let text = model_to_xml(&model);
+    let reparsed = model_from_xml(&text)?;
+    assert_eq!(reparsed, model);
+    println!("model file round-trip OK ({} bytes of XML)", text.len());
+
+    let program = generator.generate(&reparsed, Arch::Neon128)?;
+    let mut machine = Machine::new(&program, &lib);
+    let ty = SignalType::vector(DataType::F32, 64);
+    for step in 0..8 {
+        machine.set_input("x", &Tensor::from_f64(ty, vec![1.0; 64])?)?;
+        machine.step()?;
+        let y = machine.read_buffer("y")?;
+        println!("  step {step}: y[0] = {:.4}", y.as_f64()[0]);
+    }
+    println!("(converging towards the unit input, alpha = 0.2)");
+    Ok(())
+}

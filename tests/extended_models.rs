@@ -1,0 +1,186 @@
+//! Integration coverage for the extended model set: 2-D transforms,
+//! matrix-algebra pipelines, branch logic (`Switch`), mixed data widths,
+//! and the full generator stack on each.
+
+use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg::core::{CodeGenerator, HcgGen, Reference};
+use hcg::isa::Arch;
+use hcg::kernels::CodeLibrary;
+use hcg::model::{library, ActorKind, Model, SignalType, Shape, Tensor};
+use hcg::vm::{Machine, Stmt};
+use std::collections::BTreeMap;
+
+fn generators() -> Vec<Box<dyn CodeGenerator>> {
+    vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ]
+}
+
+/// Deterministic, well-conditioned inputs (diagonally dominant matrices so
+/// inversion pipelines stay regular).
+fn inputs_for(model: &Model, seed: i64) -> BTreeMap<String, Tensor> {
+    let types = model.infer_types().expect("valid model");
+    let mut out = BTreeMap::new();
+    for a in &model.actors {
+        if a.kind != ActorKind::Inport {
+            continue;
+        }
+        let ty = types.output(a.id, 0);
+        let vals: Vec<f64> = (0..ty.len())
+            .map(|i| {
+                let base = (((i as i64 + seed + a.id.0 as i64 * 11) * 29) % 17) as f64 / 9.0 - 0.9;
+                match ty.shape {
+                    Shape::Matrix(_, c) if i / c == i % c => base + c as f64 + 2.0,
+                    _ => base,
+                }
+            })
+            .collect();
+        let t = if ty.dtype.is_float() {
+            Tensor::from_f64(ty, vals).expect("sized")
+        } else {
+            Tensor::from_i64(ty, vals.iter().map(|v| (v * 10.0) as i64).collect())
+                .expect("sized")
+        };
+        out.insert(a.name.clone(), t);
+    }
+    out
+}
+
+fn assert_all_generators_match(model: &Model, arch: Arch, tol: f64) {
+    let lib = CodeLibrary::new();
+    let inputs = inputs_for(model, 5);
+    let mut reference = Reference::new(model).expect("reference builds");
+    let want = reference.step(&inputs).expect("reference step");
+    for g in generators() {
+        let p = g.generate(model, arch).expect("generates");
+        let mut m = Machine::new(&p, &lib);
+        for (name, value) in &inputs {
+            m.set_input(name, value).expect("input exists");
+        }
+        m.step().expect("executes");
+        for (name, expected) in &want {
+            let got = m.read_buffer(name).expect("output exists");
+            let scale = expected
+                .as_f64()
+                .iter()
+                .fold(1.0f64, |acc, v| acc.max(v.abs()));
+            assert!(
+                got.max_abs_diff(expected) / scale <= tol,
+                "{} on {}: output {} differs by {}",
+                g.name(),
+                model.name,
+                name,
+                got.max_abs_diff(expected)
+            );
+        }
+    }
+}
+
+#[test]
+fn dct2d_pipeline() {
+    assert_all_generators_match(&library::dct2d_model(8, 8), Arch::Neon128, 1e-6);
+}
+
+#[test]
+fn fft2d_pipeline() {
+    assert_all_generators_match(&library::fft2d_model(4, 8), Arch::Avx256, 1e-6);
+}
+
+#[test]
+fn conv2d_pipeline() {
+    assert_all_generators_match(&library::conv2d_model(8, 8, 3, 3), Arch::Sse128, 1e-6);
+}
+
+#[test]
+fn matrix_pipeline_all_archs() {
+    for arch in Arch::ALL {
+        assert_all_generators_match(&library::matrix_pipeline_model(3), arch, 1e-6);
+        assert_all_generators_match(&library::matrix_pipeline_model(4), arch, 1e-6);
+    }
+}
+
+#[test]
+fn matrix_pipeline_uses_specialised_kernels() {
+    // HCG's Algorithm 1 must pick the analytic/unrolled implementations at
+    // 3x3; the baselines stay on the generic ones.
+    let model = library::matrix_pipeline_model(3);
+    let calls = |p: &hcg::vm::Program| -> Vec<String> {
+        p.body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::KernelCall { impl_name, .. } => Some(impl_name.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    let hcg_prog = HcgGen::new().generate(&model, Arch::Neon128).expect("gen");
+    assert_eq!(calls(&hcg_prog), ["unrolled", "analytic", "analytic"]);
+    let coder_prog = SimulinkCoderGen::new()
+        .generate(&model, Arch::Neon128)
+        .expect("gen");
+    assert_eq!(calls(&coder_prog), ["general", "gauss", "lu"]);
+}
+
+#[test]
+fn switch_model_pipeline() {
+    // Branch logic: Switch/Saturate/Gain are basic actors; the trailing
+    // Add still vectorises under HCG.
+    let model = library::switch_model(64);
+    for arch in Arch::ALL {
+        assert_all_generators_match(&model, arch, 1e-5);
+    }
+    let p = HcgGen::new().generate(&model, Arch::Neon128).expect("gen");
+    assert!(p.stmt_stats().vops > 0, "the Add after the Switch vectorises");
+}
+
+#[test]
+fn mixed_width_model_pipeline() {
+    // i16 region → Cast → i32 region: two regions with different lane
+    // counts in one program.
+    let model = library::mixed_width_model(40);
+    for arch in Arch::ALL {
+        assert_all_generators_match(&model, arch, 0.0);
+    }
+    let p = HcgGen::new().generate(&model, Arch::Neon128).expect("gen");
+    let has_i16_vop = p.body.iter().any(|s| matches!(s, Stmt::Loop { body, .. }
+        if body.iter().any(|b| matches!(b, Stmt::VOp { instr, .. } if instr.ends_with("s16")))));
+    let has_i32_vop = p.body.iter().any(|s| matches!(s, Stmt::Loop { body, .. }
+        if body.iter().any(|b| matches!(b, Stmt::VOp { instr, .. } if instr.ends_with("s32")))));
+    assert!(has_i16_vop, "i16 region vectorises at 8 lanes");
+    assert!(has_i32_vop, "i32 region vectorises at 4 lanes");
+}
+
+#[test]
+fn intensive_2d_dispatch_sizes() {
+    use hcg::core::dispatch::{classify, Dispatch};
+    use hcg::kernels::KernelSize;
+    let model = library::conv2d_model(8, 8, 3, 3);
+    let types = model.infer_types().expect("valid");
+    let actor = model.actor_by_name("conv2d").expect("present");
+    let Dispatch::Intensive { size } = classify(&model, &types, actor) else {
+        panic!("conv2d must dispatch intensive");
+    };
+    assert_eq!(size, KernelSize(vec![8, 8, 3, 3]));
+}
+
+#[test]
+fn reference_rejects_singular_inversion() {
+    // A singular product must surface as an error, not a wrong answer.
+    let model = library::matrix_pipeline_model(2);
+    let types = model.infer_types().expect("valid");
+    let ty = types.output(model.actor_by_name("A").expect("present").id, 0);
+    let mut inputs = BTreeMap::new();
+    inputs.insert(
+        "A".to_owned(),
+        Tensor::from_f64(ty, vec![1.0, 2.0, 2.0, 4.0]).expect("sized"),
+    );
+    inputs.insert(
+        "B".to_owned(),
+        Tensor::from_f64(ty, vec![1.0, 0.0, 0.0, 1.0]).expect("sized"),
+    );
+    let mut reference = Reference::new(&model).expect("builds");
+    assert!(reference.step(&inputs).is_err());
+    let _ = SignalType::scalar(hcg::model::DataType::F64);
+}

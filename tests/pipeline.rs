@@ -1,0 +1,145 @@
+//! End-to-end pipeline integration tests: textual model file → parse →
+//! type-check → schedule → code generation (all three generators) → VM
+//! execution → comparison against the golden reference.
+
+use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg::core::{CodeGenerator, HcgGen, Reference};
+use hcg::isa::Arch;
+use hcg::kernels::CodeLibrary;
+use hcg::model::parser::{model_from_xml, model_to_xml};
+use hcg::model::{library, ActorKind, Model, Tensor};
+use hcg::vm::Machine;
+use std::collections::BTreeMap;
+
+fn generators() -> Vec<Box<dyn CodeGenerator>> {
+    vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ]
+}
+
+fn deterministic_inputs(model: &Model, step: usize) -> BTreeMap<String, Tensor> {
+    let types = model.infer_types().expect("valid model");
+    let mut out = BTreeMap::new();
+    for a in &model.actors {
+        if a.kind != ActorKind::Inport {
+            continue;
+        }
+        let ty = types.output(a.id, 0);
+        let t = if ty.dtype.is_float() {
+            let vals: Vec<f64> = (0..ty.len())
+                .map(|i| ((i + step * 31 + a.id.0 * 7) as f64 * 0.37).sin())
+                .collect();
+            Tensor::from_f64(ty, vals).expect("sized")
+        } else {
+            let vals: Vec<i64> = (0..ty.len())
+                .map(|i| ((i * 13 + step * 7 + a.id.0) % 200) as i64 - 100)
+                .collect();
+            Tensor::from_i64(ty, vals).expect("sized")
+        };
+        out.insert(a.name.clone(), t);
+    }
+    out
+}
+
+/// Run a model through the full pipeline on one arch and asserts agreement
+/// with the reference for several steps (delays make steps interdependent).
+fn assert_pipeline(model: &Model, arch: Arch, steps: usize, tol: f64) {
+    // Start from the textual model format, like a real deployment would.
+    let text = model_to_xml(model);
+    let parsed = model_from_xml(&text).expect("model file parses");
+    assert_eq!(&parsed, model);
+
+    let lib = CodeLibrary::new();
+    let mut reference = Reference::new(&parsed).expect("reference builds");
+    let programs: Vec<_> = generators()
+        .iter()
+        .map(|g| g.generate(&parsed, arch).expect("generates"))
+        .collect();
+    let mut machines: Vec<_> = programs.iter().map(|p| Machine::new(p, &lib)).collect();
+
+    for step in 0..steps {
+        let inputs = deterministic_inputs(&parsed, step);
+        let want = reference.step(&inputs).expect("reference step");
+        for (m, p) in machines.iter_mut().zip(&programs) {
+            for (name, value) in &inputs {
+                m.set_input(name, value).expect("set input");
+            }
+            m.step().expect("program step");
+            for (name, expected) in &want {
+                let got = m.read_buffer(name).expect("output");
+                let scale = expected
+                    .as_f64()
+                    .iter()
+                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                assert!(
+                    got.max_abs_diff(expected) / scale <= tol,
+                    "{} on {} step {}: output {} differs by {}",
+                    p.generator,
+                    arch,
+                    step,
+                    name,
+                    got.max_abs_diff(expected)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_benchmark_pipeline() {
+    assert_pipeline(&library::fft_model(256), Arch::Neon128, 2, 1e-6);
+}
+
+#[test]
+fn dct_benchmark_pipeline() {
+    assert_pipeline(&library::dct_model(128), Arch::Avx256, 2, 1e-6);
+}
+
+#[test]
+fn conv_benchmark_pipeline() {
+    assert_pipeline(&library::conv_model(200, 16), Arch::Sse128, 2, 1e-6);
+}
+
+#[test]
+fn highpass_pipeline_all_archs() {
+    for arch in Arch::ALL {
+        assert_pipeline(&library::highpass_model(100), arch, 5, 1e-5);
+    }
+}
+
+#[test]
+fn lowpass_pipeline_all_archs() {
+    for arch in Arch::ALL {
+        assert_pipeline(&library::lowpass_model(64), arch, 5, 1e-5);
+    }
+}
+
+#[test]
+fn fir_pipeline_exact_integers() {
+    for arch in Arch::ALL {
+        assert_pipeline(&library::fir_model(100, 4), arch, 5, 0.0);
+    }
+}
+
+#[test]
+fn fig_models_pipeline() {
+    assert_pipeline(&library::fig2_model(), Arch::Neon128, 3, 1e-5);
+    assert_pipeline(&library::fig4_model(), Arch::Neon128, 3, 0.0);
+    // Awkward lengths exercise the remainder path (offset != 0).
+    for len in [5, 7, 9, 13, 21] {
+        assert_pipeline(&library::fig4_model_sized(len), Arch::Neon128, 2, 0.0);
+        assert_pipeline(&library::fig4_model_sized(len), Arch::Avx256, 2, 0.0);
+    }
+}
+
+#[test]
+fn paper_scale_benchmarks_run_everywhere() {
+    // Full paper sizes, one step, every arch — the heavyweight smoke test.
+    for model in library::paper_benchmarks() {
+        for arch in Arch::ALL {
+            assert_pipeline(&model, arch, 1, 1e-4);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based integration tests (proptest): generator equivalence on
+//! random models, remainder handling at every length, pattern/ISA round
+//! trips, and kernel invariants exercised through the public API.
+
+use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg::core::{CodeGenerator, HcgGen, Reference};
+use hcg::isa::{parse::instr_set_from_text, parse::instr_set_to_text, sets, Arch, Pattern};
+use hcg::kernels::{CodeLibrary, KernelSize};
+use hcg::model::{library, ActorKind, DataType, Model, SignalType, Tensor};
+use hcg::vm::Machine;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn run_all_and_compare(model: &Model, arch: Arch, inputs: &BTreeMap<String, Tensor>) -> f64 {
+    let lib = CodeLibrary::new();
+    let mut reference = Reference::new(model).expect("reference builds");
+    let want = reference.step(inputs).expect("reference step");
+    let generators: Vec<Box<dyn CodeGenerator>> = vec![
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+        Box::new(HcgGen::new()),
+    ];
+    let mut worst = 0.0f64;
+    for g in generators {
+        let p = g.generate(model, arch).expect("generates");
+        let mut m = Machine::new(&p, &lib);
+        for (name, value) in inputs {
+            m.set_input(name, value).expect("set input");
+        }
+        m.step().expect("step");
+        for (name, expected) in &want {
+            let got = m.read_buffer(name).expect("read output");
+            let scale = expected
+                .as_f64()
+                .iter()
+                .fold(1.0f64, |acc, v| acc.max(v.abs()));
+            worst = worst.max(got.max_abs_diff(expected) / scale);
+        }
+    }
+    worst
+}
+
+fn inputs_for(model: &Model, seed: i64) -> BTreeMap<String, Tensor> {
+    let types = model.infer_types().expect("valid");
+    let mut out = BTreeMap::new();
+    for a in &model.actors {
+        if a.kind != ActorKind::Inport {
+            continue;
+        }
+        let ty = types.output(a.id, 0);
+        let t = if ty.dtype.is_float() {
+            let vals: Vec<f64> = (0..ty.len())
+                .map(|i| (((i as i64 + seed) * 37 % 41) as f64) / 13.0 - 1.5)
+                .collect();
+            Tensor::from_f64(ty, vals).expect("sized")
+        } else {
+            let vals: Vec<i64> = (0..ty.len())
+                .map(|i| (i as i64 * 29 + seed) % 173 - 86)
+                .collect();
+            Tensor::from_i64(ty, vals).expect("sized")
+        };
+        out.insert(a.name.clone(), t);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's §4.1 consistency claim as a property: every generator
+    /// computes what the reference computes, on arbitrary random models.
+    #[test]
+    fn generators_agree_on_random_models(
+        seed in 1u64..5000,
+        len in 1usize..40,
+        actors in 1usize..12,
+        arch_pick in 0usize..3,
+    ) {
+        let model = library::random_batch_model(seed, len, actors);
+        let arch = Arch::ALL[arch_pick];
+        let inputs = inputs_for(&model, seed as i64);
+        let worst = run_all_and_compare(&model, arch, &inputs);
+        prop_assert!(worst < 1e-5, "worst relative diff {worst}");
+    }
+
+    /// Remainder handling: the Fig. 4 graph at *every* length (exercising
+    /// offset = len % lanes in 0..lanes) stays bit-exact on integers.
+    #[test]
+    fn remainder_paths_exact(len in 1usize..70, arch_pick in 0usize..3) {
+        let model = library::fig4_model_sized(len);
+        let arch = Arch::ALL[arch_pick];
+        let inputs = inputs_for(&model, len as i64);
+        let worst = run_all_and_compare(&model, arch, &inputs);
+        prop_assert_eq!(worst, 0.0);
+    }
+
+    /// FIR with arbitrary taps and lengths stays exact (delay chains,
+    /// constant vectors, add trees).
+    #[test]
+    fn fir_any_shape_exact(len in 1usize..50, taps in 1usize..6) {
+        let model = library::fir_model(len, taps);
+        let inputs = inputs_for(&model, (len * taps) as i64);
+        let worst = run_all_and_compare(&model, Arch::Neon128, &inputs);
+        prop_assert_eq!(worst, 0.0);
+    }
+
+    /// Pattern expressions round-trip through their display form.
+    #[test]
+    fn pattern_display_roundtrip(depth_pick in 0usize..6, shift in 0u32..8) {
+        let exprs = [
+            format!("Shr[{shift}](Add(I1, I2))"),
+            "Add(I1, Mul(I2, I3))".to_owned(),
+            "Sub(Mul(I1, I2), I3)".to_owned(),
+            "Abd(I1, I2)".to_owned(),
+            "Neg(I1)".to_owned(),
+            "Min(Max(I1, I2), I3)".to_owned(),
+        ];
+        let text = &exprs[depth_pick];
+        let p: Pattern = text.parse().expect("pattern parses");
+        let again: Pattern = p.to_string().parse().expect("display parses");
+        prop_assert_eq!(p, again);
+    }
+
+    /// Kernel-size filters of the FFT family respect Algorithm 1's
+    /// contract: the general implementation accepts everything; every
+    /// accepted implementation really runs at that size.
+    #[test]
+    fn fft_library_filters_sound(n in 1usize..300) {
+        let lib = CodeLibrary::new();
+        let size = KernelSize(vec![n]);
+        let input = Tensor::from_f64(
+            SignalType::vector(DataType::F32, n),
+            (0..n).map(|i| (i as f64 * 0.21).cos()).collect(),
+        ).expect("sized");
+        let general = lib.general_for(ActorKind::Fft).expect("general exists");
+        prop_assert!(general.can_handle_size(&size));
+        let reference = general.run(std::slice::from_ref(&input)).expect("general runs");
+        for k in lib.for_actor(ActorKind::Fft) {
+            if k.can_handle_size(&size) {
+                let out = k.run(std::slice::from_ref(&input)).expect("accepted impl runs");
+                prop_assert!(
+                    out.max_abs_diff(&reference) < 1e-5,
+                    "{} diverges at n={n}", k.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn builtin_isa_files_roundtrip_via_text() {
+    for arch in Arch::ALL {
+        let set = sets::builtin(arch);
+        let text = instr_set_to_text(&set);
+        let back = instr_set_from_text(&text).expect("round-trip parses");
+        assert_eq!(set, back, "{arch}");
+    }
+}
+
+#[test]
+fn model_files_roundtrip_for_benchmarks() {
+    use hcg::model::parser::{model_from_xml, model_to_xml};
+    for model in library::paper_benchmarks() {
+        let back = model_from_xml(&model_to_xml(&model)).expect("parses");
+        assert_eq!(back, model);
+    }
+}
