@@ -1,0 +1,28 @@
+//! `hcg-analysis`: multi-pass static analyzer and lint framework for HCG.
+//!
+//! Two front ends share one diagnostic vocabulary:
+//!
+//! * **Model lints** ([`lint_model`], [`lint_model_file`]) inspect an
+//!   `hcg-model` [`Model`](hcg_model::Model) — or the raw XML before the
+//!   strict parser rejects it — for structural problems: unconnected ports,
+//!   duplicate connections, dtype/scale mismatches, algebraic loops,
+//!   unreachable actors, unknown actor kinds.
+//! * **Program lints** ([`lint_program`]) inspect a generated
+//!   [`Program`](hcg_vm::Program): every structural defect the VM validator
+//!   knows about, plus dataflow analyses (read-before-write, uninitialized
+//!   registers, dead stores, never-read buffers), kernel-call aliasing and
+//!   per-arch lane-width checks.
+//!
+//! Unlike `hcg_vm::validate`, which reports the first problem it finds, the
+//! analyzer collects *every* diagnostic into a [`LintReport`] whose rendering
+//! is stable for golden tests.
+
+mod diagnostics;
+mod model_lints;
+mod program_lints;
+mod xml_front;
+
+pub use diagnostics::{Diagnostic, LintCode, LintReport, Location, Severity};
+pub use model_lints::lint_model;
+pub use program_lints::lint_program;
+pub use xml_front::lint_model_file;

@@ -205,6 +205,7 @@ impl CodeGenerator for SimulinkCoderGen {
         }
         let mut prog = ctx.finish();
         prog.body = fold_adjacent_loops(prog.body);
+        hcg_core::debug_lint(&prog);
         Ok(prog)
     }
 }

@@ -68,7 +68,9 @@ impl CodeGenerator for DfSynthGen {
                 emit_conventional(&mut ctx, &actor, LoopStyle::LOOPS)?;
             }
         }
-        Ok(ctx.finish())
+        let prog = ctx.finish();
+        hcg_core::debug_lint(&prog);
+        Ok(prog)
     }
 }
 

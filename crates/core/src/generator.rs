@@ -265,6 +265,27 @@ impl<'m> GenContext<'m> {
     }
 }
 
+/// Lint a freshly generated program (debug/test builds only).
+///
+/// Error-severity findings mean the generator emitted a malformed program —
+/// a generator bug — so this panics with the full report. Release builds
+/// compile it to a no-op. Warnings are tolerated: generators may
+/// legitimately emit, e.g., scratch buffers a later peephole pass removes.
+pub fn debug_lint(prog: &Program) {
+    #[cfg(debug_assertions)]
+    {
+        let lib = hcg_kernels::CodeLibrary::new();
+        let report = hcg_analysis::lint_program(prog, &lib);
+        assert!(
+            !report.has_errors(),
+            "generated program failed lint:\n{}",
+            report.render()
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = prog;
+}
+
 /// Make an actor name a valid C identifier.
 pub fn sanitize(name: &str) -> String {
     let mut out: String = name

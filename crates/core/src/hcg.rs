@@ -171,7 +171,9 @@ impl CodeGenerator for HcgGen {
                 _ => emit_conventional(&mut ctx, &actor, self.options.fallback_style)?,
             }
         }
-        Ok(ctx.finish())
+        let prog = ctx.finish();
+        crate::generator::debug_lint(&prog);
+        Ok(prog)
     }
 }
 

@@ -40,6 +40,6 @@ mod hcg;
 pub use batch::{explain_region, BatchOptions, BatchRegion, MapTrace, MatchOrder};
 pub use conventional::LoopStyle;
 pub use dispatch::Dispatch;
-pub use generator::{CodeGenerator, GenContext, GenError};
+pub use generator::{debug_lint, CodeGenerator, GenContext, GenError};
 pub use hcg::{HcgGen, HcgOptions};
 pub use reference::Reference;

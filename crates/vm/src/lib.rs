@@ -54,4 +54,4 @@ pub use program::{
     BufferDecl, BufferId, BufferKind, ElemRef, IndexExpr, Program, RegId, ScalarOp, Stmt,
     StmtStats,
 };
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, validate_all, Defect, DefectKind, ValidateError};

@@ -14,6 +14,7 @@
 //! | [`vm`] | `hcg-vm` | Executable program IR, interpreter, per-platform cost models |
 //! | [`core`] | `hcg-core` | The HCG generator: actor dispatch, Algorithms 1 & 2, C-source emission |
 //! | [`baselines`] | `hcg-baselines` | Simulink-Coder-like and DFSynth-like reference generators |
+//! | [`analysis`] | `hcg-analysis` | Multi-pass static analyzer: model lints and generated-program lints |
 //!
 //! # Quick start
 //!
@@ -39,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub use hcg_analysis as analysis;
 pub use hcg_baselines as baselines;
 pub use hcg_core as core;
 pub use hcg_graph as graph;

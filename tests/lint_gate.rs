@@ -1,0 +1,214 @@
+//! Lint gate: the static analyzer runs end-to-end over the checked-in
+//! example model files and over every program the generator fleet produces.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Clean fleet** — every bundled model lints clean, and HCG plus both
+//!    baselines generate programs with zero error-severity diagnostics on
+//!    every architecture.
+//! 2. **Exhaustive collection** — deliberately malformed inputs produce
+//!    *all* of their expected diagnostics in a single analyzer run, not
+//!    just the first.
+
+use hcg::analysis::{lint_model, lint_model_file, lint_program, LintCode, Severity};
+use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg::core::{CodeGenerator, HcgGen};
+use hcg::isa::Arch;
+use hcg::kernels::CodeLibrary;
+use hcg::model::parser::model_from_xml;
+use hcg::model::{library, Model};
+
+fn example_model_files() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/models");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("examples/models exists")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "xml")).then(|| {
+                (
+                    path.display().to_string(),
+                    std::fs::read_to_string(&path).expect("readable model file"),
+                )
+            })
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 8, "example models missing: {files:?}");
+    files
+}
+
+#[test]
+fn example_model_files_lint_clean() {
+    for (path, text) in example_model_files() {
+        let report = lint_model_file(&text);
+        assert!(
+            !report.has_errors(),
+            "{path} should lint clean:\n{}",
+            report.render()
+        );
+    }
+}
+
+fn fleet() -> Vec<Box<dyn CodeGenerator>> {
+    vec![
+        Box::new(HcgGen::new()),
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+    ]
+}
+
+fn assert_fleet_clean(model: &Model, label: &str) {
+    let lib = CodeLibrary::new();
+    for generator in fleet() {
+        for arch in [Arch::Neon128, Arch::Avx256] {
+            let prog = generator
+                .generate(model, arch)
+                .unwrap_or_else(|e| panic!("{} on {label}/{arch}: {e}", generator.name()));
+            let report = lint_program(&prog, &lib);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{} on {label}/{arch} emitted a program with lint errors:\n{}",
+                generator.name(),
+                report.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_fleet_over_example_files() {
+    for (path, text) in example_model_files() {
+        let model = model_from_xml(&text).expect("example parses");
+        assert_fleet_clean(&model, &path);
+    }
+}
+
+#[test]
+fn clean_fleet_over_library_models() {
+    let models: Vec<Model> = library::paper_benchmarks()
+        .into_iter()
+        .chain([
+            library::fig2_model(),
+            library::fig4_model(),
+            library::switch_model(128),
+            library::mixed_width_model(128),
+            library::matrix_pipeline_model(8),
+        ])
+        .collect();
+    for model in models {
+        let report = lint_model(&model);
+        assert!(
+            !report.has_errors(),
+            "{} should lint clean:\n{}",
+            model.name,
+            report.render()
+        );
+        let label = model.name.clone();
+        assert_fleet_clean(&model, &label);
+    }
+}
+
+#[test]
+fn malformed_model_yields_all_diagnostics_in_one_run() {
+    // An algebraic loop (Add <-> Mul with no UnitDelay) AND a
+    // dtype-mismatched connection (f32 wire into an i32 wire's Add) must
+    // both be reported by a single run.
+    let text = r#"<model name="broken">
+        <actor id="0" name="x" kind="Inport"><param name="type">i32*16</param></actor>
+        <actor id="1" name="f" kind="Inport"><param name="type">f32*16</param></actor>
+        <actor id="2" name="sum" kind="Add"/>
+        <actor id="3" name="prod" kind="Mul"/>
+        <actor id="4" name="y" kind="Outport"/>
+        <connect from="0:0" to="2:0"/>
+        <connect from="1:0" to="3:0"/>
+        <connect from="2:0" to="3:1"/>
+        <connect from="3:0" to="2:1"/>
+        <connect from="3:0" to="4:0"/>
+    </model>"#;
+    let report = lint_model_file(text);
+    assert!(
+        report.has(LintCode::AlgebraicLoop),
+        "missing algebraic-loop finding:\n{}",
+        report.render()
+    );
+    assert!(
+        report.has(LintCode::DtypeMismatch),
+        "missing dtype-mismatch finding:\n{}",
+        report.render()
+    );
+    let rendered = report.render();
+    assert!(rendered.contains("model/algebraic-loop"), "{rendered}");
+    assert!(rendered.contains("model/dtype-mismatch"), "{rendered}");
+    // The strict parser would have stopped long before seeing both.
+    assert!(report.error_count() >= 2, "{rendered}");
+}
+
+#[test]
+fn malformed_program_yields_all_diagnostics_in_one_run() {
+    use hcg::model::op::ElemOp;
+    use hcg::model::{DataType, SignalType};
+    use hcg::vm::{
+        BufferKind, ElemRef, IndexExpr, Program, ScalarOp, Stmt,
+    };
+
+    let ty = SignalType::vector(DataType::I32, 8);
+    let mut prog = Program::new("broken", "hand", Arch::Neon128);
+    let input = prog.add_buffer("in", ty, BufferKind::Input, None);
+    let tmp = prog.add_buffer("tmp", ty, BufferKind::Temp, None);
+    let out = prog.add_buffer("out", ty, BufferKind::Output, None);
+    let reg = prog.add_reg(DataType::I32, 4);
+    // Uninitialized vector register read.
+    prog.body.push(Stmt::VStore {
+        buf: out,
+        index: IndexExpr::Const(0),
+        reg,
+    });
+    let elementwise = |dst, src| Stmt::Loop {
+        start: 0,
+        end: 8,
+        step: 1,
+        body: vec![Stmt::Scalar {
+            op: ScalarOp::Elem(ElemOp::Abs),
+            dst: ElemRef {
+                buf: dst,
+                index: IndexExpr::Loop(0),
+            },
+            srcs: vec![ElemRef {
+                buf: src,
+                index: IndexExpr::Loop(0),
+            }],
+        }],
+    };
+    // Dead store: tmp written, overwritten with no read in between.
+    prog.body.push(elementwise(tmp, input));
+    prog.body.push(elementwise(tmp, input));
+    prog.body.push(elementwise(out, tmp));
+
+    let report = lint_program(&prog, &CodeLibrary::new());
+    assert!(
+        report.has(LintCode::UninitializedRegister),
+        "missing uninitialized-register finding:\n{}",
+        report.render()
+    );
+    assert!(
+        report.has(LintCode::DeadStore),
+        "missing dead-store finding:\n{}",
+        report.render()
+    );
+    let rendered = report.render();
+    assert!(rendered.contains("program/uninitialized-register"), "{rendered}");
+    assert!(rendered.contains("program/dead-store"), "{rendered}");
+}
+
+#[test]
+fn severities_are_stable() {
+    // The gate relies on the error/warning split: structural breakage is an
+    // error, code-quality findings are warnings.
+    assert_eq!(LintCode::AlgebraicLoop.severity(), Severity::Error);
+    assert_eq!(LintCode::DtypeMismatch.severity(), Severity::Error);
+    assert_eq!(LintCode::UninitializedRegister.severity(), Severity::Error);
+    assert_eq!(LintCode::DeadStore.severity(), Severity::Warning);
+    assert_eq!(LintCode::UnreachableActor.severity(), Severity::Warning);
+    assert_eq!(LintCode::NeverReadBuffer.severity(), Severity::Warning);
+}

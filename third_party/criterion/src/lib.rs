@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so the workspace patches
+//! `criterion` to this vendored mini-implementation (see `[patch.crates-io]`
+//! in the root manifest). It covers the builder/group/`Bencher` subset the
+//! workspace benches use. Instead of criterion's adaptive statistics it runs
+//! each benchmark a small, bounded number of iterations and prints the mean
+//! wall-clock time — enough to compare implementations by eye, cheap enough
+//! to run in CI.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: stops the optimizer from deleting benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver (builder subset).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget (accepted for API compatibility; one untimed
+    /// iteration serves as warm-up here).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// A standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+    }
+}
+
+/// Identifier `function_name/parameter` shown in bench output.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build the id from a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A named group of benchmarks sharing a configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl std::fmt::Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Run a benchmark without a separate input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting up to `sample_size` samples within the
+    /// measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        // The closure set up state but never called `iter`.
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().unwrap();
+    println!(
+        "{label:<48} mean {mean:>12?}  min {min:>12?}  ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let input = 17u64;
+        group.bench_with_input(BenchmarkId::new("square", input), &input, |b, n| {
+            b.iter(|| n * n)
+        });
+        group.bench_function("add", |b| b.iter(|| black_box(1u32) + 1));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2u32) * 2));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 1024).to_string(), "fft/1024");
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the workspace patches
+//! `proptest` to this vendored mini-implementation (see `[patch.crates-io]`
+//! in the root manifest). It keeps the same surface the workspace's property
+//! tests use — the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros, range strategies, [`any`](arbitrary::any),
+//! [`sample::select`] and [`collection::vec`] — but runs each property as a
+//! fixed number of *deterministic* pseudo-random cases (seeded from the test
+//! name), so failures reproduce exactly across runs and machines.
+
+pub mod test_runner {
+    //! Case execution: config, RNG and failure plumbing.
+
+    /// Per-property configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of deterministic cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+        /// `true` when the case was rejected by `prop_assume!` rather than
+        /// failed by an assertion.
+        pub rejected: bool,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejected: false,
+            }
+        }
+
+        /// An assumption rejection (the case is skipped, not failed).
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejected: true,
+            }
+        }
+    }
+
+    /// Result of one test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one case of one property, seeded from the property name
+        /// and the case index.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01B3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A strategy always yielding one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    // Bias one case in four toward the boundaries, where the
+                    // interesting bugs live.
+                    match rng.next_u64() % 8 {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => {
+                            let span = (self.end as i128 - self.start as i128) as u128;
+                            let off = (rng.next_u64() as u128) % span;
+                            (self.start as i128 + off as i128) as $t
+                        }
+                    }
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy on empty range");
+                    match rng.next_u64() % 8 {
+                        0 => lo,
+                        1 => hi,
+                        _ => {
+                            let span = (hi as i128 - lo as i128) as u128 + 1;
+                            let off = (rng.next_u64() as u128) % span;
+                            (lo as i128 + off as i128) as $t
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// A `&str` is a regex-shaped pattern strategy producing matching
+    /// strings. The supported subset is what character-class patterns need:
+    /// `[a-z...]{lo,hi}` with literal characters and ranges inside the
+    /// class, and `\PC{lo,hi}` (any non-control character). Unsupported
+    /// patterns panic with a clear message rather than silently generating
+    /// the wrong distribution.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_pattern(self);
+            let len = if lo == hi {
+                lo
+            } else {
+                // Boundary lengths (empty in particular) stress parsers most.
+                match rng.next_u64() % 8 {
+                    0 => lo,
+                    1 => hi,
+                    _ => lo + (rng.next_u64() as usize) % (hi - lo + 1),
+                }
+            };
+            (0..len)
+                .map(|_| chars[(rng.next_u64() as usize) % chars.len()])
+                .collect()
+        }
+    }
+
+    /// Parse a supported pattern into (alphabet, min_len, max_len).
+    fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        fn unsupported(pattern: &str) -> ! {
+            panic!("unsupported string pattern {pattern:?} in proptest stand-in")
+        }
+        let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+            // Any non-control character; sample printable ASCII plus a few
+            // multi-byte characters so UTF-8 handling gets exercised.
+            let mut chars: Vec<char> = (' '..='~').collect();
+            chars.extend(['é', 'π', '→', '雪']);
+            (chars, rest)
+        } else if let Some(body) = pattern.strip_prefix('[') {
+            let Some(end) = body.find(']') else {
+                unsupported(pattern);
+            };
+            let mut chars = Vec::new();
+            let class: Vec<char> = body[..end].chars().collect();
+            let mut i = 0;
+            while i < class.len() {
+                if i + 2 < class.len() && class[i + 1] == '-' {
+                    let (a, b) = (class[i], class[i + 2]);
+                    chars.extend((a..=b).filter(|c| *c as u32 >= a as u32));
+                    i += 3;
+                } else {
+                    chars.push(class[i]);
+                    i += 1;
+                }
+            }
+            if chars.is_empty() {
+                unsupported(pattern);
+            }
+            (chars, &body[end + 1..])
+        } else {
+            unsupported(pattern);
+        };
+        if rest.is_empty() {
+            return (class, 1, 1);
+        }
+        let Some(rep) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+            unsupported(pattern);
+        };
+        let (lo, hi) = match rep.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok(), hi.trim().parse().ok()),
+            None => (rep.trim().parse().ok(), rep.trim().parse().ok()),
+        };
+        match (lo, hi) {
+            (Some(lo), Some(hi)) if lo <= hi => (class, lo, hi),
+            _ => unsupported(pattern),
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — whole-domain strategies for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix boundary values in: they break naive arithmetic.
+                    match rng.next_u64() % 8 {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() % 2 == 0
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.next_u64() % 8 {
+                0 => 0.0,
+                1 => -1.0,
+                2 => 1.0,
+                _ => {
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    (unit - 0.5) * 2e6
+                }
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod sample {
+    //! Uniform selection out of a fixed set.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing one element of a vector.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[(rng.next_u64() as usize) % self.0.len()].clone()
+        }
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select on empty options");
+        Select(options)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing a `Vec` whose elements come from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.len, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run the named property functions as deterministic sampled test cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: config threaded through, one expansion per test fn.
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($args:tt)*) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __prop_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let result: $crate::test_runner::TestCaseResult =
+                        $crate::__prop_bindings!(__prop_rng; $body; $($args)*);
+                    match result {
+                        Ok(()) => {}
+                        Err(e) if e.rejected => {}
+                        Err(e) => panic!(
+                            "property {} failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            e.message
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    // Entry with a block-level config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Entry with the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Internal helper: bind `pat in strategy` arguments, then run the body as a
+/// [`TestCaseResult`](test_runner::TestCaseResult).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bindings {
+    ($rng:ident; $body:block;) => {
+        (|| -> $crate::test_runner::TestCaseResult {
+            $body
+            Ok(())
+        })()
+    };
+    ($rng:ident; $body:block; $pat:pat in $strat:expr) => {{
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bindings!($rng; $body;)
+    }};
+    ($rng:ident; $body:block; $pat:pat in $strat:expr, $($rest:tt)*) => {{
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__prop_bindings!($rng; $body; $($rest)*)
+    }};
+}
+
+/// Fallible assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fallible inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Reject (skip) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3i32..9, b in 0usize..4, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b < 4);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// Doc comments on properties parse.
+        #[test]
+        fn select_and_vec(
+            pick in prop::sample::select(vec![1, 2, 3]),
+            xs in prop::collection::vec(-5i64..5, 1..6),
+        ) {
+            prop_assert!((1..=3).contains(&pick));
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert!(xs.iter().all(|x| (-5..5).contains(x)));
+        }
+
+        #[test]
+        fn any_and_assume(x in any::<i32>()) {
+            prop_assume!(x != i32::MIN);
+            prop_assert_eq!(x.abs(), x.wrapping_abs());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_case("t", 0);
+        let mut b = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..20 {
+            assert_eq!((0i64..1000).sample(&mut a), (0i64..1000).sample(&mut b));
+        }
+    }
+}
