@@ -43,6 +43,10 @@ pub enum LintCode {
     EmptyModel,
     /// Two actors share a name.
     DuplicateActorName,
+    /// Distinct actor names that map to the same C identifier after
+    /// sanitization (e.g. `a b` and `a_b`); code generation deduplicates
+    /// the buffer names with a numeric suffix.
+    SanitizedNameCollision,
     /// A connection references an actor id not present in the model.
     UnknownActorId,
     /// A connection references a port index outside the kind's port count.
@@ -128,6 +132,7 @@ impl LintCode {
             UnknownActorKind => "model/unknown-actor-kind",
             EmptyModel => "model/empty-model",
             DuplicateActorName => "model/duplicate-actor-name",
+            SanitizedNameCollision => "model/sanitized-name-collision",
             UnknownActorId => "model/unknown-actor-id",
             PortOutOfRange => "model/port-out-of-range",
             DuplicateInputDriver => "model/duplicate-input-driver",
@@ -170,7 +175,7 @@ impl LintCode {
         use LintCode::*;
         match self {
             DuplicateConnection | DanglingOutput | UnreachableActor | NoOutput | DeadStore
-            | NeverReadBuffer => Severity::Warning,
+            | NeverReadBuffer | SanitizedNameCollision => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -427,6 +432,7 @@ mod tests {
             UnknownActorKind,
             EmptyModel,
             DuplicateActorName,
+            SanitizedNameCollision,
             UnknownActorId,
             PortOutOfRange,
             DuplicateInputDriver,

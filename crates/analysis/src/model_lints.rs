@@ -22,6 +22,7 @@ pub fn lint_model(model: &Model) -> LintReport {
         return r;
     }
     lint_names_and_params(model, &mut r);
+    lint_sanitized_collisions(model, &mut r);
     lint_connections(model, &mut r);
     lint_types(model, &mut r);
     lint_cycles(model, &mut r);
@@ -78,6 +79,39 @@ fn lint_names_and_params(model: &Model, r: &mut LintReport) {
             }
         }
         lint_param_values(a, r);
+    }
+}
+
+/// Distinct actor names that sanitize to the same C identifier would fight
+/// over one buffer name; code generation deduplicates with a numeric suffix,
+/// but the model author should know the generated names won't match the
+/// model names. Exact duplicates are already [`LintCode::DuplicateActorName`].
+fn lint_sanitized_collisions(model: &Model, r: &mut LintReport) {
+    let mut groups: BTreeMap<String, Vec<&Actor>> = BTreeMap::new();
+    for a in &model.actors {
+        groups
+            .entry(hcg_model::naming::sanitize_identifier(&a.name))
+            .or_default()
+            .push(a);
+    }
+    for (ident, actors) in groups {
+        let mut distinct: Vec<&str> = actors.iter().map(|a| a.name.as_str()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() > 1 {
+            r.push(
+                LintCode::SanitizedNameCollision,
+                at(actors[0]),
+                format!(
+                    "actor names {} all sanitize to identifier {ident:?}; generated buffer names get numeric suffixes",
+                    distinct
+                        .iter()
+                        .map(|n| format!("{n:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+        }
     }
 }
 

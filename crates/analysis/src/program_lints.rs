@@ -24,6 +24,26 @@ pub fn lint_program(prog: &Program, lib: &CodeLibrary) -> LintReport {
     r
 }
 
+/// Lint a program that may still be mid-pipeline (the inter-pass hook of the
+/// staged generator pipeline).
+///
+/// A program between passes is a valid *prefix* of the final one: outport
+/// copies and delay latches are missing, so stores feeding them look dead.
+/// With `complete: false` the incompleteness artifacts
+/// ([`LintCode::DeadStore`], [`LintCode::NeverReadBuffer`]) are filtered out;
+/// every structural error still surfaces — a malformed statement is a
+/// generator bug no matter which stage emitted it. With `complete: true`
+/// this is exactly [`lint_program`].
+pub fn lint_stage(prog: &Program, lib: &CodeLibrary, complete: bool) -> LintReport {
+    let mut r = lint_program(prog, lib);
+    if !complete {
+        r.diagnostics.retain(|d| {
+            !matches!(d.code, LintCode::DeadStore | LintCode::NeverReadBuffer)
+        });
+    }
+    r
+}
+
 /// The lint code for a structural defect from `hcg_vm::validate_all`.
 const fn defect_code(kind: DefectKind) -> LintCode {
     match kind {

@@ -1,14 +1,15 @@
 //! The Simulink-Coder-like baseline generator.
 
 use hcg_core::conventional::emit_conventional;
-use hcg_core::dispatch::{classify, Dispatch};
+use hcg_core::dispatch::Dispatch;
+use hcg_core::pass::{dispatch_pass, Pass};
 use hcg_core::{CodeGenerator, GenContext, GenError, LoopStyle};
 use hcg_graph::{DfgInput, ValTree};
 use hcg_isa::{sets, Arch, InstrSet};
 use hcg_kernels::CodeLibrary;
 use hcg_model::op::ElemOp;
-use hcg_model::{Actor, ActorKind, KindClass, Model, PortRef};
-use hcg_vm::{IndexExpr, Program, Stmt};
+use hcg_model::{Actor, ActorKind, KindClass, PortRef};
+use hcg_vm::{IndexExpr, Stmt};
 
 /// Simulink-Coder-like code generation: expression folding (small arrays
 /// fully unrolled), output-variable reuse at the copy level, generic
@@ -164,49 +165,64 @@ impl CodeGenerator for SimulinkCoderGen {
         "simulink-coder"
     }
 
-    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError> {
-        let mut ctx = GenContext::new(model, arch, self.name())?;
-        let simd = Self::scattered_simd_set(arch);
-        for idx in 0..ctx.schedule.order.len() {
-            let aid = ctx.schedule.order[idx];
-            let actor = ctx.model.actor(aid).clone();
-            match actor.kind {
-                ActorKind::Inport
-                | ActorKind::Outport
-                | ActorKind::Constant
-                | ActorKind::UnitDelay => continue,
-                _ => {}
-            }
-            if actor.kind.class() == KindClass::Intensive {
-                let general = self.lib.general_for(actor.kind).ok_or_else(|| {
-                    GenError::Internal(format!("no general kernel for {}", actor.kind))
-                })?;
-                let inputs = (0..actor.kind.input_count())
-                    .map(|p| ctx.value_buffer(PortRef::new(aid, p)))
-                    .collect::<Result<Vec<_>, _>>()?;
-                let output = ctx.actor_buffer(aid);
-                ctx.prog.body.push(Stmt::KernelCall {
-                    actor: actor.kind,
-                    impl_name: general.name.to_owned(),
-                    inputs,
-                    output,
-                });
-                continue;
-            }
-            // Scattered SIMD on Intel for batch-dispatched actors.
-            if let (Some(set), Dispatch::Batch { op, len }) =
-                (&simd, classify(ctx.model, &ctx.types, &actor))
-            {
-                if self.emit_scattered(&mut ctx, &actor, op, len, set)? {
-                    continue;
+    /// Coder's pipeline: `dispatch` → `lower` (per-actor translation with
+    /// scattered SIMD on Intel) → `compose` (outport copies + delay
+    /// latches) → `fold` (adjacent-loop expression folding).
+    fn passes(&self) -> Vec<Pass<'_>> {
+        vec![
+            dispatch_pass(),
+            Pass::new("lower", move |p| {
+                let dispatch = p.take_dispatch()?;
+                let simd = Self::scattered_simd_set(p.arch());
+                let mut kernel_calls = 0u64;
+                let ctx = p.building_mut()?;
+                for idx in 0..ctx.schedule.order.len() {
+                    let aid = ctx.schedule.order[idx];
+                    let actor = ctx.model.actor(aid).clone();
+                    match actor.kind {
+                        ActorKind::Inport
+                        | ActorKind::Outport
+                        | ActorKind::Constant
+                        | ActorKind::UnitDelay => continue,
+                        _ => {}
+                    }
+                    if actor.kind.class() == KindClass::Intensive {
+                        let general = self.lib.general_for(actor.kind).ok_or_else(|| {
+                            GenError::Internal(format!("no general kernel for {}", actor.kind))
+                        })?;
+                        let inputs = (0..actor.kind.input_count())
+                            .map(|p| ctx.value_buffer(PortRef::new(aid, p)))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let output = ctx.actor_buffer(aid);
+                        ctx.prog.body.push(Stmt::KernelCall {
+                            actor: actor.kind,
+                            impl_name: general.name.to_owned(),
+                            inputs,
+                            output,
+                        });
+                        kernel_calls += 1;
+                        continue;
+                    }
+                    // Scattered SIMD on Intel for batch-dispatched actors.
+                    if let (Some(set), Dispatch::Batch { op, len }) =
+                        (&simd, dispatch[aid.0].clone())
+                    {
+                        if self.emit_scattered(ctx, &actor, op, len, set)? {
+                            continue;
+                        }
+                    }
+                    emit_conventional(ctx, &actor, LoopStyle::CODER)?;
                 }
-            }
-            emit_conventional(&mut ctx, &actor, LoopStyle::CODER)?;
-        }
-        let mut prog = ctx.finish();
-        prog.body = fold_adjacent_loops(prog.body);
-        hcg_core::debug_lint(&prog);
-        Ok(prog)
+                p.counters.kernel_calls += kernel_calls;
+                Ok(())
+            }),
+            Pass::new("compose", |p| p.finish()),
+            Pass::new("fold", |p| {
+                let prog = p.program_mut()?;
+                prog.body = fold_adjacent_loops(std::mem::take(&mut prog.body));
+                Ok(())
+            }),
+        ]
     }
 }
 

@@ -1,5 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
+//! Everything printed to the console is also written to a transcript file,
+//! `target/repro_output.txt` by default (`--out PATH` overrides) — the
+//! source tree stays clean.
+//!
 //! ```text
 //! cargo run -p hcg-bench --bin repro --release -- all
 //! cargo run -p hcg-bench --bin repro --release -- table2
@@ -16,11 +20,56 @@ use hcg_core::{emit::to_c_source, CodeGenerator, HcgGen};
 use hcg_isa::Arch;
 use hcg_model::{library, ActorKind, KindClass};
 use hcg_vm::{Compiler, CostModel};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Transcript of everything printed, flushed to disk at exit.
+static CAPTURE: Mutex<String> = Mutex::new(String::new());
+
+/// Like `print!`, but also appends to the transcript buffer.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        let s = format!($($arg)*);
+        print!("{s}");
+        CAPTURE.lock().unwrap().push_str(&s);
+    }};
+}
+
+/// Like `println!`, but also appends to the transcript buffer.
+macro_rules! outln {
+    () => { outln!("") };
+    ($($arg:tt)*) => {{
+        let s = format!($($arg)*);
+        println!("{s}");
+        let mut c = CAPTURE.lock().unwrap();
+        c.push_str(&s);
+        c.push('\n');
+    }};
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let wall_clock = args.iter().any(|a| a == "--wall-clock");
+    let mut cmd: Option<String> = None;
+    let mut wall_clock = false;
+    let mut out_path = PathBuf::from("target/repro_output.txt");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--wall-clock" => wall_clock = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                if cmd.is_none() {
+                    cmd = Some(other.to_owned());
+                }
+            }
+        }
+    }
+    let cmd = cmd.as_deref().unwrap_or("all");
     match cmd {
         "all" => {
             table1_cmd();
@@ -55,26 +104,40 @@ fn main() {
             std::process::exit(2);
         }
     }
+    write_transcript(&out_path);
+}
+
+/// Write the captured console output under `target/` (or `--out PATH`).
+fn write_transcript(path: &std::path::Path) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, CAPTURE.lock().unwrap().as_bytes()) {
+        Ok(()) => eprintln!("\n(transcript written to {})", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write {}: {e}", path.display()),
+    }
 }
 
 fn heading(title: &str) {
-    println!("\n================================================================");
-    println!("{title}");
-    println!("================================================================");
+    outln!("\n================================================================");
+    outln!("{title}");
+    outln!("================================================================");
 }
 
 fn table1_cmd() {
     heading("Table 1 — supported intensive and batch computing actors");
-    println!("(a) intensive computing actors:");
+    outln!("(a) intensive computing actors:");
     for k in ActorKind::ALL {
         if k.class() == KindClass::Intensive {
-            println!("    {k}");
+            outln!("    {k}");
         }
     }
-    println!("(b) batch computing actors:");
+    outln!("(b) batch computing actors:");
     for k in ActorKind::ALL {
         if k.class() == KindClass::Batch {
-            println!("    {k}");
+            outln!("    {k}");
         }
     }
 }
@@ -87,30 +150,30 @@ fn fig1_cmd(wall_clock: bool) {
     let lengths = [4, 8, 16, 32, 64, 100, 128, 256, 500, 512, 1000, 1024, 2048, 4096];
     let rows = fig1(&lengths, wall_clock);
     let impls: Vec<String> = rows[0].costs.iter().map(|(n, _)| n.clone()).collect();
-    print!("{:>6}", "n");
+    out!("{:>6}", "n");
     for name in &impls {
-        print!("{name:>12}");
+        out!("{name:>12}");
     }
-    println!("{:>12}", "winner");
+    outln!("{:>12}", "winner");
     for row in &rows {
-        print!("{:>6}", row.n);
+        out!("{:>6}", row.n);
         let mut best: Option<(&str, u64)> = None;
         for (name, cost) in &row.costs {
             match cost {
                 Some(c) => {
-                    print!("{c:>12}");
+                    out!("{c:>12}");
                     if best.is_none_or(|(_, b)| *c < b) {
                         best = Some((name, *c));
                     }
                 }
-                None => print!("{:>12}", "-"),
+                None => out!("{:>12}", "-"),
             }
         }
-        println!("{:>12}", best.map(|(n, _)| n).unwrap_or("-"));
+        outln!("{:>12}", best.map(|(n, _)| n).unwrap_or("-"));
     }
-    println!("\nAlgorithm-1 winners (OpCount meter):");
+    outln!("\nAlgorithm-1 winners (OpCount meter):");
     for (n, winner) in fig1_winners(&lengths) {
-        println!("    n={n:<5} -> {winner}");
+        outln!("    n={n:<5} -> {winner}");
     }
 }
 
@@ -120,11 +183,11 @@ fn fig2_cmd() {
     let coder = SimulinkCoderGen::new()
         .generate(&m, Arch::Neon128)
         .expect("generates");
-    println!("--- Simulink-Coder-like (ARM: scalar, expression-folded) ---");
-    println!("{}", to_c_source(&coder));
+    outln!("--- Simulink-Coder-like (ARM: scalar, expression-folded) ---");
+    outln!("{}", to_c_source(&coder));
     let hcg = HcgGen::new().generate(&m, Arch::Neon128).expect("generates");
-    println!("--- HCG (fused SIMD) ---");
-    println!("{}", to_c_source(&hcg));
+    outln!("--- HCG (fused SIMD) ---");
+    outln!("{}", to_c_source(&hcg));
 }
 
 fn fig4_cmd() {
@@ -136,21 +199,21 @@ fn fig4_cmd() {
     let set = hcg_isa::sets::builtin(Arch::Neon128);
     let regions = hcg_core::batch::form_regions(&ctx, &dispatch, &set);
     for trace in hcg_core::explain_region(&ctx, &regions[0], &set).expect("maps") {
-        println!("  from {:<5} candidates: {:?}", trace.start, trace.candidates);
-        println!("        matched {:<28} -> {}", trace.chosen, trace.instruction);
+        outln!("  from {:<5} candidates: {:?}", trace.start, trace.candidates);
+        outln!("        matched {:<28} -> {}", trace.chosen, trace.instruction);
     }
-    println!();
+    outln!();
     let hcg = HcgGen::new().generate(&m, Arch::Neon128).expect("generates");
-    println!("{}", to_c_source(&hcg));
+    outln!("{}", to_c_source(&hcg));
 }
 
 fn print_exec_rows(rows: &[ExecRow]) {
-    println!(
+    outln!(
         "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
         "Model", "Simulink(s)", "DFSynth(s)", "HCG(s)", "vs Simulink", "vs DFSynth"
     );
     for r in rows {
-        println!(
+        outln!(
             "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>13.1}% {:>13.1}%",
             r.model,
             r.simulink_s,
@@ -167,7 +230,7 @@ fn print_exec_rows(rows: &[ExecRow]) {
     };
     let (ls, hs) = range(ExecRow::improvement_vs_simulink);
     let (ld, hd) = range(ExecRow::improvement_vs_dfsynth);
-    println!("  improvement ranges: {ls:.1}%-{hs:.1}% vs Simulink, {ld:.1}%-{hd:.1}% vs DFSynth");
+    outln!("  improvement ranges: {ls:.1}%-{hs:.1}% vs Simulink, {ld:.1}%-{hd:.1}% vs DFSynth");
 }
 
 fn table2_cmd() {
@@ -175,13 +238,13 @@ fn table2_cmd() {
         "Table 2 — execution time on ARM (Cortex-A72-like) with GCC-like compiler, 10 000 iterations",
     );
     print_exec_rows(&table2());
-    println!("  (paper reports 41.3%-71.9% vs Simulink Coder, 41.2%-75.4% vs DFSynth)");
+    outln!("  (paper reports 41.3%-71.9% vs Simulink Coder, 41.2%-75.4% vs DFSynth)");
 }
 
 fn fig5_cmd() {
     heading("Figure 5 — six benchmarks on ARM/Intel x GCC/Clang");
     for (platform, rows) in fig5() {
-        println!(
+        outln!(
             "\n  ({}) {} + {} [{} iterations]",
             match (platform.arch, platform.compiler) {
                 (Arch::Neon128, Compiler::GccLike) => "a",
@@ -199,7 +262,7 @@ fn fig5_cmd() {
 
 fn memory_cmd() {
     heading("Section 4.1 — memory usage of generated code (paper: within 1%)");
-    println!(
+    outln!(
         "{:>10} {:>12} {:>12} {:>12} {:>8}",
         "Model", "Simulink(B)", "DFSynth(B)", "HCG(B)", "spread"
     );
@@ -207,7 +270,7 @@ fn memory_cmd() {
         let (a, b, c) = r.bytes;
         let max = a.max(b).max(c) as f64;
         let min = a.min(b).min(c) as f64;
-        println!(
+        outln!(
             "{:>10} {:>12} {:>12} {:>12} {:>7.2}%",
             r.model,
             a,
@@ -220,16 +283,37 @@ fn memory_cmd() {
 
 fn gentime_cmd() {
     heading("Section 4.1 — code generation time (paper: 1-2 s for all tools)");
-    println!(
+    outln!(
         "{:>10} {:>14} {:>14} {:>14}",
         "Model", "Simulink(us)", "DFSynth(us)", "HCG(us)"
     );
     for r in gentime(Arch::Neon128) {
-        println!(
+        outln!(
             "{:>10} {:>14} {:>14} {:>14}",
             r.model, r.micros.0, r.micros.1, r.micros.2
         );
     }
+
+    outln!("\nPer-stage breakdown (one CompileSession per model, NEON):");
+    let t0 = hcg_model::stats::type_inference_runs();
+    let s0 = hcg_model::stats::schedule_runs();
+    let reports = gentime_reports(Arch::Neon128);
+    let pipelines: usize = reports.iter().map(|(_, rs)| rs.len()).sum();
+    for (model, reports) in &reports {
+        outln!("\n  -- {model} --");
+        for report in reports {
+            for line in report.render().lines() {
+                outln!("  {line}");
+            }
+        }
+    }
+    outln!(
+        "\n  front-end reuse: {} scheduling run(s) served {} generator pipelines \
+         ({} type-inference runs, incl. one per model at construction)",
+        hcg_model::stats::schedule_runs() - s0,
+        pipelines,
+        hcg_model::stats::type_inference_runs() - t0
+    );
 }
 
 fn consistency_cmd() {
@@ -237,7 +321,7 @@ fn consistency_cmd() {
     for m in benchmark_models() {
         for arch in Arch::ALL {
             let c = check_consistency(&m, arch, 3, 99);
-            println!(
+            outln!(
                 "  {:>10} on {:>8}: max relative diff {:.3e}",
                 c.model,
                 format!("{}", c.arch),
@@ -250,12 +334,12 @@ fn consistency_cmd() {
 fn ablation_threshold_cmd() {
     heading("Section 4.3 ablation — SIMD threshold: chains of N batch Adds (i32*1024), ARM+GCC");
     let rows = ablation_threshold(1024, 6, CostModel::new(Arch::Neon128, Compiler::GccLike));
-    println!(
+    outln!(
         "{:>8} {:>14} {:>14} {:>10}",
         "actors", "SIMD cycles", "scalar cycles", "speedup"
     );
     for r in rows {
-        println!(
+        outln!(
             "{:>8} {:>14} {:>14} {:>9.2}x",
             r.region_size,
             r.simd_cycles,
@@ -268,9 +352,9 @@ fn ablation_threshold_cmd() {
 fn ablation_history_cmd() {
     heading("Algorithm 1 ablation — selection-history cache (wall-clock meter)");
     let a = ablation_history(1024);
-    println!("  cold synthesis (pre-calculation runs): {:>8} us", a.cold_micros);
-    println!("  warm synthesis (history hit):          {:>8} us", a.warm_micros);
-    println!(
+    outln!("  cold synthesis (pre-calculation runs): {:>8} us", a.cold_micros);
+    outln!("  warm synthesis (history hit):          {:>8} us", a.warm_micros);
+    outln!(
         "  speedup: {:.1}x",
         a.cold_micros as f64 / a.warm_micros.max(1) as f64
     );
@@ -278,12 +362,12 @@ fn ablation_history_cmd() {
 
 fn ablation_greedy_cmd() {
     heading("Greedy-order ablation — largest-first vs smallest-first subgraph matching (ARM+GCC)");
-    println!(
+    outln!(
         "{:>10} {:>22} {:>22}",
         "Model", "largest (vops/cyc)", "smallest (vops/cyc)"
     );
     for r in ablation_greedy_order(CostModel::new(Arch::Neon128, Compiler::GccLike)) {
-        println!(
+        outln!(
             "{:>10} {:>13}/{:<8} {:>13}/{:<8}",
             r.model,
             r.largest_first.0,
@@ -296,8 +380,8 @@ fn ablation_greedy_cmd() {
 
 fn fusion_cmd() {
     heading("Instruction mix — batch dataflow nodes vs SIMD instructions HCG emitted (NEON)");
-    println!("{:>10} {:>12} {:>8}", "Model", "batch nodes", "vops");
+    outln!("{:>10} {:>12} {:>8}", "Model", "batch nodes", "vops");
     for r in fusion_report(Arch::Neon128) {
-        println!("{:>10} {:>12} {:>8}", r.model, r.batch_nodes, r.vops);
+        outln!("{:>10} {:>12} {:>8}", r.model, r.batch_nodes, r.vops);
     }
 }

@@ -2,7 +2,7 @@
 //! structured rows that the `repro` binary formats.
 
 use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
-use hcg_core::{CodeGenerator, HcgGen, HcgOptions};
+use hcg_core::{CodeGenerator, CompileSession, HcgGen, HcgOptions, StageReport};
 use hcg_isa::Arch;
 use hcg_kernels::{generate_test_input, Autotuner, CodeLibrary, KernelSize, Meter};
 use hcg_model::{library, ActorKind, DataType, Model};
@@ -12,6 +12,14 @@ use std::time::Instant;
 /// The six paper benchmark models at paper scales.
 pub fn benchmark_models() -> Vec<Model> {
     library::paper_benchmarks()
+}
+
+/// One [`CompileSession`] per paper benchmark — the fleet runner's unit of
+/// work. Front-end artifacts (types, schedule, dispatch) are computed once
+/// per session and shared by every generator × architecture combination
+/// driven through it.
+pub fn benchmark_sessions() -> Vec<CompileSession> {
+    benchmark_models().into_iter().map(CompileSession::new).collect()
 }
 
 /// Short display name for a benchmark model (strips size suffixes).
@@ -58,20 +66,21 @@ impl ExecRow {
     }
 }
 
-/// Generate + cost all three generators for one model on one platform.
-pub fn exec_row(model: &Model, platform: CostModel, iterations: u64) -> ExecRow {
+/// Generate + cost all three generators for one model on one platform,
+/// reusing the session's cached front-end artifacts.
+pub fn exec_row(session: &CompileSession, platform: CostModel, iterations: u64) -> ExecRow {
     let lib = CodeLibrary::new();
     let coder = SimulinkCoderGen::new();
     let dfsynth = DfSynthGen::new();
     let hcg = HcgGen::new();
     let time = |g: &dyn CodeGenerator| {
-        let p = g
-            .generate(model, platform.arch)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", g.name(), model.name));
+        let p = session
+            .generate(g, platform.arch)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", g.name(), session.model().name));
         platform.time_seconds(&p, &lib, iterations)
     };
     ExecRow {
-        model: short_name(model),
+        model: short_name(session.model()),
         simulink_s: time(&coder),
         dfsynth_s: time(&dfsynth),
         hcg_s: time(&hcg),
@@ -82,21 +91,24 @@ pub fn exec_row(model: &Model, platform: CostModel, iterations: u64) -> ExecRow 
 /// platform (ARM Cortex-A72-like, GCC-like), 10 000 iterations.
 pub fn table2() -> Vec<ExecRow> {
     let platform = CostModel::new(Arch::Neon128, Compiler::GccLike);
-    benchmark_models()
+    benchmark_sessions()
         .iter()
-        .map(|m| exec_row(m, platform, iterations_for(Arch::Neon128)))
+        .map(|s| exec_row(s, platform, iterations_for(Arch::Neon128)))
         .collect()
 }
 
 /// **Figure 5**: the four platform sweeps, in the paper's subfigure order
-/// (ARM+GCC, Intel+GCC, ARM+Clang, Intel+Clang).
+/// (ARM+GCC, Intel+GCC, ARM+Clang, Intel+Clang). One session per model is
+/// shared across all four platforms, so each model's front end runs once
+/// for the whole figure.
 pub fn fig5() -> Vec<(CostModel, Vec<ExecRow>)> {
+    let sessions = benchmark_sessions();
     paper_platforms()
         .into_iter()
         .map(|platform| {
-            let rows = benchmark_models()
+            let rows = sessions
                 .iter()
-                .map(|m| exec_row(m, platform, iterations_for(platform.arch)))
+                .map(|s| exec_row(s, platform, iterations_for(platform.arch)))
                 .collect();
             (platform, rows)
         })
@@ -162,14 +174,14 @@ pub fn memory_table(arch: Arch) -> Vec<MemoryRow> {
     let coder = SimulinkCoderGen::new();
     let dfsynth = DfSynthGen::new();
     let hcg = HcgGen::new();
-    benchmark_models()
+    benchmark_sessions()
         .iter()
-        .map(|m| MemoryRow {
-            model: short_name(m),
+        .map(|s| MemoryRow {
+            model: short_name(s.model()),
             bytes: (
-                coder.generate(m, arch).expect("generates").memory_footprint(),
-                dfsynth.generate(m, arch).expect("generates").memory_footprint(),
-                hcg.generate(m, arch).expect("generates").memory_footprint(),
+                s.generate(&coder, arch).expect("generates").memory_footprint(),
+                s.generate(&dfsynth, arch).expect("generates").memory_footprint(),
+                s.generate(&hcg, arch).expect("generates").memory_footprint(),
             ),
         })
         .collect()
@@ -204,6 +216,34 @@ pub fn gentime(arch: Arch) -> Vec<GenTimeRow> {
                 time_one(&dfsynth, m),
                 time_one(&hcg, m),
             ),
+        })
+        .collect()
+}
+
+/// **§4.1 generation-time breakdown**: per-stage [`StageReport`]s for every
+/// generator on every benchmark, driven through one session per model so
+/// front-end time is excluded and stage timings are directly comparable.
+///
+/// Returns `(model short name, [coder, dfsynth, hcg] reports)` per model.
+pub fn gentime_reports(arch: Arch) -> Vec<(String, Vec<StageReport>)> {
+    let coder = SimulinkCoderGen::new();
+    let dfsynth = DfSynthGen::new();
+    let hcg = HcgGen::new();
+    let gens: [&dyn CodeGenerator; 3] = [&coder, &dfsynth, &hcg];
+    benchmark_sessions()
+        .iter()
+        .map(|s| {
+            let reports = gens
+                .iter()
+                .map(|g| {
+                    s.generate_with_report(*g, arch)
+                        .unwrap_or_else(|e| {
+                            panic!("{} on {}: {e}", g.name(), s.model().name)
+                        })
+                        .1
+                })
+                .collect();
+            (short_name(s.model()), reports)
         })
         .collect()
 }
@@ -491,6 +531,31 @@ mod tests {
             winners.len() >= 2,
             "Figure 1 requires different winners at different scales: {winners:?}"
         );
+    }
+
+    #[test]
+    fn gentime_reports_share_front_end() {
+        let t0 = hcg_model::stats::type_inference_runs();
+        let s0 = hcg_model::stats::schedule_runs();
+        let reports = gentime_reports(Arch::Neon128);
+        assert_eq!(reports.len(), 6);
+        for (model, rs) in &reports {
+            assert_eq!(rs.len(), 3, "{model}: coder, dfsynth, hcg");
+            let hcg = &rs[2];
+            assert_eq!(hcg.generator, "hcg");
+            let names: Vec<&str> = hcg.stages.iter().map(|s| s.name).collect();
+            assert_eq!(
+                names,
+                ["dispatch", "region-formation", "instruction-mapping", "compose"],
+                "{model}"
+            );
+        }
+        // Each model is type-checked once at construction (ModelBuilder::build)
+        // and once in the session front end; scheduling runs only in the front
+        // end. Nothing more across all 3×6 generator pipelines.
+        let n = reports.len() as u64;
+        assert_eq!(hcg_model::stats::type_inference_runs() - t0, 2 * n);
+        assert_eq!(hcg_model::stats::schedule_runs() - s0, n);
     }
 
     #[test]

@@ -289,7 +289,99 @@ pub fn concretize(pattern: &Pattern, amount: u32) -> Pattern {
     }
 }
 
-/// Emit a whole batch region (Algorithm 2 in full).
+/// A region's computed emission plan: the pure (read-only) half of
+/// Algorithm 2, produced by [`plan_region`] and realised by
+/// [`emit_region_plan`]. Splitting planning from emission lets the
+/// `instruction-mapping` stage report what was selected before the
+/// `compose` stage mutates the program.
+#[derive(Debug, Clone)]
+pub struct RegionPlan {
+    kind: RegionPlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum RegionPlanKind {
+    /// Lines 3–4 (+ the §4.3 threshold): the region falls back to
+    /// conventional translation.
+    Conventional {
+        fallback_style: LoopStyle,
+    },
+    /// The SIMD path: the region's dataflow graph, its external input
+    /// buffers, the selected instruction steps, and the outputs whose store
+    /// redirects straight into an outport buffer.
+    Simd {
+        dfg: Dfg,
+        externals: Vec<BufferId>,
+        steps: Vec<PlanStep>,
+        redirect_outports: Vec<(NodeId, ActorId)>,
+    },
+}
+
+impl RegionPlan {
+    /// Number of SIMD instructions the mapping selected, or `None` for a
+    /// conventional fallback plan.
+    pub fn simd_step_count(&self) -> Option<usize> {
+        match &self.kind {
+            RegionPlanKind::Simd { steps, .. } => Some(steps.len()),
+            RegionPlanKind::Conventional { .. } => None,
+        }
+    }
+}
+
+/// Plan a batch region without touching the program: decide SIMD vs
+/// conventional fallback, build the dataflow graph, run the mapping loop
+/// (Algorithm 2 lines 10–22) and precompute output-variable-reuse
+/// redirects.
+///
+/// # Errors
+///
+/// Returns [`GenError`] when the region graph cannot be built or mapped.
+pub fn plan_region(
+    ctx: &GenContext<'_>,
+    region: &BatchRegion,
+    set: &InstrSet,
+    options: BatchOptions,
+) -> Result<RegionPlan, GenError> {
+    let arch = ctx.prog.arch;
+    // Line 1: BatchSize = VectorWidth / DataBitWidth.
+    let lanes = arch.lanes(region.dtype);
+    // Line 2: BatchCount = DataLength / BatchSize.
+    let batch_count = region.len / lanes;
+    // Lines 3–4 (+ the §4.3 threshold): conventional fallback.
+    if batch_count < 1 || region.members.len() < options.simd_threshold {
+        return Ok(RegionPlan {
+            kind: RegionPlanKind::Conventional {
+                fallback_style: options.fallback_style,
+            },
+        });
+    }
+
+    let (g, externals) = build_dfg(ctx, region)?;
+    let steps = map_graph(&g, set, lanes, options.match_order)?;
+
+    // Output-variable reuse: a region output consumed only by an Outport
+    // stores straight into the outport's buffer, eliding the final copy.
+    let mut redirect_outports: Vec<(NodeId, ActorId)> = Vec::new();
+    for &out in g.outputs() {
+        let aid = node_actor(ctx, &g, out)?;
+        let consumers = ctx.model.consumers(PortRef::new(aid, 0));
+        if let [only] = consumers.as_slice() {
+            if ctx.model.actor(only.actor).kind == hcg_model::ActorKind::Outport {
+                redirect_outports.push((out, only.actor));
+            }
+        }
+    }
+    Ok(RegionPlan {
+        kind: RegionPlanKind::Simd {
+            dfg: g,
+            externals,
+            steps,
+            redirect_outports,
+        },
+    })
+}
+
+/// Emit a whole batch region (Algorithm 2 in full): plan then realise.
 ///
 /// # Errors
 ///
@@ -300,35 +392,46 @@ pub fn emit_batch_region(
     set: &InstrSet,
     options: BatchOptions,
 ) -> Result<(), GenError> {
-    let arch = ctx.prog.arch;
-    // Line 1: BatchSize = VectorWidth / DataBitWidth.
-    let lanes = arch.lanes(region.dtype);
-    // Line 2: BatchCount = DataLength / BatchSize.
-    let batch_count = region.len / lanes;
-    // Lines 3–4 (+ the §4.3 threshold): conventional fallback.
-    if batch_count < 1 || region.members.len() < options.simd_threshold {
-        for &aid in &region.members {
-            let actor = ctx.model.actor(aid).clone();
-            emit_conventional(ctx, &actor, options.fallback_style)?;
-        }
-        return Ok(());
-    }
+    let plan = plan_region(ctx, region, set, options)?;
+    emit_region_plan(ctx, region, &plan)
+}
 
-    let (g, externals) = build_dfg(ctx, region)?;
-    let plan = map_graph(&g, set, lanes, options.match_order)?;
-
-    // Output-variable reuse: a region output consumed only by an Outport
-    // stores straight into the outport's buffer, eliding the final copy.
-    let mut redirects: BTreeMap<NodeId, BufferId> = BTreeMap::new();
-    for &out in g.outputs() {
-        let aid = node_actor(ctx, &g, out)?;
-        let consumers = ctx.model.consumers(PortRef::new(aid, 0));
-        if let [only] = consumers.as_slice() {
-            if ctx.model.actor(only.actor).kind == hcg_model::ActorKind::Outport {
-                ctx.mark_outport_written(only.actor);
-                redirects.insert(out, ctx.actor_buffer(only.actor));
+/// Realise a region plan: the mutating half of Algorithm 2 (register
+/// allocation, remainder code, loads/ops/stores, loop wrapping). Statement
+/// and register allocation order is identical to the pre-split
+/// `emit_batch_region`, so programs are byte-identical.
+///
+/// # Errors
+///
+/// Returns [`GenError`] when an output node was fused away (an internal
+/// invariant violation).
+pub fn emit_region_plan(
+    ctx: &mut GenContext<'_>,
+    region: &BatchRegion,
+    plan: &RegionPlan,
+) -> Result<(), GenError> {
+    let (g, externals, steps, redirect_outports) = match &plan.kind {
+        RegionPlanKind::Conventional { fallback_style } => {
+            for &aid in &region.members {
+                let actor = ctx.model.actor(aid).clone();
+                emit_conventional(ctx, &actor, *fallback_style)?;
             }
+            return Ok(());
         }
+        RegionPlanKind::Simd {
+            dfg,
+            externals,
+            steps,
+            redirect_outports,
+        } => (dfg, externals, steps, redirect_outports),
+    };
+    let lanes = ctx.prog.arch.lanes(region.dtype);
+    let batch_count = region.len / lanes;
+
+    let mut redirects: BTreeMap<NodeId, BufferId> = BTreeMap::new();
+    for &(out, outport) in redirect_outports {
+        ctx.mark_outport_written(outport);
+        redirects.insert(out, ctx.actor_buffer(outport));
     }
 
     // Line 6: Offset = DataLength % BatchSize.
@@ -336,7 +439,7 @@ pub fn emit_batch_region(
 
     // Lines 24–26: remainder code, placed before the main loop.
     if offset != 0 {
-        emit_scalar_remainder(ctx, &g, &externals, offset, &redirects)?;
+        emit_scalar_remainder(ctx, g, externals, offset, &redirects)?;
     }
 
     // Lines 5–23: the SIMD section. With BatchCount >= 2 it is a loop
@@ -352,7 +455,7 @@ pub fn emit_batch_region(
     // Line 9: data-preparation variables (vector loads), e.g.
     // `int32x4_t a_batch = vld1q_s32(a);`.
     let mut ext_regs: Vec<RegId> = Vec::with_capacity(externals.len());
-    for &buf in &externals {
+    for &buf in externals {
         let reg = ctx.prog.add_named_reg(
             region.dtype,
             lanes,
@@ -368,7 +471,7 @@ pub fn emit_batch_region(
 
     // Lines 10–22: calculation code per selected instruction.
     let mut node_regs: BTreeMap<NodeId, RegId> = BTreeMap::new();
-    for step in &plan {
+    for step in steps {
         let sink = step.candidate.sink;
         let dst = ctx.prog.add_named_reg(
             region.dtype,

@@ -1,13 +1,25 @@
 //! The `CodeGenerator` trait implemented by HCG and both baselines, plus
 //! the shared lowering context (buffer allocation, schedule, types) that
 //! performs the common "code composition" step ④ of paper §2.
+//!
+//! Generators describe themselves as a list of named [`Pass`]es; the trait's
+//! `generate`/`generate_with_report` methods are thin drivers over
+//! [`PassManager`]. A [`crate::CompileSession`] can feed several generators
+//! from one set of cached front-end artifacts via
+//! [`GenContext::with_artifacts`].
 
+use crate::pass::{Pass, PassManager, PipelineCtx, StageReport};
 use hcg_isa::Arch;
 use hcg_kernels::SelectError;
+use hcg_model::naming::unique_identifier;
 use hcg_model::schedule::{schedule, Schedule};
 use hcg_model::{ActorId, ActorKind, Model, ModelError, PortRef, TypeMap};
 use hcg_vm::{BufferId, BufferKind, Program, Stmt};
+use std::borrow::Cow;
+use std::collections::BTreeSet;
 use std::fmt;
+
+pub use hcg_model::naming::sanitize_identifier as sanitize;
 
 /// Error from code generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,33 +67,66 @@ impl From<SelectError> for GenError {
 
 /// A code generator: turns a validated model into an executable
 /// [`Program`] for a target architecture.
+///
+/// A generator is defined by its [`passes`](CodeGenerator::passes) — named
+/// pipeline stages run in order by a [`PassManager`]. The `generate*`
+/// methods are provided drivers: they build a standalone [`PipelineCtx`]
+/// (computing the front-end artifacts on the spot) and run the passes.
+/// Fleet runs that want to share artifacts across generators go through
+/// [`crate::CompileSession`] instead, which calls the same passes over
+/// borrowed artifacts.
 pub trait CodeGenerator {
     /// Generator name as it appears in reports (`hcg`, `simulink-coder`,
     /// `dfsynth`).
     fn name(&self) -> &'static str;
+
+    /// The generator's pipeline stages, in execution order. The final pass
+    /// must leave the context finished (see [`PipelineCtx::finish`]).
+    fn passes(&self) -> Vec<Pass<'_>>;
 
     /// Generate code.
     ///
     /// # Errors
     ///
     /// Returns [`GenError`] when the model is invalid or synthesis fails.
-    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError>;
+    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError> {
+        self.generate_with_report(model, arch).map(|(prog, _)| prog)
+    }
+
+    /// Generate code and return the per-stage timing/counter report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when the model is invalid or synthesis fails.
+    fn generate_with_report(
+        &self,
+        model: &Model,
+        arch: Arch,
+    ) -> Result<(Program, StageReport), GenError> {
+        let ctx = PipelineCtx::standalone(model, arch, self.name())?;
+        PassManager::new(self.passes()).run(ctx)
+    }
 }
 
 /// Shared lowering state: resolved types, schedule, the program being
 /// built, and the buffer that holds each actor's output value.
+///
+/// The front-end artifacts are held as [`Cow`]s: [`GenContext::new`] owns
+/// freshly computed ones, [`GenContext::with_artifacts`] borrows them from a
+/// [`crate::CompileSession`] so a whole generator × arch fleet shares one
+/// type-inference and one scheduling run per model.
 #[derive(Debug)]
 pub struct GenContext<'m> {
     /// The source model.
     pub model: &'m Model,
     /// Resolved signal types.
-    pub types: TypeMap,
+    pub types: Cow<'m, TypeMap>,
     /// Deterministic execution order.
-    pub schedule: Schedule,
+    pub schedule: Cow<'m, Schedule>,
     /// The program under construction.
     pub prog: Program,
     out_buf: Vec<BufferId>,
-    written_outports: std::collections::BTreeSet<ActorId>,
+    written_outports: BTreeSet<ActorId>,
 }
 
 impl<'m> GenContext<'m> {
@@ -96,10 +141,48 @@ impl<'m> GenContext<'m> {
     pub fn new(model: &'m Model, arch: Arch, generator: &str) -> Result<Self, GenError> {
         let types = model.infer_types()?;
         let sched = schedule(model)?;
+        Self::build(model, Cow::Owned(types), Cow::Owned(sched), arch, generator)
+    }
+
+    /// Build a context over artifacts computed elsewhere (a
+    /// [`crate::CompileSession`] cache). The caller guarantees they belong
+    /// to `model` — a session computed them via [`Model::front_end`], which
+    /// validated the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when buffer allocation fails (e.g. an
+    /// unconnected outport).
+    pub fn with_artifacts(
+        model: &'m Model,
+        types: &'m TypeMap,
+        schedule: &'m Schedule,
+        arch: Arch,
+        generator: &str,
+    ) -> Result<Self, GenError> {
+        Self::build(
+            model,
+            Cow::Borrowed(types),
+            Cow::Borrowed(schedule),
+            arch,
+            generator,
+        )
+    }
+
+    fn build(
+        model: &'m Model,
+        types: Cow<'m, TypeMap>,
+        sched: Cow<'m, Schedule>,
+        arch: Arch,
+        generator: &str,
+    ) -> Result<Self, GenError> {
         let mut prog = Program::new(model.name.clone(), generator, arch);
         let mut out_buf = Vec::with_capacity(model.actors.len());
+        // Distinct actor names can sanitize to one identifier; dedupe with
+        // a numeric suffix so buffers never silently alias.
+        let mut used = BTreeSet::new();
         for a in &model.actors {
-            let name = sanitize(&a.name);
+            let name = unique_identifier(sanitize(&a.name), &mut used);
             let id = match a.kind {
                 ActorKind::Inport => prog.add_buffer(
                     name,
@@ -148,7 +231,7 @@ impl<'m> GenContext<'m> {
             schedule: sched,
             prog,
             out_buf,
-            written_outports: std::collections::BTreeSet::new(),
+            written_outports: BTreeSet::new(),
         })
     }
 
@@ -272,30 +355,41 @@ impl<'m> GenContext<'m> {
 /// compile it to a no-op. Warnings are tolerated: generators may
 /// legitimately emit, e.g., scratch buffers a later peephole pass removes.
 pub fn debug_lint(prog: &Program) {
+    let _ = debug_lint_stage(prog, true);
+}
+
+/// The inter-pass lint hook (debug/test builds only): lint the program as
+/// it stands after a pipeline stage, tolerating incompleteness artifacts
+/// for mid-pipeline programs (see [`hcg_analysis::lint_stage`]).
+///
+/// Returns the warning count, or `None` in release builds where the hook
+/// compiles to a no-op.
+///
+/// # Panics
+///
+/// Panics (debug builds) when error-severity findings are present — a stage
+/// emitted a malformed statement, which is a generator bug.
+pub fn debug_lint_stage(prog: &Program, complete: bool) -> Option<usize> {
     #[cfg(debug_assertions)]
     {
         let lib = hcg_kernels::CodeLibrary::new();
-        let report = hcg_analysis::lint_program(prog, &lib);
+        let report = hcg_analysis::lint_stage(prog, &lib, complete);
         assert!(
             !report.has_errors(),
             "generated program failed lint:\n{}",
             report.render()
         );
+        Some(
+            report
+                .of_severity(hcg_analysis::Severity::Warning)
+                .len(),
+        )
     }
     #[cfg(not(debug_assertions))]
-    let _ = prog;
-}
-
-/// Make an actor name a valid C identifier.
-pub fn sanitize(name: &str) -> String {
-    let mut out: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
-    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        out.insert(0, '_');
+    {
+        let _ = (prog, complete);
+        None
     }
-    out
 }
 
 #[cfg(test)]
@@ -328,6 +422,28 @@ mod tests {
         assert_eq!(sanitize("a b-c"), "a_b_c");
         assert_eq!(sanitize("3x"), "_3x");
         assert_eq!(sanitize("ok_name"), "ok_name");
+    }
+
+    #[test]
+    fn colliding_sanitized_names_get_distinct_buffers() {
+        use hcg_model::{ActorKind, DataType, ModelBuilder, SignalType};
+        // "a b" and "a_b" both sanitize to `a_b`.
+        let ty = SignalType::vector(DataType::I32, 4);
+        let mut b = ModelBuilder::new("collide");
+        let x = b.inport("a b", ty);
+        let y = b.inport("a_b", ty);
+        let add = b.add_actor("sum", ActorKind::Add);
+        let o = b.outport("o");
+        b.connect(x, 0, add, 0);
+        b.connect(y, 0, add, 1);
+        b.connect(add, 0, o, 0);
+        let m = b.build().unwrap();
+        let ctx = GenContext::new(&m, Arch::Neon128, "test").unwrap();
+        let names: Vec<&str> = ctx.prog.buffers.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"a_b"), "{names:?}");
+        assert!(names.contains(&"a_b_2"), "{names:?}");
+        let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len(), "buffer names must be unique");
     }
 
     #[test]

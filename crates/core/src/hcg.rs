@@ -2,15 +2,15 @@
 //! parse → actor dispatch → SIMD instruction synthesis (Algorithm 1 for
 //! intensive actors, Algorithm 2 for batch actors) → code composition.
 
-use crate::batch::{emit_batch_region, form_regions, BatchOptions, MatchOrder};
+use crate::batch::{emit_region_plan, form_regions, plan_region, BatchOptions, MatchOrder};
 use crate::conventional::{emit_conventional, LoopStyle};
-use crate::dispatch::{classify_all, Dispatch};
-use crate::generator::{CodeGenerator, GenContext, GenError};
+use crate::dispatch::Dispatch;
+use crate::generator::{CodeGenerator, GenError};
 use crate::intensive::emit_intensive;
+use crate::pass::{dispatch_pass, Pass};
 use hcg_isa::{sets, Arch, InstrSet};
 use hcg_kernels::{Autotuner, CodeLibrary, Meter};
-use hcg_model::{ActorKind, Model};
-use hcg_vm::Program;
+use hcg_model::ActorKind;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 
@@ -120,60 +120,112 @@ impl HcgGen {
     }
 }
 
+impl HcgGen {
+    fn batch_options(&self) -> BatchOptions {
+        BatchOptions {
+            simd_threshold: self.options.simd_threshold,
+            fallback_style: self.options.fallback_style,
+            match_order: self.options.match_order,
+        }
+    }
+}
+
 impl CodeGenerator for HcgGen {
     fn name(&self) -> &'static str {
         "hcg"
     }
 
-    fn generate(&self, model: &Model, arch: Arch) -> Result<Program, GenError> {
-        let mut ctx = GenContext::new(model, arch, self.name())?;
-        let dispatch = classify_all(ctx.model, &ctx.types);
-        let set = self.instr_set_for(arch);
-        let regions = form_regions(&ctx, &dispatch, &set);
-        let batch_opts = BatchOptions {
-            simd_threshold: self.options.simd_threshold,
-            fallback_style: self.options.fallback_style,
-            match_order: self.options.match_order,
-        };
-
-        // Which region does each actor belong to, and which member leads it
-        // (the earliest in schedule order)?
-        let mut region_of = vec![usize::MAX; model.actors.len()];
-        for (ri, r) in regions.iter().enumerate() {
-            for &a in &r.members {
-                region_of[a.0] = ri;
-            }
-        }
-        let mut emitted_regions: BTreeSet<usize> = BTreeSet::new();
-        let mut tuner = self.tuner.borrow_mut();
-
-        for idx in 0..ctx.schedule.order.len() {
-            let aid = ctx.schedule.order[idx];
-            let actor = ctx.model.actor(aid).clone();
-            match actor.kind {
-                ActorKind::Inport
-                | ActorKind::Outport
-                | ActorKind::Constant
-                | ActorKind::UnitDelay => continue,
-                _ => {}
-            }
-            let ri = region_of[aid.0];
-            if ri != usize::MAX {
-                if emitted_regions.insert(ri) {
-                    emit_batch_region(&mut ctx, &regions[ri], &set, batch_opts)?;
+    /// The paper's Figure 3 pipeline as explicit stages:
+    /// `dispatch` → `region-formation` → `instruction-mapping` → `compose`.
+    fn passes(&self) -> Vec<Pass<'_>> {
+        vec![
+            dispatch_pass(),
+            Pass::new("region-formation", move |p| {
+                let set = self.instr_set_for(p.arch());
+                let regions = form_regions(p.building()?, p.dispatch_slice()?, &set);
+                p.counters.regions_formed += regions.len() as u64;
+                p.regions = Some(regions);
+                p.instr_set = Some(set);
+                Ok(())
+            }),
+            Pass::new("instruction-mapping", move |p| {
+                let batch_opts = self.batch_options();
+                let mut plans = Vec::new();
+                {
+                    let ctx = p.building()?;
+                    let set = p
+                        .instr_set
+                        .as_ref()
+                        .ok_or_else(|| GenError::Internal("no instruction set".into()))?;
+                    let regions = p
+                        .regions
+                        .as_ref()
+                        .ok_or_else(|| GenError::Internal("no regions formed".into()))?;
+                    for region in regions {
+                        plans.push((region.members.len(), plan_region(ctx, region, set, batch_opts)?));
+                    }
                 }
-                continue;
-            }
-            match &dispatch[aid.0] {
-                Dispatch::Intensive { size } => {
-                    emit_intensive(&mut ctx, &actor, size, &self.lib, &mut tuner)?;
+                for (members, plan) in &plans {
+                    if let Some(steps) = plan.simd_step_count() {
+                        p.counters.instructions_selected += steps as u64;
+                        p.counters.nodes_fused += members.saturating_sub(steps) as u64;
+                    }
                 }
-                _ => emit_conventional(&mut ctx, &actor, self.options.fallback_style)?,
-            }
-        }
-        let prog = ctx.finish();
-        crate::generator::debug_lint(&prog);
-        Ok(prog)
+                p.plans = Some(plans.into_iter().map(|(_, plan)| plan).collect());
+                Ok(())
+            }),
+            Pass::new("compose", move |p| {
+                let dispatch = p.take_dispatch()?;
+                let regions = p.regions.take().unwrap_or_default();
+                let plans = p.plans.take().unwrap_or_default();
+                if regions.len() != plans.len() {
+                    return Err(GenError::Internal("region/plan count mismatch".into()));
+                }
+                let mut kernel_calls = 0u64;
+                {
+                    let mut tuner = self.tuner.borrow_mut();
+                    let ctx = p.building_mut()?;
+
+                    // Which region does each actor belong to? A region is
+                    // emitted once, at its first member's schedule position.
+                    let mut region_of = vec![usize::MAX; ctx.model.actors.len()];
+                    for (ri, r) in regions.iter().enumerate() {
+                        for &a in &r.members {
+                            region_of[a.0] = ri;
+                        }
+                    }
+                    let mut emitted_regions: BTreeSet<usize> = BTreeSet::new();
+
+                    for idx in 0..ctx.schedule.order.len() {
+                        let aid = ctx.schedule.order[idx];
+                        let actor = ctx.model.actor(aid).clone();
+                        match actor.kind {
+                            ActorKind::Inport
+                            | ActorKind::Outport
+                            | ActorKind::Constant
+                            | ActorKind::UnitDelay => continue,
+                            _ => {}
+                        }
+                        let ri = region_of[aid.0];
+                        if ri != usize::MAX {
+                            if emitted_regions.insert(ri) {
+                                emit_region_plan(ctx, &regions[ri], &plans[ri])?;
+                            }
+                            continue;
+                        }
+                        match &dispatch[aid.0] {
+                            Dispatch::Intensive { size } => {
+                                emit_intensive(ctx, &actor, size, &self.lib, &mut tuner)?;
+                                kernel_calls += 1;
+                            }
+                            _ => emit_conventional(ctx, &actor, self.options.fallback_style)?,
+                        }
+                    }
+                }
+                p.counters.kernel_calls += kernel_calls;
+                p.finish()
+            }),
+        ]
     }
 }
 

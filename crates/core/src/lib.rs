@@ -33,13 +33,19 @@ pub mod dispatch;
 pub mod emit;
 pub mod generator;
 pub mod intensive;
+pub mod pass;
 pub mod reference;
+pub mod session;
 
 mod hcg;
 
-pub use batch::{explain_region, BatchOptions, BatchRegion, MapTrace, MatchOrder};
+pub use batch::{explain_region, BatchOptions, BatchRegion, MapTrace, MatchOrder, RegionPlan};
 pub use conventional::LoopStyle;
 pub use dispatch::Dispatch;
-pub use generator::{debug_lint, CodeGenerator, GenContext, GenError};
+pub use generator::{debug_lint, debug_lint_stage, CodeGenerator, GenContext, GenError};
 pub use hcg::{HcgGen, HcgOptions};
+pub use pass::{
+    dispatch_pass, Pass, PassManager, PipelineCtx, StageCounters, StageRecord, StageReport,
+};
 pub use reference::Reference;
+pub use session::CompileSession;

@@ -1,0 +1,184 @@
+//! [`CompileSession`]: one model, lazily-computed cached front-end
+//! artifacts, shared by reference across every generator × architecture
+//! combination.
+//!
+//! The evaluation fleet drives three generators over multiple targets per
+//! model; without a session each `generate` call re-runs type inference,
+//! scheduling and dispatch classification. A session computes each artifact
+//! at most once (verifiable via [`hcg_model::stats`]) and lends it to the
+//! pipeline as borrowed [`std::borrow::Cow`]s, producing byte-identical
+//! programs to the standalone path.
+
+use crate::dispatch::{classify_all, Dispatch};
+use crate::generator::{CodeGenerator, GenError};
+use crate::pass::{PassManager, PipelineCtx, StageReport};
+use hcg_isa::Arch;
+use hcg_model::schedule::Schedule;
+use hcg_model::{FrontEnd, Model, TypeMap};
+use hcg_vm::Program;
+use std::borrow::Cow;
+use std::cell::OnceCell;
+
+/// A compilation session owning one model and its cached front-end
+/// artifacts.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_core::{CompileSession, HcgGen};
+/// use hcg_isa::Arch;
+/// use hcg_model::library;
+///
+/// # fn main() -> Result<(), hcg_core::GenError> {
+/// let session = CompileSession::new(library::fig4_model());
+/// let hcg = HcgGen::new();
+/// // Both runs share one type-inference and one scheduling pass.
+/// let neon = session.generate(&hcg, Arch::Neon128)?;
+/// let avx = session.generate(&hcg, Arch::Avx256)?;
+/// assert_ne!(neon.arch, avx.arch);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompileSession {
+    model: Model,
+    front: OnceCell<Result<FrontEnd, GenError>>,
+    dispatch: OnceCell<Result<Vec<Dispatch>, GenError>>,
+}
+
+impl CompileSession {
+    /// A session owning `model`. Nothing is computed until first use.
+    pub fn new(model: Model) -> Self {
+        CompileSession {
+            model,
+            front: OnceCell::new(),
+            dispatch: OnceCell::new(),
+        }
+    }
+
+    /// The session's model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The cached front end (validated model + types + schedule), computing
+    /// it on first call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) [`GenError::Model`] when the model is invalid.
+    pub fn front_end(&self) -> Result<&FrontEnd, GenError> {
+        self.front
+            .get_or_init(|| self.model.front_end().map_err(GenError::from))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The cached type map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when inference fails.
+    pub fn types(&self) -> Result<&TypeMap, GenError> {
+        Ok(&self.front_end()?.types)
+    }
+
+    /// The cached schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when scheduling fails.
+    pub fn schedule(&self) -> Result<&Schedule, GenError> {
+        Ok(&self.front_end()?.schedule)
+    }
+
+    /// The cached dispatch classification (arch-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when the front end fails.
+    pub fn dispatch(&self) -> Result<&[Dispatch], GenError> {
+        self.dispatch
+            .get_or_init(|| {
+                self.front_end()
+                    .map(|fe| classify_all(&self.model, &fe.types))
+            })
+            .as_ref()
+            .map(Vec::as_slice)
+            .map_err(Clone::clone)
+    }
+
+    /// Force front-end validation without generating anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when the model is invalid.
+    pub fn validate(&self) -> Result<(), GenError> {
+        self.front_end().map(|_| ())
+    }
+
+    /// Generate code through the session cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when the model is invalid or synthesis fails.
+    pub fn generate(
+        &self,
+        generator: &dyn CodeGenerator,
+        arch: Arch,
+    ) -> Result<Program, GenError> {
+        self.generate_with_report(generator, arch)
+            .map(|(prog, _)| prog)
+    }
+
+    /// Generate code through the session cache, returning the per-stage
+    /// report. The pipeline borrows every cached artifact — no front-end
+    /// work is repeated across generators or architectures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when the model is invalid or synthesis fails.
+    pub fn generate_with_report(
+        &self,
+        generator: &dyn CodeGenerator,
+        arch: Arch,
+    ) -> Result<(Program, StageReport), GenError> {
+        let fe = self.front_end()?;
+        let dispatch = self.dispatch()?;
+        let mut ctx =
+            PipelineCtx::with_artifacts(&self.model, &fe.types, &fe.schedule, arch, generator.name())?;
+        ctx.dispatch = Some(Cow::Borrowed(dispatch));
+        PassManager::new(generator.passes()).run(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HcgGen;
+    use hcg_model::library;
+
+    #[test]
+    fn session_caches_artifacts_across_arches() {
+        let session = CompileSession::new(library::fig4_model());
+        let t0 = hcg_model::stats::type_inference_runs();
+        let s0 = hcg_model::stats::schedule_runs();
+        let g = HcgGen::new();
+        let p1 = session.generate(&g, Arch::Neon128).unwrap();
+        let p2 = session.generate(&g, Arch::Avx256).unwrap();
+        assert_ne!(p1.arch, p2.arch);
+        assert_eq!(hcg_model::stats::type_inference_runs() - t0, 1);
+        assert_eq!(hcg_model::stats::schedule_runs() - s0, 1);
+    }
+
+    #[test]
+    fn invalid_model_error_is_cached() {
+        use hcg_model::ModelBuilder;
+        // Empty model fails validation.
+        let m = ModelBuilder::new("empty").build_unchecked();
+        let session = CompileSession::new(m);
+        let e1 = session.validate().unwrap_err();
+        let e2 = session.validate().unwrap_err();
+        assert_eq!(e1, e2);
+    }
+}

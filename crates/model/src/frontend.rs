@@ -1,0 +1,46 @@
+//! Cached front-end artifacts for a model.
+//!
+//! Type inference and scheduling are the expensive, arch-independent parts
+//! of compilation. [`FrontEnd`] bundles one run of both so a compile session
+//! can compute them once and lend the results by reference to every
+//! generator × architecture combination.
+
+use crate::model::{Model, ModelError, TypeMap};
+use crate::schedule::{schedule, Schedule};
+
+/// The arch-independent analysis results for one model: its inferred signal
+/// types and its deterministic topological schedule.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    /// Signal type of every output port (see [`Model::infer_types`]).
+    pub types: TypeMap,
+    /// Deterministic execution order (see [`schedule`]).
+    pub schedule: Schedule,
+}
+
+impl Model {
+    /// Run the full front end once: structural validation + type inference
+    /// followed by scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when validation, inference or scheduling fails.
+    pub fn front_end(&self) -> Result<FrontEnd, ModelError> {
+        let types = self.infer_types()?;
+        let schedule = schedule(self)?;
+        Ok(FrontEnd { types, schedule })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::library;
+
+    #[test]
+    fn front_end_matches_direct_calls() {
+        let m = library::fig4_model();
+        let fe = m.front_end().unwrap();
+        assert_eq!(fe.schedule.order, crate::schedule::schedule(&m).unwrap().order);
+        assert_eq!(fe.types, m.infer_types().unwrap());
+    }
+}

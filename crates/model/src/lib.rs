@@ -35,18 +35,22 @@
 
 mod actor;
 mod builder;
+mod frontend;
 mod model;
 mod tensor;
 mod types;
 
 pub mod library;
+pub mod naming;
 pub mod op;
 pub mod parser;
 pub mod schedule;
+pub mod stats;
 pub mod xml;
 
 pub use actor::{Actor, ActorId, ActorKind, KindClass, ParseActorKindError};
 pub use builder::ModelBuilder;
+pub use frontend::FrontEnd;
 pub use model::{Connection, Model, ModelError, PortRef, TypeMap};
 pub use tensor::{Tensor, TensorData, TensorError};
 pub use types::{DataType, Param, ParseTypeError, Shape, SignalType};

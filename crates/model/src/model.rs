@@ -301,6 +301,7 @@ impl Model {
     /// Returns [`ModelError`] when validation fails, a type rule is violated
     /// or inference cannot resolve every signal.
     pub fn infer_types(&self) -> Result<TypeMap, ModelError> {
+        crate::stats::note_type_inference();
         self.validate_structure()?;
         let mut out: Vec<Vec<Option<SignalType>>> = self
             .actors

@@ -41,6 +41,7 @@ impl Schedule {
 ///
 /// Returns [`ModelError::Cycle`] naming an actor on a combinational cycle.
 pub fn schedule(model: &Model) -> Result<Schedule, ModelError> {
+    crate::stats::note_schedule();
     let n = model.actors.len();
     let mut indegree = vec![0usize; n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];

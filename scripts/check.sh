@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline-safe verification: build, test, clippy (warnings are errors),
+# and the static analyzer over every example model. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> lint example models"
+cargo run -q --release -p hcg-bench --bin lint -- examples/models/*.xml
+
+echo "OK: all checks passed"
