@@ -1,0 +1,40 @@
+//! End-to-end fleet bench: wall-clock of the full model × generator × arch
+//! compile sweep, sequentially and on the work-stealing pool at several
+//! worker counts. Speedup scales with the host's available cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_bench::experiments::benchmark_sessions;
+use hcg_bench::fleet::{run_fleet, run_fleet_sequential, FLEET_ARCHES};
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let sessions = benchmark_sessions();
+            run_fleet_sequential(&sessions, &FLEET_ARCHES)
+        });
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pool", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let sessions = benchmark_sessions();
+                    run_fleet(&sessions, &FLEET_ARCHES, threads)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_fleet
+}
+criterion_main!(benches);

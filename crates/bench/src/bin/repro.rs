@@ -12,6 +12,7 @@
 //! cargo run -p hcg-bench --bin repro --release -- fig2 | fig4 | table1
 //! cargo run -p hcg-bench --bin repro --release -- memory | gentime | consistency
 //! cargo run -p hcg-bench --bin repro --release -- ablation-threshold | ablation-history
+//! cargo run -p hcg-bench --bin repro --release -- fleet [--threads N] [--json PATH]
 //! ```
 
 use hcg_baselines::SimulinkCoderGen;
@@ -51,6 +52,8 @@ fn main() {
     let mut cmd: Option<String> = None;
     let mut wall_clock = false;
     let mut out_path = PathBuf::from("target/repro_output.txt");
+    let mut threads = 0usize;
+    let mut json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -59,6 +62,20 @@ fn main() {
                 Some(p) => out_path = PathBuf::from(p),
                 None => {
                     eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads requires a number");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path");
                     std::process::exit(2);
                 }
             },
@@ -85,6 +102,7 @@ fn main() {
             ablation_history_cmd();
             ablation_greedy_cmd();
             fusion_cmd();
+            fleet_cmd(threads, json_path.as_deref());
         }
         "table1" => table1_cmd(),
         "fig1" => fig1_cmd(wall_clock),
@@ -99,6 +117,7 @@ fn main() {
         "ablation-history" => ablation_history_cmd(),
         "ablation-greedy" => ablation_greedy_cmd(),
         "fusion" => fusion_cmd(),
+        "fleet" => fleet_cmd(threads, json_path.as_deref()),
         other => {
             eprintln!("unknown experiment {other:?}; see module docs for the list");
             std::process::exit(2);
@@ -383,5 +402,134 @@ fn fusion_cmd() {
     outln!("{:>10} {:>12} {:>8}", "Model", "batch nodes", "vops");
     for r in fusion_report(Arch::Neon128) {
         outln!("{:>10} {:>12} {:>8}", r.model, r.batch_nodes, r.vops);
+    }
+}
+
+/// Micro-benchmark instruction selection: mean nanoseconds per lookup for
+/// the linear `candidates()` scan vs the bucketed [`hcg_isa::InstrIndex`],
+/// over a representative candidate-tree mix (hits, a compound hit and a
+/// miss) on the NEON set.
+fn instr_select_micro() -> (f64, f64) {
+    use hcg_graph::matching::{find_instruction, find_instruction_indexed};
+    use hcg_graph::{DfgInput, ValTree};
+    use hcg_model::op::ElemOp;
+    use hcg_model::DataType;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let leaf = |i| ValTree::Leaf(DfgInput::External(i));
+    let node = |op, args| ValTree::Op { op, args };
+    let trees = [
+        node(ElemOp::Sub, vec![leaf(0), leaf(1)]),
+        node(
+            ElemOp::Shr(1),
+            vec![node(ElemOp::Add, vec![leaf(0), leaf(1)])],
+        ),
+        node(
+            ElemOp::Add,
+            vec![leaf(0), node(ElemOp::Mul, vec![leaf(1), leaf(2)])],
+        ),
+        node(ElemOp::Mul, vec![leaf(0), leaf(1)]),
+        node(ElemOp::Div, vec![leaf(0), leaf(1)]), // i32 miss
+    ];
+    let set = hcg_isa::sets::builtin(Arch::Neon128);
+    let index = hcg_isa::InstrIndex::build(&set);
+    let reps = 20_000u32;
+    let lookups = (reps as usize * trees.len()) as f64;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for t in &trees {
+            black_box(find_instruction(&set, DataType::I32, 4, black_box(t)));
+        }
+    }
+    let linear_ns = start.elapsed().as_nanos() as f64 / lookups;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for t in &trees {
+            black_box(find_instruction_indexed(
+                &set,
+                &index,
+                DataType::I32,
+                4,
+                black_box(t),
+            ));
+        }
+    }
+    let indexed_ns = start.elapsed().as_nanos() as f64 / lookups;
+    (linear_ns, indexed_ns)
+}
+
+fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
+    heading("Parallel fleet — model × generator × arch compile jobs on the work-stealing pool");
+    // Fresh sessions per run so neither run inherits the other's cached
+    // front-end artifacts.
+    let seq_sessions = benchmark_sessions();
+    let seq = run_fleet_sequential(&seq_sessions, &fleet::FLEET_ARCHES);
+    let par_sessions = benchmark_sessions();
+    let par = run_fleet(&par_sessions, &fleet::FLEET_ARCHES, threads);
+    let identical = seq.sources() == par.sources();
+    let speedup = seq.elapsed.as_secs_f64() / par.elapsed.as_secs_f64().max(1e-9);
+    outln!(
+        "  {} jobs ({} models x {} generators x {} arches)",
+        par.outcomes.len(),
+        seq_sessions.len(),
+        fleet::FLEET_GENERATORS.len(),
+        fleet::FLEET_ARCHES.len()
+    );
+    outln!(
+        "  sequential: {:>8.2} ms  ({:>7.0} jobs/s)",
+        seq.elapsed.as_secs_f64() * 1e3,
+        seq.jobs_per_sec()
+    );
+    outln!(
+        "  parallel:   {:>8.2} ms  ({:>7.0} jobs/s) on {} worker(s), {} steal(s)",
+        par.elapsed.as_secs_f64() * 1e3,
+        par.jobs_per_sec(),
+        par.workers,
+        par.steals
+    );
+    outln!(
+        "  speedup: {speedup:.2}x (scales with available cores; this host exposes {})",
+        hcg_exec::effective_threads(0)
+    );
+    outln!("  outputs byte-identical to sequential: {identical}");
+    assert!(identical, "parallel fleet output diverged from sequential");
+
+    let (linear_ns, indexed_ns) = instr_select_micro();
+    outln!(
+        "  instruction selection: linear {linear_ns:.0} ns/lookup, indexed {indexed_ns:.0} ns/lookup ({:.2}x)",
+        linear_ns / indexed_ns.max(1e-9)
+    );
+
+    if let Some(path) = json {
+        let body = format!(
+            "{{\n  \"experiment\": \"fleet\",\n  \"jobs\": {},\n  \"models\": {},\n  \"generators\": {},\n  \"arches\": {},\n  \"threads_requested\": {},\n  \"workers\": {},\n  \"steals\": {},\n  \"sequential_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \"identical_outputs\": {},\n  \"instr_select\": {{\n    \"linear_ns_per_lookup\": {:.1},\n    \"indexed_ns_per_lookup\": {:.1},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+            par.outcomes.len(),
+            seq_sessions.len(),
+            fleet::FLEET_GENERATORS.len(),
+            fleet::FLEET_ARCHES.len(),
+            threads,
+            par.workers,
+            par.steals,
+            seq.elapsed.as_secs_f64() * 1e3,
+            par.elapsed.as_secs_f64() * 1e3,
+            speedup,
+            par.jobs_per_sec(),
+            identical,
+            linear_ns,
+            indexed_ns,
+            linear_ns / indexed_ns.max(1e-9),
+        );
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        match std::fs::write(path, body) {
+            Ok(()) => outln!("  (bench results written to {})", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
 }

@@ -87,14 +87,33 @@ pub fn exec_row(session: &CompileSession, platform: CostModel, iterations: u64) 
     }
 }
 
+/// Unwrap pool results, re-raising any isolated job panic with its message.
+fn unwrap_jobs<T>(results: Vec<hcg_exec::JobResult<T>>) -> Vec<T> {
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("experiment job panicked: {p}")))
+        .collect()
+}
+
 /// **Table 2**: execution time of the six benchmarks on the paper's primary
 /// platform (ARM Cortex-A72-like, GCC-like), 10 000 iterations.
+///
+/// Rows are computed on the work-stealing pool; they are deterministic
+/// (cost-model arithmetic, not wall clock), so any worker count produces
+/// identical rows in identical order.
 pub fn table2() -> Vec<ExecRow> {
+    table2_threads(0)
+}
+
+/// [`table2`] with an explicit worker count (`0` = available parallelism).
+pub fn table2_threads(threads: usize) -> Vec<ExecRow> {
     let platform = CostModel::new(Arch::Neon128, Compiler::GccLike);
-    benchmark_sessions()
+    let sessions = benchmark_sessions();
+    let jobs: Vec<_> = sessions
         .iter()
-        .map(|s| exec_row(s, platform, iterations_for(Arch::Neon128)))
-        .collect()
+        .map(|s| move || exec_row(s, platform, iterations_for(Arch::Neon128)))
+        .collect();
+    unwrap_jobs(hcg_exec::run_jobs(threads, jobs))
 }
 
 /// **Figure 5**: the four platform sweeps, in the paper's subfigure order
@@ -102,15 +121,31 @@ pub fn table2() -> Vec<ExecRow> {
 /// shared across all four platforms, so each model's front end runs once
 /// for the whole figure.
 pub fn fig5() -> Vec<(CostModel, Vec<ExecRow>)> {
+    fig5_threads(0)
+}
+
+/// [`fig5`] with an explicit worker count (`0` = available parallelism).
+/// All `platform × model` cells fan out as independent pool jobs; the
+/// deterministic result ordering reassembles the paper's subfigure layout.
+pub fn fig5_threads(threads: usize) -> Vec<(CostModel, Vec<ExecRow>)> {
     let sessions = benchmark_sessions();
-    paper_platforms()
+    let platforms = paper_platforms();
+    let jobs: Vec<_> = platforms
+        .iter()
+        .flat_map(|&platform| {
+            sessions
+                .iter()
+                .map(move |s| move || exec_row(s, platform, iterations_for(platform.arch)))
+        })
+        .collect();
+    let mut rows = unwrap_jobs(hcg_exec::run_jobs(threads, jobs)).into_iter();
+    platforms
         .into_iter()
         .map(|platform| {
-            let rows = sessions
-                .iter()
-                .map(|s| exec_row(s, platform, iterations_for(platform.arch)))
+            let per_platform = (0..sessions.len())
+                .map(|_| rows.next().expect("one row per platform × model"))
                 .collect();
-            (platform, rows)
+            (platform, per_platform)
         })
         .collect()
 }
@@ -197,27 +232,37 @@ pub struct GenTimeRow {
 }
 
 /// **§4.1 generation-time claim**: all three tools complete generation in
-/// comparable time.
+/// comparable time. Runs sequentially (one pool worker) so per-generator
+/// wall-clock is not skewed by sibling jobs on loaded machines.
 pub fn gentime(arch: Arch) -> Vec<GenTimeRow> {
-    let coder = SimulinkCoderGen::new();
-    let dfsynth = DfSynthGen::new();
-    let hcg = HcgGen::new();
+    gentime_threads(arch, 1)
+}
+
+/// [`gentime`] with an explicit worker count (`0` = available parallelism).
+/// Each model's three generator timings stay within one job, so a row's
+/// internal comparison is always apples-to-apples; more workers only
+/// parallelise across models.
+pub fn gentime_threads(arch: Arch, threads: usize) -> Vec<GenTimeRow> {
     let time_one = |g: &dyn CodeGenerator, m: &Model| {
         let start = Instant::now();
         g.generate(m, arch).expect("generates");
         start.elapsed().as_micros()
     };
-    benchmark_models()
+    let models = benchmark_models();
+    let jobs: Vec<_> = models
         .iter()
-        .map(|m| GenTimeRow {
-            model: short_name(m),
-            micros: (
-                time_one(&coder, m),
-                time_one(&dfsynth, m),
-                time_one(&hcg, m),
-            ),
+        .map(|m| {
+            move || GenTimeRow {
+                model: short_name(m),
+                micros: (
+                    time_one(&SimulinkCoderGen::new(), m),
+                    time_one(&DfSynthGen::new(), m),
+                    time_one(&HcgGen::new(), m),
+                ),
+            }
         })
-        .collect()
+        .collect();
+    unwrap_jobs(hcg_exec::run_jobs(threads, jobs))
 }
 
 /// **§4.1 generation-time breakdown**: per-stage [`StageReport`]s for every

@@ -9,6 +9,8 @@
 
 pub mod consistency;
 pub mod experiments;
+pub mod fleet;
 
 pub use consistency::{check_consistency, Consistency};
 pub use experiments::*;
+pub use fleet::{run_fleet, run_fleet_sequential, FleetJob, FleetOutcome, FleetRun};

@@ -6,9 +6,9 @@ use crate::conventional::{emit_conventional, LoopStyle};
 use crate::dispatch::Dispatch;
 use crate::generator::{GenContext, GenError};
 use hcg_graph::extend::{extend_subgraphs, top_left_node, MapState};
-use hcg_graph::matching::{find_instruction, InstrMatch};
+use hcg_graph::matching::{find_instruction_indexed, InstrMatch, MatchMemo};
 use hcg_graph::{Candidate, Dfg, DfgInput, NodeId, ValTree};
-use hcg_isa::{InstrSet, Pattern, PatternArg, SimdInstr, SHIFT_ANY};
+use hcg_isa::{InstrIndex, InstrSet, Pattern, PatternArg, SimdInstr, SHIFT_ANY};
 use hcg_model::op::ElemOp;
 use hcg_model::{ActorId, DataType, PortRef};
 use hcg_vm::{BufferId, ElemRef, IndexExpr, RegId, ScalarOp, Stmt};
@@ -41,22 +41,39 @@ pub fn form_regions(
     dispatch: &[Dispatch],
     set: &InstrSet,
 ) -> Vec<BatchRegion> {
+    form_regions_indexed(ctx, dispatch, set, &InstrIndex::build(set))
+}
+
+/// [`form_regions`] with a caller-provided [`InstrIndex`] over `set`, so
+/// the qualification probes share the index the mapping stage uses instead
+/// of re-scanning the instruction set per actor.
+pub fn form_regions_indexed(
+    ctx: &GenContext<'_>,
+    dispatch: &[Dispatch],
+    set: &InstrSet,
+    index: &InstrIndex,
+) -> Vec<BatchRegion> {
     let arch = ctx.prog.arch;
-    let qualifies = |id: ActorId| -> Option<(ElemOp, DataType, usize)> {
+    // One probe per distinct (op, dtype) — models repeat actor kinds, so
+    // the cache collapses per-actor probes to a handful of matches.
+    let mut probed: BTreeMap<(ElemOp, DataType), bool> = BTreeMap::new();
+    let mut qualifies = |id: ActorId| -> Option<(ElemOp, DataType, usize)> {
         let Dispatch::Batch { op, len } = dispatch[id.0] else {
             return None;
         };
         let dtype = ctx.types.output(id, 0).dtype;
         let lanes = arch.lanes(dtype);
         // Probe for a single-node instruction with distinct operands.
-        let probe = ValTree::Op {
-            op,
-            args: (0..op.arity())
-                .map(|i| ValTree::Leaf(DfgInput::External(i)))
-                .collect(),
-        };
-        find_instruction(set, dtype, lanes, &probe)?;
-        Some((op, dtype, len))
+        let ok = *probed.entry((op, dtype)).or_insert_with(|| {
+            let probe = ValTree::Op {
+                op,
+                args: (0..op.arity())
+                    .map(|i| ValTree::Leaf(DfgInput::External(i)))
+                    .collect(),
+            };
+            find_instruction_indexed(set, index, dtype, lanes, &probe).is_some()
+        });
+        ok.then_some((op, dtype, len))
     };
 
     let n = ctx.model.actors.len();
@@ -229,14 +246,23 @@ fn build_dfg(
 
 /// Run the iterative mapping loop (Algorithm 2 lines 10–22) and return the
 /// ordered instruction plan.
+///
+/// The extension bounds are served from the index's per-(dtype, lanes)
+/// cache instead of re-scanning the instruction set, every candidate lookup
+/// walks only the (root op, dtype, lanes) bucket, and a per-region
+/// [`MatchMemo`] ensures a tree that reappears across rounds (overlapping
+/// extensions of neighbouring start nodes) never re-runs `match_pattern`.
 fn map_graph(
     g: &Dfg,
     set: &InstrSet,
+    index: &InstrIndex,
     lanes: usize,
     order: MatchOrder,
 ) -> Result<Vec<PlanStep>, GenError> {
-    let max_nodes = set.max_nodes(g.dtype, lanes).max(1);
-    let max_depth = set.max_depth(g.dtype, lanes).max(1);
+    let bounds = index.bounds(g.dtype, lanes);
+    let max_nodes = bounds.max_nodes.max(1);
+    let max_depth = bounds.max_depth.max(1);
+    let mut memo = MatchMemo::new();
     let mut state = MapState::new(g);
     let mut plan = Vec::new();
     while let Some(start) = top_left_node(g, &state) {
@@ -246,7 +272,7 @@ fn map_graph(
         }
         let mut chosen = None;
         for c in candidates {
-            if let Some((instr, m)) = find_instruction(set, g.dtype, lanes, &c.tree) {
+            if let Some((instr, m)) = memo.find(set, index, g.dtype, lanes, &c.tree) {
                 chosen = Some(PlanStep {
                     candidate: c,
                     instr: instr.clone(),
@@ -342,6 +368,24 @@ pub fn plan_region(
     set: &InstrSet,
     options: BatchOptions,
 ) -> Result<RegionPlan, GenError> {
+    plan_region_indexed(ctx, region, set, &InstrIndex::build(set), options)
+}
+
+/// [`plan_region`] with a caller-provided [`InstrIndex`] over `set`. The
+/// pipeline builds the index once per program (region-formation stage) and
+/// reuses it for every region's mapping loop; `plan_region` itself remains
+/// as the convenience wrapper that builds a throwaway index.
+///
+/// # Errors
+///
+/// Returns [`GenError`] when the region graph cannot be built or mapped.
+pub fn plan_region_indexed(
+    ctx: &GenContext<'_>,
+    region: &BatchRegion,
+    set: &InstrSet,
+    index: &InstrIndex,
+    options: BatchOptions,
+) -> Result<RegionPlan, GenError> {
     let arch = ctx.prog.arch;
     // Line 1: BatchSize = VectorWidth / DataBitWidth.
     let lanes = arch.lanes(region.dtype);
@@ -357,7 +401,7 @@ pub fn plan_region(
     }
 
     let (g, externals) = build_dfg(ctx, region)?;
-    let steps = map_graph(&g, set, lanes, options.match_order)?;
+    let steps = map_graph(&g, set, index, lanes, options.match_order)?;
 
     // Output-variable reuse: a region output consumed only by an Outport
     // stores straight into the outport's buffer, eliding the final copy.
@@ -568,8 +612,11 @@ pub fn explain_region(
 ) -> Result<Vec<MapTrace>, GenError> {
     let lanes = ctx.prog.arch.lanes(region.dtype);
     let (g, _) = build_dfg(ctx, region)?;
-    let max_nodes = set.max_nodes(g.dtype, lanes).max(1);
-    let max_depth = set.max_depth(g.dtype, lanes).max(1);
+    let index = InstrIndex::build(set);
+    let bounds = index.bounds(g.dtype, lanes);
+    let max_nodes = bounds.max_nodes.max(1);
+    let max_depth = bounds.max_depth.max(1);
+    let mut memo = MatchMemo::new();
     let mut state = MapState::new(&g);
     let mut out = Vec::new();
     while let Some(start) = top_left_node(&g, &state) {
@@ -577,7 +624,7 @@ pub fn explain_region(
         let rendered: Vec<String> = candidates.iter().map(|c| c.tree.to_string()).collect();
         let mut chosen = None;
         for c in &candidates {
-            if let Some((instr, _)) = find_instruction(set, g.dtype, lanes, &c.tree) {
+            if let Some((instr, _)) = memo.find(set, &index, g.dtype, lanes, &c.tree) {
                 chosen = Some((c.clone(), instr.name.clone()));
                 break;
             }

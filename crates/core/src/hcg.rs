@@ -2,13 +2,15 @@
 //! parse → actor dispatch → SIMD instruction synthesis (Algorithm 1 for
 //! intensive actors, Algorithm 2 for batch actors) → code composition.
 
-use crate::batch::{emit_region_plan, form_regions, plan_region, BatchOptions, MatchOrder};
+use crate::batch::{
+    emit_region_plan, form_regions_indexed, plan_region_indexed, BatchOptions, MatchOrder,
+};
 use crate::conventional::{emit_conventional, LoopStyle};
 use crate::dispatch::Dispatch;
 use crate::generator::{CodeGenerator, GenError};
 use crate::intensive::emit_intensive;
 use crate::pass::{dispatch_pass, Pass};
-use hcg_isa::{sets, Arch, InstrSet};
+use hcg_isa::{sets, Arch, InstrIndex, InstrSet};
 use hcg_kernels::{Autotuner, CodeLibrary, Meter};
 use hcg_model::ActorKind;
 use std::cell::RefCell;
@@ -142,10 +144,13 @@ impl CodeGenerator for HcgGen {
             dispatch_pass(),
             Pass::new("region-formation", move |p| {
                 let set = self.instr_set_for(p.arch());
-                let regions = form_regions(p.building()?, p.dispatch_slice()?, &set);
+                let index = InstrIndex::build(&set);
+                let regions =
+                    form_regions_indexed(p.building()?, p.dispatch_slice()?, &set, &index);
                 p.counters.regions_formed += regions.len() as u64;
                 p.regions = Some(regions);
                 p.instr_set = Some(set);
+                p.instr_index = Some(index);
                 Ok(())
             }),
             Pass::new("instruction-mapping", move |p| {
@@ -157,12 +162,19 @@ impl CodeGenerator for HcgGen {
                         .instr_set
                         .as_ref()
                         .ok_or_else(|| GenError::Internal("no instruction set".into()))?;
+                    let index = p
+                        .instr_index
+                        .as_ref()
+                        .ok_or_else(|| GenError::Internal("no instruction index".into()))?;
                     let regions = p
                         .regions
                         .as_ref()
                         .ok_or_else(|| GenError::Internal("no regions formed".into()))?;
                     for region in regions {
-                        plans.push((region.members.len(), plan_region(ctx, region, set, batch_opts)?));
+                        plans.push((
+                            region.members.len(),
+                            plan_region_indexed(ctx, region, set, index, batch_opts)?,
+                        ));
                     }
                 }
                 for (members, plan) in &plans {

@@ -11,7 +11,7 @@
 use crate::batch::{BatchRegion, RegionPlan};
 use crate::dispatch::{classify_all, Dispatch};
 use crate::generator::{debug_lint_stage, GenContext, GenError};
-use hcg_isa::{Arch, InstrSet};
+use hcg_isa::{Arch, InstrIndex, InstrSet};
 use hcg_model::schedule::Schedule;
 use hcg_model::{Model, TypeMap};
 use hcg_vm::{Program, Stmt};
@@ -171,6 +171,9 @@ pub struct PipelineCtx<'m> {
     pub plans: Option<Vec<RegionPlan>>,
     /// The instruction set resolved for the target.
     pub instr_set: Option<InstrSet>,
+    /// Pre-bucketed lookup over `instr_set`, built once by the
+    /// region-formation stage and reused by every mapping query.
+    pub instr_index: Option<InstrIndex>,
     /// Monotonic work counters (the manager records per-stage deltas).
     pub counters: StageCounters,
 }
@@ -210,6 +213,7 @@ impl<'m> PipelineCtx<'m> {
             regions: None,
             plans: None,
             instr_set: None,
+            instr_index: None,
             counters: StageCounters::default(),
         }
     }

@@ -17,7 +17,7 @@ use hcg_model::schedule::Schedule;
 use hcg_model::{FrontEnd, Model, TypeMap};
 use hcg_vm::Program;
 use std::borrow::Cow;
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// A compilation session owning one model and its cached front-end
 /// artifacts.
@@ -39,11 +39,14 @@ use std::cell::OnceCell;
 /// # Ok(())
 /// # }
 /// ```
+/// The caches are [`OnceLock`]s, so a session is `Send + Sync`: the
+/// parallel evaluation fleet shares one session per model across worker
+/// threads, and whichever worker touches an artifact first computes it.
 #[derive(Debug)]
 pub struct CompileSession {
     model: Model,
-    front: OnceCell<Result<FrontEnd, GenError>>,
-    dispatch: OnceCell<Result<Vec<Dispatch>, GenError>>,
+    front: OnceLock<Result<FrontEnd, GenError>>,
+    dispatch: OnceLock<Result<Vec<Dispatch>, GenError>>,
 }
 
 impl CompileSession {
@@ -51,8 +54,8 @@ impl CompileSession {
     pub fn new(model: Model) -> Self {
         CompileSession {
             model,
-            front: OnceCell::new(),
-            dispatch: OnceCell::new(),
+            front: OnceLock::new(),
+            dispatch: OnceLock::new(),
         }
     }
 
@@ -169,6 +172,14 @@ mod tests {
         assert_ne!(p1.arch, p2.arch);
         assert_eq!(hcg_model::stats::type_inference_runs() - t0, 1);
         assert_eq!(hcg_model::stats::schedule_runs() - s0, 1);
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        // Compile-time guarantee the fleet relies on: sessions are shared
+        // by reference across worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileSession>();
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! # hcg-exec — the parallel execution engine
+//!
+//! A work-stealing thread-pool scheduler for compilation fleets: the
+//! evaluation harness fans its model × generator × architecture
+//! [`CompileSession`](../hcg_core/struct.CompileSession.html) jobs across N
+//! workers. Three properties matter more than raw scheduling cleverness:
+//!
+//! 1. **Deterministic result ordering** — results come back indexed by
+//!    submission order, so a parallel fleet run is byte-identical to the
+//!    sequential run no matter how jobs interleave.
+//! 2. **Per-job panic isolation** — a panicking job becomes an
+//!    `Err(JobPanic)` in its result slot instead of tearing down the whole
+//!    fleet.
+//! 3. **Borrowed job state** — jobs run on [`std::thread::scope`] threads,
+//!    so they can borrow shared state (sessions, instruction sets) without
+//!    `Arc`-wrapping the world.
+//!
+//! The scheduler is a classic work-stealing design built only on `std`:
+//! each worker owns a deque seeded round-robin; a worker pops from the
+//! *front* of its own deque and, when empty, steals from the *back* of a
+//! victim's deque (cyclic scan starting at its right neighbour). Jobs never
+//! spawn jobs, so global emptiness is monotonic and workers can exit as
+//! soon as a full scan finds nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! let jobs: Vec<_> = (0..16).map(|i| move || i * i).collect();
+//! let results = hcg_exec::run_jobs(4, jobs);
+//! let squares: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+//! assert_eq!(squares[5], 25); // submission order, not completion order
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// A job panicked; the payload message is preserved, the fleet continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// Panic payload rendered as text (`&str`/`String` payloads verbatim,
+    /// anything else as a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Per-job outcome: the job's value, or the isolated panic.
+pub type JobResult<T> = Result<T, JobPanic>;
+
+/// Counters describing one pool run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads actually spawned.
+    pub workers: usize,
+    /// Jobs executed by a worker other than the one whose deque they were
+    /// seeded into.
+    pub steals: u64,
+}
+
+/// Resolve a requested thread count: `0` means "all available cores",
+/// anything else is taken as-is (callers cap against job count separately).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Run `jobs` on a work-stealing pool of up to `threads` workers and return
+/// one [`JobResult`] per job **in submission order**.
+///
+/// `threads == 0` uses every available core. The pool never spawns more
+/// workers than there are jobs. Jobs may borrow from the caller's stack —
+/// workers are scoped threads.
+pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Vec<JobResult<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_jobs_with_stats(threads, jobs).0
+}
+
+/// [`run_jobs`], additionally reporting scheduler statistics.
+pub fn run_jobs_with_stats<T, F>(threads: usize, jobs: Vec<F>) -> (Vec<JobResult<T>>, PoolStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n_jobs = jobs.len();
+    if n_jobs == 0 {
+        return (Vec::new(), PoolStats::default());
+    }
+    let workers = effective_threads(threads).clamp(1, n_jobs);
+
+    // Seed the per-worker deques round-robin by submission index. Each
+    // entry remembers its home worker so steals can be counted.
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        deques[index % workers]
+            .lock()
+            .expect("deque lock poisoned during seeding")
+            .push_back((index, job));
+    }
+
+    let steals = AtomicU64::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobResult<T>)>();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let steals = &steals;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                loop {
+                    // Own work first: pop the front (submission order).
+                    let mine = deques[me]
+                        .lock()
+                        .expect("deque lock poisoned")
+                        .pop_front();
+                    let (index, job, stolen) = match mine {
+                        Some((index, job)) => (index, job, false),
+                        None => {
+                            // Steal scan: victims in cyclic order, taking
+                            // from the back (the opposite end of the
+                            // victim's own pops) to minimise contention.
+                            let mut found = None;
+                            for off in 1..workers {
+                                let victim = (me + off) % workers;
+                                if let Some(item) = deques[victim]
+                                    .lock()
+                                    .expect("deque lock poisoned")
+                                    .pop_back()
+                                {
+                                    found = Some(item);
+                                    break;
+                                }
+                            }
+                            match found {
+                                Some((index, job)) => (index, job, true),
+                                // Jobs never enqueue jobs, so an empty scan
+                                // means the fleet is drained.
+                                None => break,
+                            }
+                        }
+                    };
+                    if stolen {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
+                        index,
+                        message: panic_message(payload.as_ref()),
+                    });
+                    if tx.send((index, outcome)).is_err() {
+                        break; // receiver gone — nothing left to report to
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Deterministic ordering: place each result by submission index.
+        let mut slots: Vec<Option<JobResult<T>>> = (0..n_jobs).map(|_| None).collect();
+        for (index, outcome) in rx {
+            slots[index] = Some(outcome);
+        }
+        let results = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    // A worker died between dequeue and send (double panic);
+                    // surface it as a job failure rather than losing a slot.
+                    Err(JobPanic {
+                        index,
+                        message: "worker lost before reporting".into(),
+                    })
+                })
+            })
+            .collect();
+        (
+            results,
+            PoolStats {
+                workers,
+                steals: steals.load(Ordering::Relaxed),
+            },
+        )
+    })
+}
+
+/// Render a panic payload the way the default hook does.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_fleet() {
+        let jobs: Vec<fn() -> u32> = Vec::new();
+        let (results, stats) = run_jobs_with_stats(4, jobs);
+        assert!(results.is_empty());
+        assert_eq!(stats.workers, 0);
+    }
+
+    #[test]
+    fn results_in_submission_order_regardless_of_threads() {
+        for threads in [1, 2, 3, 8, 0] {
+            let jobs: Vec<_> = (0..37usize).map(|i| move || i * 3).collect();
+            let results = run_jobs(threads, jobs);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(*r.as_ref().unwrap(), i * 3, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_capped_by_job_count() {
+        let jobs: Vec<_> = (0..2usize).map(|i| move || i).collect();
+        let (_, stats) = run_jobs_with_stats(16, jobs);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(7), 7);
+    }
+
+    #[test]
+    fn jobs_can_borrow_caller_state() {
+        let data: Vec<u64> = (0..100).collect();
+        let slices: Vec<&[u64]> = data.chunks(10).collect();
+        let jobs: Vec<_> = slices
+            .iter()
+            .map(|chunk| move || chunk.iter().sum::<u64>())
+            .collect();
+        let total: u64 = run_jobs(4, jobs).into_iter().map(|r| r.unwrap()).sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panic_is_isolated_to_its_slot() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("boom {i}");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = run_jobs(4, jobs);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert!(e.message.contains("boom 3"), "{}", e.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_get_stolen() {
+        // Worker 0's deque is seeded with the slow job plus a pile of fast
+        // ones (round-robin over 2 workers); worker 1 drains its own and
+        // must steal worker 0's backlog.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(40));
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let (results, stats) = run_jobs_with_stats(2, jobs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(stats.steals > 0, "expected steals, got {stats:?}");
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..200usize)
+            .map(|i| {
+                move || {
+                    COUNT.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let results = run_jobs(0, jobs);
+        assert_eq!(results.len(), 200);
+        assert_eq!(COUNT.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn panic_display_formats() {
+        let p = JobPanic {
+            index: 2,
+            message: "x".into(),
+        };
+        assert_eq!(p.to_string(), "job 2 panicked: x");
+    }
+}

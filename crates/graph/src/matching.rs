@@ -9,9 +9,10 @@
 
 use crate::dfg::DfgInput;
 use crate::tree::ValTree;
-use hcg_isa::{InstrSet, Pattern, PatternArg, SimdInstr, SHIFT_ANY};
+use hcg_isa::{InstrIndex, InstrSet, Pattern, PatternArg, SimdInstr, SHIFT_ANY};
 use hcg_model::op::ElemOp;
 use hcg_model::DataType;
+use std::collections::HashMap;
 
 /// A successful instruction match.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +121,11 @@ fn match_arg(
 /// Search an instruction set for the best match (Algorithm 2 line 17):
 /// among matching candidates, the one with the lowest issue cost wins; ties
 /// resolve to file order.
+///
+/// This is the reference linear scan; the synthesis hot path uses
+/// [`find_instruction_indexed`], which returns the identical selection
+/// without visiting instructions whose root op, dtype, or lanes cannot
+/// match.
 pub fn find_instruction<'a>(
     set: &'a InstrSet,
     dtype: DataType,
@@ -139,6 +145,96 @@ pub fn find_instruction<'a>(
         }
     }
     best
+}
+
+/// [`find_instruction`] served by an [`InstrIndex`] built over `set`.
+///
+/// The index buckets by (root op, dtype, lanes) and pre-sorts each bucket
+/// by (cost, file order), so the first pattern match in bucket order *is*
+/// the linear scan's min-by-cost / first-by-file-order winner — the
+/// selection is byte-identical, only the work is smaller.
+pub fn find_instruction_indexed<'a>(
+    set: &'a InstrSet,
+    index: &InstrIndex,
+    dtype: DataType,
+    lanes: usize,
+    tree: &ValTree,
+) -> Option<(&'a SimdInstr, InstrMatch)> {
+    find_indexed_pos(set, index, dtype, lanes, tree)
+        .map(|(pos, m)| (&set.instrs[pos as usize], m))
+}
+
+/// Bucket walk returning the matched instruction's position in
+/// `set.instrs` (what [`MatchMemo`] caches).
+fn find_indexed_pos(
+    set: &InstrSet,
+    index: &InstrIndex,
+    dtype: DataType,
+    lanes: usize,
+    tree: &ValTree,
+) -> Option<(u32, InstrMatch)> {
+    let ValTree::Op { op, .. } = tree else {
+        return None; // a bare leaf never matches any pattern
+    };
+    for &pos in index.candidate_positions(*op, dtype, lanes) {
+        let instr = &set.instrs[pos as usize];
+        if let Some(m) = match_pattern(&instr.pattern, tree) {
+            return Some((pos, m));
+        }
+    }
+    None
+}
+
+/// Per-region memo over [`find_instruction_indexed`]: Algorithm 2's
+/// iterative rounds re-extend overlapping candidate subgraphs, so the same
+/// operand tree is matched repeatedly; the memo runs `match_pattern` once
+/// per distinct tree. The memo is only valid for one (set, dtype, lanes)
+/// triple — create one per region mapping.
+#[derive(Debug, Default)]
+pub struct MatchMemo {
+    /// tree → matched (instruction position, bindings), or `None` when no
+    /// instruction matches the tree.
+    cache: HashMap<ValTree, Option<(u32, InstrMatch)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MatchMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoised [`find_instruction_indexed`].
+    pub fn find<'a>(
+        &mut self,
+        set: &'a InstrSet,
+        index: &InstrIndex,
+        dtype: DataType,
+        lanes: usize,
+        tree: &ValTree,
+    ) -> Option<(&'a SimdInstr, InstrMatch)> {
+        if let Some(cached) = self.cache.get(tree) {
+            self.hits += 1;
+            return cached
+                .as_ref()
+                .map(|(pos, m)| (&set.instrs[*pos as usize], m.clone()));
+        }
+        self.misses += 1;
+        let found = find_indexed_pos(set, index, dtype, lanes, tree);
+        self.cache.insert(tree.clone(), found.clone());
+        found.map(|(pos, m)| (&set.instrs[pos as usize], m))
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the matcher.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +364,90 @@ mod tests {
         let t = op(ElemOp::Div, vec![leaf(0), leaf(1)]);
         assert!(find_instruction(&neon, DataType::I32, 4, &t).is_none());
         assert!(find_instruction(&neon, DataType::F32, 4, &t).is_some());
+    }
+
+    #[test]
+    fn indexed_find_identical_to_linear_scan() {
+        // Exhaustive equivalence over every builtin set and a zoo of trees
+        // covering fused shapes, commutativity, wildcards and misses.
+        let trees = [
+            op(ElemOp::Add, vec![leaf(0), leaf(1)]),
+            op(ElemOp::Sub, vec![leaf(0), leaf(1)]),
+            op(ElemOp::Mul, vec![leaf(0), leaf(1)]),
+            op(ElemOp::Div, vec![leaf(0), leaf(1)]),
+            op(
+                ElemOp::Add,
+                vec![leaf(0), op(ElemOp::Mul, vec![leaf(1), leaf(2)])],
+            ),
+            op(
+                ElemOp::Add,
+                vec![op(ElemOp::Mul, vec![leaf(1), leaf(2)]), leaf(0)],
+            ),
+            op(
+                ElemOp::Shr(1),
+                vec![op(ElemOp::Add, vec![leaf(0), leaf(1)])],
+            ),
+            op(ElemOp::Shr(4), vec![leaf(0)]),
+            op(ElemOp::Shl(2), vec![leaf(0)]),
+            op(ElemOp::Min, vec![leaf(0), leaf(1)]),
+            op(ElemOp::Abs, vec![leaf(0)]),
+            op(
+                ElemOp::Sub,
+                vec![op(ElemOp::Add, vec![leaf(0), leaf(1)]), leaf(2)],
+            ),
+        ];
+        for arch in [Arch::Neon128, Arch::Sse128, Arch::Avx256] {
+            let set = sets::builtin(arch);
+            let index = hcg_isa::InstrIndex::build(&set);
+            for dtype in [DataType::I32, DataType::U8, DataType::F32, DataType::F64] {
+                for lanes in [2, 4, 8, 16] {
+                    for tree in &trees {
+                        let linear = find_instruction(&set, dtype, lanes, tree);
+                        let indexed =
+                            find_instruction_indexed(&set, &index, dtype, lanes, tree);
+                        assert_eq!(
+                            linear.as_ref().map(|(i, m)| (&i.name, m)),
+                            indexed.as_ref().map(|(i, m)| (&i.name, m)),
+                            "{arch} {dtype} x{lanes} on {tree}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_find_rejects_bare_leaf() {
+        let set = sets::builtin(Arch::Neon128);
+        let index = hcg_isa::InstrIndex::build(&set);
+        assert!(find_instruction_indexed(&set, &index, DataType::I32, 4, &leaf(0)).is_none());
+    }
+
+    #[test]
+    fn memo_caches_hits_and_misses() {
+        let set = sets::builtin(Arch::Neon128);
+        let index = hcg_isa::InstrIndex::build(&set);
+        let mut memo = MatchMemo::new();
+        let t = op(
+            ElemOp::Add,
+            vec![leaf(0), op(ElemOp::Mul, vec![leaf(1), leaf(2)])],
+        );
+        let miss_tree = op(ElemOp::Div, vec![leaf(0), leaf(1)]);
+
+        let first = memo.find(&set, &index, DataType::I32, 4, &t).unwrap();
+        assert_eq!(first.0.name, "vmlaq_s32");
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+
+        // Repeat: served from cache, identical result.
+        let again = memo.find(&set, &index, DataType::I32, 4, &t).unwrap();
+        assert_eq!(again.0.name, first.0.name);
+        assert_eq!(again.1, first.1);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+
+        // Negative results are cached too.
+        assert!(memo.find(&set, &index, DataType::I32, 4, &miss_tree).is_none());
+        assert!(memo.find(&set, &index, DataType::I32, 4, &miss_tree).is_none());
+        assert_eq!((memo.hits(), memo.misses()), (2, 2));
     }
 
     #[test]

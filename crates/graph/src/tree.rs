@@ -12,7 +12,7 @@ use std::fmt;
 /// A value used twice inside the candidate appears as two identical subtrees
 /// — instruction patterns with repeated input slots (e.g. `Mul(I1, I1)`)
 /// match exactly that shape.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ValTree {
     /// A value available before the candidate runs.
     Leaf(DfgInput),

@@ -137,6 +137,10 @@ impl InstrSet {
 
     /// The deepest computing graph in the set (Algorithm 2 bounds subgraph
     /// extension by this).
+    ///
+    /// This is the reference linear scan; the pipeline serves the same
+    /// value from [`crate::InstrIndex::max_depth`]'s per-(dtype, lanes)
+    /// cache instead of re-scanning per region.
     pub fn max_depth(&self, dtype: DataType, lanes: usize) -> usize {
         self.candidates(dtype, lanes)
             .map(|i| i.pattern.depth())
@@ -144,7 +148,8 @@ impl InstrSet {
             .unwrap_or(0)
     }
 
-    /// The largest node count among computing graphs in the set.
+    /// The largest node count among computing graphs in the set (reference
+    /// linear scan; cached by [`crate::InstrIndex::max_nodes`]).
     pub fn max_nodes(&self, dtype: DataType, lanes: usize) -> usize {
         self.candidates(dtype, lanes)
             .map(|i| i.pattern.node_count())

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod index;
 mod instr;
 mod pattern;
 
@@ -30,6 +31,7 @@ pub mod parse;
 pub mod sets;
 
 pub use arch::{Arch, ParseArchError};
+pub use index::{GraphBounds, InstrIndex};
 pub use instr::{InstrSet, SimdInstr};
 pub use parse::ParseIsaError;
 pub use pattern::{ParsePatternError, Pattern, PatternArg, SHIFT_ANY};

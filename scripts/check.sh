@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> lint example models"
 cargo run -q --release -p hcg-bench --bin lint -- examples/models/*.xml
 
+echo "==> fleet smoke run (parallel vs sequential byte-identity + bench JSON)"
+cargo run -q --release -p hcg-bench --bin repro -- fleet --threads 2 \
+    --json BENCH_fleet.json --out target/repro_fleet.txt
+
 echo "OK: all checks passed"

@@ -13,6 +13,7 @@
 //! | [`kernels`] | `hcg-kernels` | Intensive-actor code library (FFT/DCT/Conv/Matrix families) + Algorithm 1 autotuning |
 //! | [`vm`] | `hcg-vm` | Executable program IR, interpreter, per-platform cost models |
 //! | [`core`] | `hcg-core` | The HCG generator: actor dispatch, Algorithms 1 & 2, C-source emission |
+//! | [`exec`] | `hcg-exec` | Work-stealing thread pool for fanning compile jobs across workers |
 //! | [`baselines`] | `hcg-baselines` | Simulink-Coder-like and DFSynth-like reference generators |
 //! | [`analysis`] | `hcg-analysis` | Multi-pass static analyzer: model lints and generated-program lints |
 //!
@@ -43,6 +44,7 @@
 pub use hcg_analysis as analysis;
 pub use hcg_baselines as baselines;
 pub use hcg_core as core;
+pub use hcg_exec as exec;
 pub use hcg_graph as graph;
 pub use hcg_isa as isa;
 pub use hcg_kernels as kernels;
