@@ -13,6 +13,7 @@
 //! cargo run -p hcg-bench --bin repro --release -- memory | gentime | consistency
 //! cargo run -p hcg-bench --bin repro --release -- ablation-threshold | ablation-history
 //! cargo run -p hcg-bench --bin repro --release -- fleet [--threads N] [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- fuzz [--seed S] [--iters N] [--threads T] [--json PATH]
 //! ```
 
 use hcg_baselines::SimulinkCoderGen;
@@ -21,7 +22,6 @@ use hcg_core::{emit::to_c_source, CodeGenerator, HcgGen};
 use hcg_isa::Arch;
 use hcg_model::{library, ActorKind, KindClass};
 use hcg_vm::{Compiler, CostModel};
-use std::path::PathBuf;
 use std::sync::Mutex;
 
 /// Transcript of everything printed, flushed to disk at exit.
@@ -49,81 +49,52 @@ macro_rules! outln {
 }
 
 fn main() {
-    let mut cmd: Option<String> = None;
-    let mut wall_clock = false;
-    let mut out_path = PathBuf::from("target/repro_output.txt");
-    let mut threads = 0usize;
-    let mut json_path: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--wall-clock" => wall_clock = true,
-            "--out" => match args.next() {
-                Some(p) => out_path = PathBuf::from(p),
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
-            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
-                Some(n) => threads = n,
-                None => {
-                    eprintln!("--threads requires a number");
-                    std::process::exit(2);
-                }
-            },
-            "--json" => match args.next() {
-                Some(p) => json_path = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--json requires a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                if cmd.is_none() {
-                    cmd = Some(other.to_owned());
-                }
-            }
+    let args = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
-    }
-    let cmd = cmd.as_deref().unwrap_or("all");
-    match cmd {
+    };
+    match args.cmd.as_deref().unwrap_or("all") {
         "all" => {
             table1_cmd();
-            fig1_cmd(wall_clock);
+            fig1_cmd(args.wall_clock);
             fig2_cmd();
             fig4_cmd();
             table2_cmd();
             fig5_cmd();
             memory_cmd();
-            gentime_cmd();
+            gentime_cmd(args.threads);
             consistency_cmd();
             ablation_threshold_cmd();
             ablation_history_cmd();
             ablation_greedy_cmd();
             fusion_cmd();
-            fleet_cmd(threads, json_path.as_deref());
+            fleet_cmd(args.threads, args.json.as_deref());
+            fuzz_cmd(&args);
         }
         "table1" => table1_cmd(),
-        "fig1" => fig1_cmd(wall_clock),
+        "fig1" => fig1_cmd(args.wall_clock),
         "fig2" => fig2_cmd(),
         "fig4" => fig4_cmd(),
         "table2" => table2_cmd(),
         "fig5" => fig5_cmd(),
         "memory" => memory_cmd(),
-        "gentime" => gentime_cmd(),
+        "gentime" => gentime_cmd(args.threads),
         "consistency" => consistency_cmd(),
         "ablation-threshold" => ablation_threshold_cmd(),
         "ablation-history" => ablation_history_cmd(),
         "ablation-greedy" => ablation_greedy_cmd(),
         "fusion" => fusion_cmd(),
-        "fleet" => fleet_cmd(threads, json_path.as_deref()),
+        "fleet" => fleet_cmd(args.threads, args.json.as_deref()),
+        "fuzz" => fuzz_cmd(&args),
         other => {
             eprintln!("unknown experiment {other:?}; see module docs for the list");
             std::process::exit(2);
         }
     }
-    write_transcript(&out_path);
+    write_transcript(&args.out_path);
 }
 
 /// Write the captured console output under `target/` (or `--out PATH`).
@@ -300,13 +271,14 @@ fn memory_cmd() {
     }
 }
 
-fn gentime_cmd() {
+fn gentime_cmd(threads: usize) {
     heading("Section 4.1 — code generation time (paper: 1-2 s for all tools)");
     outln!(
         "{:>10} {:>14} {:>14} {:>14}",
         "Model", "Simulink(us)", "DFSynth(us)", "HCG(us)"
     );
-    for r in gentime(Arch::Neon128) {
+    // `--threads 0` (the default) keeps the historical sequential timing.
+    for r in gentime_threads(Arch::Neon128, threads.max(1)) {
         outln!(
             "{:>10} {:>14} {:>14} {:>14}",
             r.model, r.micros.0, r.micros.1, r.micros.2
@@ -532,4 +504,72 @@ fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+}
+
+fn fuzz_cmd(args: &cli::CommonArgs) {
+    heading("Differential fuzzing — random models through every generator, arch and oracle");
+    let cfg = hcg_fuzz::FuzzConfig {
+        threads: args.threads,
+        ..hcg_fuzz::FuzzConfig::new(args.seed, args.iters)
+    };
+    let report = hcg_fuzz::run_fuzz(&cfg);
+    outln!(
+        "  {} cases (seed {}), {} actors total, digest {:016x}",
+        report.iters,
+        report.seed,
+        report.total_actors,
+        report.cases_digest
+    );
+    outln!(
+        "  passed: {}/{}  divergences: {}  shrink steps: {}",
+        report.passed,
+        report.iters,
+        report.divergence_count(),
+        report.shrink_steps()
+    );
+    outln!(
+        "  corpus: {} committed repro(s) replayed clean",
+        report.corpus_replayed
+    );
+    outln!(
+        "  {:.1} cases/s on {} worker(s) ({:.2} s total)",
+        report.cases_per_sec(),
+        report.threads,
+        report.elapsed.as_secs_f64()
+    );
+    for (stage, d) in &report.stage_times {
+        outln!("    {:>18}: {:>9.1} ms", stage, d.as_secs_f64() * 1e3);
+    }
+    for f in &report.failures {
+        outln!(
+            "  FAILURE seed {:016x}: {} divergence(s), shrunk {} -> {} actors{}",
+            f.seed,
+            f.divergences.len(),
+            f.shrink.initial_actors,
+            f.shrink.final_actors,
+            f.repro
+                .as_deref()
+                .map(|p| format!(", repro at {p}"))
+                .unwrap_or_default()
+        );
+        for d in &f.divergences {
+            outln!("      [{}] {}", d.check, d.detail);
+        }
+    }
+    if let Some(path) = &args.json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => outln!("  (fuzz report written to {})", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    assert_eq!(
+        report.divergence_count(),
+        0,
+        "fuzzing found divergences; see the report above"
+    );
 }

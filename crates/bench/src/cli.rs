@@ -1,0 +1,140 @@
+//! Shared command-line parsing for the `repro` binary.
+//!
+//! Every subcommand understands the same flag vocabulary (`--threads`,
+//! `--json`, `--seed`, `--iters`, `--out`, `--wall-clock`), parsed once
+//! here instead of per subcommand. Unknown flags are errors; the first
+//! bare word is the subcommand.
+
+use std::path::PathBuf;
+
+/// Parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Subcommand (first non-flag argument), when given.
+    pub cmd: Option<String>,
+    /// `--wall-clock`: use wall-clock meters where supported.
+    pub wall_clock: bool,
+    /// `--out PATH`: transcript destination.
+    pub out_path: PathBuf,
+    /// `--threads N`: worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// `--json PATH`: machine-readable report destination.
+    pub json: Option<PathBuf>,
+    /// `--seed S`: base seed for randomized subcommands.
+    pub seed: u64,
+    /// `--iters N`: iteration count for randomized subcommands.
+    pub iters: usize,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            cmd: None,
+            wall_clock: false,
+            out_path: PathBuf::from("target/repro_output.txt"),
+            threads: 0,
+            json: None,
+            seed: 0,
+            iters: 200,
+        }
+    }
+}
+
+/// Parse an argument stream (usually `std::env::args().skip(1)`).
+///
+/// # Errors
+///
+/// Returns a usage message when a flag is missing its value, a numeric
+/// value does not parse, or a second bare word appears.
+pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, String> {
+    let mut out = CommonArgs::default();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--wall-clock" => out.wall_clock = true,
+            "--out" => {
+                out.out_path =
+                    PathBuf::from(args.next().ok_or("--out requires a path")?);
+            }
+            "--json" => {
+                out.json =
+                    Some(PathBuf::from(args.next().ok_or("--json requires a path")?));
+            }
+            "--threads" => {
+                out.threads = parse_num(args.next(), "--threads")?;
+            }
+            "--seed" => {
+                out.seed = parse_num(args.next(), "--seed")?;
+            }
+            "--iters" => {
+                out.iters = parse_num(args.next(), "--iters")?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            word => {
+                if out.cmd.is_some() {
+                    return Err(format!("unexpected extra argument {word:?}"));
+                }
+                out.cmd = Some(word.to_owned());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> Result<T, String> {
+    value
+        .ok_or_else(|| format!("{flag} requires a number"))?
+        .parse()
+        .map_err(|_| format!("{flag} requires a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CommonArgs, String> {
+        parse_args(words.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, CommonArgs::default());
+        assert_eq!(a.iters, 200);
+        assert_eq!(a.threads, 0);
+    }
+
+    #[test]
+    fn full_fuzz_invocation() {
+        let a = parse(&[
+            "fuzz", "--seed", "7", "--iters", "50", "--threads", "3", "--json", "x.json",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("fuzz"));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.iters, 50);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("x.json")));
+    }
+
+    #[test]
+    fn flag_order_is_free() {
+        let a = parse(&["--threads", "2", "fleet", "--wall-clock"]).unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("fleet"));
+        assert_eq!(a.threads, 2);
+        assert!(a.wall_clock);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "abc"]).is_err());
+        assert!(parse(&["--seed", "-1"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["fleet", "fuzz"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--json"]).is_err());
+    }
+}

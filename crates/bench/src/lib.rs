@@ -7,10 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod consistency;
 pub mod experiments;
 pub mod fleet;
 
+pub use cli::{parse_args, CommonArgs};
 pub use consistency::{check_consistency, Consistency};
 pub use experiments::*;
 pub use fleet::{run_fleet, run_fleet_sequential, FleetJob, FleetOutcome, FleetRun};

@@ -326,6 +326,81 @@ mod tests {
     }
 
     #[test]
+    fn empty_fleet_with_zero_threads() {
+        // `threads == 0` resolves to core count, but an empty job list must
+        // still spawn nothing at all.
+        let jobs: Vec<fn() -> u32> = Vec::new();
+        let (results, stats) = run_jobs_with_stats(0, jobs);
+        assert!(results.is_empty());
+        assert_eq!(stats, PoolStats::default());
+    }
+
+    #[test]
+    fn single_thread_never_steals() {
+        let jobs: Vec<_> = (0..50usize).map(|i| move || i + 1).collect();
+        let (results, stats) = run_jobs_with_stats(1, jobs);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0, "one worker has nobody to steal from");
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn single_job_with_huge_thread_request() {
+        // 10 000 requested threads, one job: exactly one worker spawns.
+        let (results, stats) = run_jobs_with_stats(10_000, vec![|| 42u32]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(*results[0].as_ref().unwrap(), 42);
+    }
+
+    #[test]
+    fn many_more_threads_than_jobs() {
+        // Excess workers must park/exit cleanly without stealing phantom
+        // work or dropping result slots.
+        for threads in [5, 64, 1000] {
+            let jobs: Vec<_> = (0..3usize).map(|i| move || i * 7).collect();
+            let (results, stats) = run_jobs_with_stats(threads, jobs);
+            assert_eq!(stats.workers, 3, "threads={threads}");
+            assert_eq!(results.len(), 3);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(*r.as_ref().unwrap(), i * 7);
+            }
+        }
+    }
+
+    #[test]
+    fn all_jobs_panicking_still_returns_every_slot() {
+        for threads in [1, 4] {
+            let jobs: Vec<_> = (0..6usize)
+                .map(|i| move || -> usize { panic!("dead {i}") })
+                .collect();
+            let results = run_jobs(threads, jobs);
+            assert_eq!(results.len(), 6);
+            for (i, r) in results.iter().enumerate() {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, i);
+                assert!(e.message.contains(&format!("dead {i}")));
+            }
+        }
+    }
+
+    #[test]
+    fn string_and_non_string_panic_payloads() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| std::panic::panic_any("static str".to_owned())),
+            Box::new(|| std::panic::panic_any(17u32)),
+        ];
+        let results = run_jobs(2, jobs);
+        assert_eq!(results[0].as_ref().unwrap_err().message, "static str");
+        assert_eq!(
+            results[1].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
+    }
+
+    #[test]
     fn panic_display_formats() {
         let p = JobPanic {
             index: 2,

@@ -1,0 +1,106 @@
+//! The committed repro corpus and transient failure artifacts.
+//!
+//! Minimized failing models live as XML under `crates/fuzz/corpus/` and
+//! are replayed by a tier-1 test and by `scripts/check.sh`. Raw (pre-
+//! shrink) failures from live fuzz runs are written under `target/fuzz/`,
+//! which is transient and gitignored.
+
+use hcg_model::parser::{model_from_xml, model_to_xml};
+use hcg_model::Model;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The committed corpus directory (`crates/fuzz/corpus/`).
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Load every `.xml` model in `dir`, sorted by file name so replay order
+/// is stable. Returns `(file_name, model)` pairs.
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable or unparsable entry —
+/// a corrupt committed repro must fail loudly, not silently skip.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(String, Model)>, String> {
+    let mut names: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+            .collect(),
+        Err(_) => return Ok(Vec::new()), // no corpus yet
+    };
+    names.sort();
+    let mut out = Vec::new();
+    for path in names {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let model =
+            model_from_xml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((name, model));
+    }
+    Ok(out)
+}
+
+/// Write `model` as XML into `dir` under `name` (extension `.xml` is
+/// appended when missing). Creates the directory if needed and returns
+/// the full path.
+///
+/// # Errors
+///
+/// Returns a description when the directory or file cannot be written.
+pub fn write_repro(dir: &Path, name: &str, model: &Model) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let file = if name.ends_with(".xml") {
+        dir.join(name)
+    } else {
+        dir.join(format!("{name}.xml"))
+    };
+    fs::write(&file, model_to_xml(model)).map_err(|e| format!("{}: {e}", file.display()))?;
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_model, GenConfig};
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join("hcg_fuzz_corpus_test");
+        let _ = fs::remove_dir_all(&dir);
+        let m0 = generate_model(1, &GenConfig::default());
+        let m1 = generate_model(2, &GenConfig::default());
+        write_repro(&dir, "b_second", &m1).unwrap();
+        write_repro(&dir, "a_first.xml", &m0).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Sorted by file name, not write order.
+        assert_eq!(loaded[0].0, "a_first.xml");
+        assert_eq!(loaded[0].1, m0);
+        assert_eq!(loaded[1].1, m1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_empty_corpus() {
+        let dir = std::env::temp_dir().join("hcg_fuzz_no_such_dir");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(load_corpus(&dir).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn committed_corpus_parses() {
+        // The committed repros must always load; an empty corpus is fine.
+        let loaded = load_corpus(&corpus_dir()).unwrap();
+        for (name, model) in &loaded {
+            model
+                .infer_types()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

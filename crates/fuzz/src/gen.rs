@@ -1,0 +1,447 @@
+//! Seeded, deterministic, size-bounded typed random model generator.
+//!
+//! The generator grows a model forward as a DAG: a pool of typed values
+//! (actor output ports) starts with the inports, every new actor consumes
+//! values already in the pool, and every value that ends up without a
+//! consumer is routed into an `Outport`. By construction the result is
+//!
+//! * **structurally valid** — every input port driven exactly once, ids
+//!   dense, names unique;
+//! * **type- and scale-valid** — operands are drawn from per-dtype pools,
+//!   float-only / int-only kinds only ever see legal element types;
+//! * **schedulable** — connections only point forward (`UnitDelay`s are
+//!   feed-forward here), so no algebraic loops exist;
+//! * **lint-clean** — every actor reaches an outport, so the analyzer's
+//!   reachability sweep stays quiet;
+//! * **numerically tame** — `Div`, `Recp` and `Sqrt` are excluded and
+//!   float-to-int casts are off by default, so the differential oracle
+//!   never has to adjudicate division-by-zero or NaN folklore.
+//!
+//! The same `(seed, config)` pair always produces the same [`Model`].
+
+use hcg_model::{ActorId, ActorKind, DataType, Model, ModelBuilder, Param, SignalType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Relative weights of the actor categories the generator can draw.
+///
+/// A category with weight `0` is never drawn. Categories that are
+/// infeasible at a given draw (e.g. a shift when no integer value exists
+/// yet) are skipped regardless of weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpWeights {
+    /// Element-wise binary ops (`Add`/`Sub`/`Mul`/`Min`/`Max`/`Abd` plus
+    /// the bitwise family on integers).
+    pub binary: u32,
+    /// Element-wise unary ops (`Abs`, `BitNot`, `Neg`).
+    pub unary: u32,
+    /// Constant shifts (`Shr`/`Shl`, integers only).
+    pub shift: u32,
+    /// Feed-forward `UnitDelay` with a declared type.
+    pub delay: u32,
+    /// `Gain` by a scalar factor (floats only).
+    pub gain: u32,
+    /// `Saturate` clamp (floats only).
+    pub saturate: u32,
+    /// Element-wise `Cast` to a different dtype.
+    pub cast: u32,
+    /// A fresh `Constant` source.
+    pub constant: u32,
+}
+
+impl Default for OpWeights {
+    fn default() -> Self {
+        OpWeights {
+            binary: 10,
+            unary: 3,
+            shift: 2,
+            delay: 2,
+            gain: 2,
+            saturate: 1,
+            cast: 2,
+            constant: 2,
+        }
+    }
+}
+
+/// Configuration of the random model generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Maximum non-port actors added on top of the inports/outports.
+    pub max_ops: usize,
+    /// Maximum inport count (at least 1 is always created).
+    pub max_inports: usize,
+    /// Maximum vector length (lengths are drawn from `2..=max_lanes`,
+    /// deliberately including lengths that are not SIMD-width multiples so
+    /// tail handling is exercised).
+    pub max_lanes: usize,
+    /// Element types the generator may draw. `U64` is excluded by default
+    /// only to keep input synthesis simple; any [`DataType`] is accepted.
+    pub dtypes: Vec<DataType>,
+    /// Category weights.
+    pub weights: OpWeights,
+    /// Allow `Cast` from float to integer dtypes (off by default: the
+    /// truncation direction is the one place generator semantics could
+    /// legitimately disagree, which would drown real divergences).
+    pub allow_float_to_int_cast: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_ops: 14,
+            max_inports: 3,
+            max_lanes: 32,
+            dtypes: vec![
+                DataType::I8,
+                DataType::I16,
+                DataType::I32,
+                DataType::I64,
+                DataType::U8,
+                DataType::U16,
+                DataType::U32,
+                DataType::F32,
+                DataType::F64,
+            ],
+            weights: OpWeights::default(),
+            allow_float_to_int_cast: false,
+        }
+    }
+}
+
+/// Binary element-wise kinds legal on every dtype.
+const BINARY_ANY: [ActorKind; 6] = [
+    ActorKind::Add,
+    ActorKind::Sub,
+    ActorKind::Mul,
+    ActorKind::Min,
+    ActorKind::Max,
+    ActorKind::Abd,
+];
+
+/// Binary kinds additionally legal on integers.
+const BINARY_INT: [ActorKind; 3] = [ActorKind::BitAnd, ActorKind::BitOr, ActorKind::BitXor];
+
+/// Generate one deterministic random model for `seed`.
+///
+/// The returned model always validates, type-checks and schedules; the
+/// generator asserts this, so a failure here is a generator bug, not a
+/// fuzz finding.
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate (empty dtype list) or if the generated
+/// model fails validation — both are bugs, not fuzz findings.
+pub fn generate_model(seed: u64, cfg: &GenConfig) -> Model {
+    assert!(!cfg.dtypes.is_empty(), "GenConfig::dtypes must not be empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lanes = rng.gen_range(2..=cfg.max_lanes.max(2));
+    let base_dtype = cfg.dtypes[rng.gen_range(0..cfg.dtypes.len())];
+
+    let mut b = ModelBuilder::new(format!("Fuzz_{seed}"));
+    // Per-dtype pools of producible values (actor output port 0). All
+    // values share one vector length, so scale validity is structural.
+    let mut pools: BTreeMap<DataType, Vec<ActorId>> = BTreeMap::new();
+    let n_inports = rng.gen_range(1..=cfg.max_inports.max(1));
+    for i in 0..n_inports {
+        let id = b.inport(format!("in{i}"), SignalType::vector(base_dtype, lanes));
+        pools.entry(base_dtype).or_default().push(id);
+    }
+
+    let n_ops = rng.gen_range(1..=cfg.max_ops.max(1));
+    for i in 0..n_ops {
+        grow(&mut b, &mut rng, &mut pools, cfg, lanes, i);
+    }
+
+    // Route every consumer-less value into an outport so each actor
+    // reaches a sink (the analyzer's reachability lint stays clean).
+    let model = b.build_unchecked();
+    let mut b = rebuilder(&model);
+    let mut out = 0usize;
+    for a in &model.actors {
+        if a.kind.output_count() == 1
+            && model
+                .consumers(hcg_model::PortRef::new(a.id, 0))
+                .is_empty()
+        {
+            let o = b.add_actor(format!("out{out}"), ActorKind::Outport);
+            b.connect(a.id, 0, o, 0);
+            out += 1;
+        }
+    }
+    b.build()
+        .expect("generator invariant: fuzz models are always valid")
+}
+
+/// Re-seed a builder with an existing model's actors and connections.
+fn rebuilder(model: &Model) -> ModelBuilder {
+    let mut b = ModelBuilder::new(model.name.clone());
+    for a in &model.actors {
+        let id = b.add_actor(a.name.clone(), a.kind);
+        debug_assert_eq!(id, a.id);
+        for (k, v) in &a.params {
+            b.set_param(id, k.clone(), v.clone());
+        }
+    }
+    for c in &model.connections {
+        b.connect(c.from.actor, c.from.port, c.to.actor, c.to.port);
+    }
+    b
+}
+
+/// One weighted category draw; skips categories that are infeasible given
+/// the current pools.
+fn grow(
+    b: &mut ModelBuilder,
+    rng: &mut StdRng,
+    pools: &mut BTreeMap<DataType, Vec<ActorId>>,
+    cfg: &GenConfig,
+    lanes: usize,
+    i: usize,
+) {
+    let w = &cfg.weights;
+    let int_pool_exists = pools.keys().any(|d| d.is_int());
+    let float_pool_exists = pools.keys().any(|d| d.is_float());
+    let signed_pool_exists = pools.keys().any(|d| d.is_signed());
+
+    // (weight, category tag) for every feasible category.
+    let mut menu: Vec<(u32, u8)> = Vec::new();
+    let mut offer = |weight: u32, tag: u8, feasible: bool| {
+        if weight > 0 && feasible {
+            menu.push((weight, tag));
+        }
+    };
+    offer(w.binary, 0, true);
+    offer(w.unary, 1, signed_pool_exists || float_pool_exists || int_pool_exists);
+    offer(w.shift, 2, int_pool_exists);
+    offer(w.delay, 3, true);
+    offer(w.gain, 4, float_pool_exists);
+    offer(w.saturate, 5, float_pool_exists);
+    offer(w.cast, 6, cfg.dtypes.len() > 1);
+    offer(w.constant, 7, true);
+
+    let total: u32 = menu.iter().map(|(w, _)| w).sum();
+    let mut roll = rng.gen_range(0..total.max(1));
+    let mut tag = menu[0].1;
+    for (weight, t) in &menu {
+        if roll < *weight {
+            tag = *t;
+            break;
+        }
+        roll -= weight;
+    }
+
+    // Pick a value from the pool of a dtype satisfying `want`.
+    let pick = |rng: &mut StdRng,
+                pools: &BTreeMap<DataType, Vec<ActorId>>,
+                want: &dyn Fn(DataType) -> bool|
+     -> Option<(DataType, ActorId)> {
+        let keys: Vec<DataType> = pools.keys().copied().filter(|d| want(*d)).collect();
+        if keys.is_empty() {
+            return None;
+        }
+        let d = keys[rng.gen_range(0..keys.len())];
+        let vals = &pools[&d];
+        Some((d, vals[rng.gen_range(0..vals.len())]))
+    };
+
+    match tag {
+        // Binary element-wise op on two same-dtype operands.
+        0 => {
+            let (d, s0) = pick(rng, pools, &|_| true).expect("pools start non-empty");
+            let s1 = {
+                let vals = &pools[&d];
+                vals[rng.gen_range(0..vals.len())]
+            };
+            let kind = if d.is_int() && rng.gen_range(0u32..4) == 0 {
+                BINARY_INT[rng.gen_range(0..BINARY_INT.len())]
+            } else {
+                BINARY_ANY[rng.gen_range(0..BINARY_ANY.len())]
+            };
+            let a = b.add_actor(format!("b{i}"), kind);
+            b.connect(s0, 0, a, 0);
+            b.connect(s1, 0, a, 1);
+            pools.entry(d).or_default().push(a);
+        }
+        // Unary op. Abs needs signed/float, BitNot needs int, Neg needs
+        // signed/float; fall back to a delay when nothing fits.
+        1 => {
+            let (d, src) = pick(rng, pools, &|_| true).expect("pools start non-empty");
+            let kind = if d.is_float() {
+                [ActorKind::Abs, ActorKind::Neg][rng.gen_range(0..2usize)]
+            } else if d.is_signed() {
+                [ActorKind::Abs, ActorKind::Neg, ActorKind::BitNot][rng.gen_range(0..3usize)]
+            } else {
+                ActorKind::BitNot
+            };
+            let a = b.add_actor(format!("u{i}"), kind);
+            b.connect(src, 0, a, 0);
+            pools.entry(d).or_default().push(a);
+        }
+        // Constant shift on an integer value.
+        2 => {
+            let (d, src) =
+                pick(rng, pools, &|d| d.is_int()).expect("feasibility checked above");
+            let kind = [ActorKind::Shr, ActorKind::Shl][rng.gen_range(0..2usize)];
+            let amount = rng.gen_range(0..=7i64.min(d.bit_width() as i64 - 1));
+            let a = b.shift(format!("sh{i}"), kind, amount);
+            b.connect(src, 0, a, 0);
+            pools.entry(d).or_default().push(a);
+        }
+        // Feed-forward unit delay with a declared type.
+        3 => {
+            let (d, src) = pick(rng, pools, &|_| true).expect("pools start non-empty");
+            let a = b.unit_delay(format!("z{i}"), Some(SignalType::vector(d, lanes)));
+            b.connect(src, 0, a, 0);
+            pools.entry(d).or_default().push(a);
+        }
+        // Gain by a scalar factor (floats only).
+        4 => {
+            let (d, src) =
+                pick(rng, pools, &|d| d.is_float()).expect("feasibility checked above");
+            // Quarter-steps keep the textual form short; any f64 would
+            // round-trip losslessly regardless.
+            let factor = (rng.gen_range(-8i64..=8) as f64) / 4.0;
+            let a = b.gain(format!("g{i}"), factor);
+            b.connect(src, 0, a, 0);
+            pools.entry(d).or_default().push(a);
+        }
+        // Saturate clamp (floats only).
+        5 => {
+            let (d, src) =
+                pick(rng, pools, &|d| d.is_float()).expect("feasibility checked above");
+            let lo = (rng.gen_range(-8i64..0) as f64) / 4.0;
+            let hi = (rng.gen_range(1i64..=8) as f64) / 4.0;
+            let a = b.add_actor(format!("sat{i}"), ActorKind::Saturate);
+            b.set_param(a, "min", Param::Float(lo));
+            b.set_param(a, "max", Param::Float(hi));
+            b.connect(src, 0, a, 0);
+            pools.entry(d).or_default().push(a);
+        }
+        // Cast into a different dtype domain.
+        6 => {
+            let (d, src) = pick(rng, pools, &|_| true).expect("pools start non-empty");
+            let legal: Vec<DataType> = cfg
+                .dtypes
+                .iter()
+                .copied()
+                .filter(|to| {
+                    *to != d
+                        && (cfg.allow_float_to_int_cast || !(d.is_float() && to.is_int()))
+                })
+                .collect();
+            if legal.is_empty() {
+                // Nothing to cast to (e.g. single-dtype config): emit a
+                // delay instead so the draw still makes progress.
+                let a = b.unit_delay(format!("z{i}"), Some(SignalType::vector(d, lanes)));
+                b.connect(src, 0, a, 0);
+                pools.entry(d).or_default().push(a);
+                return;
+            }
+            let to = legal[rng.gen_range(0..legal.len())];
+            let a = b.add_actor(format!("c{i}"), ActorKind::Cast);
+            b.set_param(a, "to", Param::Str(to.name().to_owned()));
+            b.connect(src, 0, a, 0);
+            pools.entry(to).or_default().push(a);
+        }
+        // Fresh constant source.
+        _ => {
+            let d = cfg.dtypes[rng.gen_range(0..cfg.dtypes.len())];
+            let values: Vec<f64> = (0..lanes)
+                .map(|_| {
+                    if d.is_float() {
+                        (rng.gen_range(-16i64..=16) as f64) / 8.0
+                    } else if d.is_signed() {
+                        rng.gen_range(-50i64..=50) as f64
+                    } else {
+                        rng.gen_range(0i64..=100) as f64
+                    }
+                })
+                .collect();
+            let a = b.constant(format!("k{i}"), SignalType::vector(d, lanes), values);
+            pools.entry(d).or_default().push(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcg_model::schedule::schedule;
+
+    #[test]
+    fn many_seeds_validate_and_schedule() {
+        let cfg = GenConfig::default();
+        for seed in 0..300 {
+            let m = generate_model(seed, &cfg);
+            m.infer_types()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            schedule(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        for seed in [0, 1, 7, 99, 12345] {
+            assert_eq!(generate_model(seed, &cfg), generate_model(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::default();
+        let distinct: std::collections::BTreeSet<String> = (0..50)
+            .map(|s| hcg_model::parser::model_to_xml(&generate_model(s, &cfg)))
+            .collect();
+        assert!(distinct.len() > 40, "only {} distinct models", distinct.len());
+    }
+
+    #[test]
+    fn size_bounds_respected() {
+        let cfg = GenConfig {
+            max_ops: 5,
+            max_inports: 2,
+            ..GenConfig::default()
+        };
+        for seed in 0..100 {
+            let m = generate_model(seed, &cfg);
+            let non_port = m
+                .actors
+                .iter()
+                .filter(|a| {
+                    !matches!(a.kind, ActorKind::Inport | ActorKind::Outport)
+                })
+                .count();
+            // max_ops ops plus constants injected by the op draws.
+            assert!(non_port <= cfg.max_ops, "seed {seed}: {non_port} ops");
+        }
+    }
+
+    #[test]
+    fn every_actor_reaches_an_outport() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let m = generate_model(seed, &cfg);
+            let report = hcg_analysis::lint_model(&m);
+            assert!(
+                !report.has(hcg_analysis::LintCode::UnreachableActor),
+                "seed {seed}:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn single_dtype_config_still_grows() {
+        let cfg = GenConfig {
+            dtypes: vec![DataType::I32],
+            ..GenConfig::default()
+        };
+        for seed in 0..40 {
+            let m = generate_model(seed, &cfg);
+            m.infer_types().unwrap();
+        }
+    }
+}

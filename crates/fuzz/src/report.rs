@@ -1,0 +1,200 @@
+//! The fuzz run report and its JSON rendering.
+//!
+//! The report splits into a *deterministic core* — everything derived
+//! from seeds: case counts, divergences, the digest over generated model
+//! XML, shrink counters — and wall-clock telemetry. `repro -- fuzz`
+//! asserts determinism by comparing [`FuzzReport::deterministic_json`]
+//! across runs, while the full [`FuzzReport::to_json`] adds timing for
+//! humans and `BENCH_fuzz.json`.
+
+use crate::oracle::Divergence;
+use crate::shrink::ShrinkStats;
+use std::time::Duration;
+
+/// One shrunk failure in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSummary {
+    /// Case seed that produced the failing model.
+    pub seed: u64,
+    /// Every oracle divergence of the case.
+    pub divergences: Vec<Divergence>,
+    /// Shrinker counters for the case.
+    pub shrink: ShrinkStats,
+    /// Repro file the minimized model was written to, if any.
+    pub repro: Option<String>,
+}
+
+/// Aggregated outcome of one fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Cases requested.
+    pub iters: usize,
+    /// Worker threads used to fan out cases.
+    pub threads: usize,
+    /// Cases that passed every oracle check.
+    pub passed: usize,
+    /// Failing cases, in case order.
+    pub failures: Vec<FailureSummary>,
+    /// FNV-1a digest over every generated model's XML, in case order —
+    /// the witness that the same seed generates the same case stream.
+    pub cases_digest: u64,
+    /// Total actors across all generated models (a coarse size witness).
+    pub total_actors: usize,
+    /// Committed corpus entries replayed cleanly at the end of the run.
+    pub corpus_replayed: usize,
+    /// Wall-clock of the whole run (excluded from the deterministic core).
+    pub elapsed: Duration,
+    /// Accumulated per-stage oracle wall-clock, in stage order (excluded
+    /// from the deterministic core).
+    pub stage_times: Vec<(&'static str, Duration)>,
+}
+
+/// FNV-1a over a byte slice; tiny, dependency-free, stable across runs
+/// and platforms.
+pub fn fnv1a(bytes: &[u8], state: u64) -> u64 {
+    let mut h = if state == 0 { 0xcbf2_9ce4_8422_2325 } else { state };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl FuzzReport {
+    /// Total divergences across all failing cases.
+    pub fn divergence_count(&self) -> usize {
+        self.failures.iter().map(|f| f.divergences.len()).sum()
+    }
+
+    /// Total accepted shrink steps across all failing cases.
+    pub fn shrink_steps(&self) -> usize {
+        self.failures.iter().map(|f| f.shrink.accepted).sum()
+    }
+
+    /// Cases per second of wall-clock.
+    pub fn cases_per_sec(&self) -> f64 {
+        self.iters as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The seed-determined fields only — two runs with the same seed and
+    /// config must render this identically.
+    pub fn deterministic_json(&self) -> String {
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| {
+                let divs: Vec<String> = f
+                    .divergences
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"check\": \"{}\", \"detail\": \"{}\"}}",
+                            escape(d.check),
+                            escape(&d.detail)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"seed\": {}, \"divergences\": [{}], \"shrink\": {{\"attempts\": {}, \"accepted\": {}, \"initial_actors\": {}, \"final_actors\": {}}}}}",
+                    f.seed,
+                    divs.join(", "),
+                    f.shrink.attempts,
+                    f.shrink.accepted,
+                    f.shrink.initial_actors,
+                    f.shrink.final_actors
+                )
+            })
+            .collect();
+        format!(
+            "{{\"seed\": {}, \"iters\": {}, \"passed\": {}, \"divergences\": {}, \"shrink_steps\": {}, \"cases_digest\": \"{:016x}\", \"total_actors\": {}, \"corpus_replayed\": {}, \"failures\": [{}]}}",
+            self.seed,
+            self.iters,
+            self.passed,
+            self.divergence_count(),
+            self.shrink_steps(),
+            self.cases_digest,
+            self.total_actors,
+            self.corpus_replayed,
+            failures.join(", ")
+        )
+    }
+
+    /// The full report: the deterministic core plus timing telemetry.
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stage_times
+            .iter()
+            .map(|(s, d)| format!("{{\"stage\": \"{}\", \"seconds\": {:.6}}}", s, d.as_secs_f64()))
+            .collect();
+        format!(
+            "{{\"deterministic\": {}, \"threads\": {}, \"elapsed_seconds\": {:.6}, \"cases_per_sec\": {:.2}, \"stage_times\": [{}]}}",
+            self.deterministic_json(),
+            self.threads,
+            self.elapsed.as_secs_f64(),
+            self.cases_per_sec(),
+            stages.join(", ")
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"", 0), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"abc", 0), fnv1a(b"abc", 0));
+        assert_ne!(fnv1a(b"abc", 0), fnv1a(b"abd", 0));
+        // Chaining differs from concatenation starting state but is stable.
+        let chained = fnv1a(b"def", fnv1a(b"abc", 0));
+        assert_eq!(chained, fnv1a(b"def", fnv1a(b"abc", 0)));
+    }
+
+    #[test]
+    fn deterministic_json_omits_timing() {
+        let mut r = FuzzReport {
+            seed: 7,
+            iters: 10,
+            passed: 10,
+            cases_digest: 0xabcd,
+            ..FuzzReport::default()
+        };
+        let a = r.deterministic_json();
+        r.elapsed = Duration::from_secs(99);
+        r.stage_times.push(("compile", Duration::from_secs(1)));
+        assert_eq!(a, r.deterministic_json());
+        assert!(a.contains("\"cases_digest\": \"000000000000abcd\""));
+        assert!(!a.contains("elapsed"));
+        assert!(r.to_json().contains("elapsed_seconds"));
+    }
+
+    #[test]
+    fn detail_strings_are_escaped() {
+        let r = FuzzReport {
+            failures: vec![FailureSummary {
+                seed: 1,
+                divergences: vec![Divergence {
+                    check: "compile",
+                    detail: "say \"hi\" \\ bye".to_owned(),
+                }],
+                shrink: crate::shrink::ShrinkStats {
+                    attempts: 0,
+                    accepted: 0,
+                    initial_actors: 1,
+                    final_actors: 1,
+                },
+                repro: None,
+            }],
+            ..FuzzReport::default()
+        };
+        let j = r.deterministic_json();
+        assert!(j.contains("say \\\"hi\\\" \\\\ bye"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Tier-1 corpus replay: every committed repro must load, round-trip,
+//! and run clean through the full differential oracle. A repro is
+//! committed once its underlying bug is fixed (or, for the synthetic
+//! demo, never had a real one), so replay failing means a regression.
+
+use hcg_fuzz::corpus::{corpus_dir, load_corpus};
+use hcg_fuzz::oracle::{run_case, OracleConfig};
+use hcg_model::parser::{model_from_xml, model_to_xml};
+
+#[test]
+fn corpus_is_nonempty_and_loads() {
+    let corpus = load_corpus(&corpus_dir()).expect("corpus loads");
+    assert!(
+        !corpus.is_empty(),
+        "crates/fuzz/corpus/ must hold at least the shrinker demo repro"
+    );
+}
+
+#[test]
+fn every_committed_repro_replays_clean() {
+    let cfg = OracleConfig::default();
+    for (name, model) in load_corpus(&corpus_dir()).expect("corpus loads") {
+        let report = run_case(&model, &cfg);
+        assert!(
+            report.passed(),
+            "{name}: corpus replay diverged: {:?}",
+            report.divergences
+        );
+    }
+}
+
+#[test]
+fn committed_repros_roundtrip_byte_stable() {
+    for (name, model) in load_corpus(&corpus_dir()).expect("corpus loads") {
+        let emitted = model_to_xml(&model);
+        let back = model_from_xml(&emitted).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back, model, "{name}: XML round trip not the identity");
+        // And the on-disk bytes are exactly what the emitter produces, so
+        // `write_repro` output never churns in review.
+        let on_disk = std::fs::read_to_string(corpus_dir().join(&name)).expect("readable");
+        assert_eq!(on_disk, emitted, "{name}: on-disk bytes differ from emitter output");
+    }
+}

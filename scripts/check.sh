@@ -20,4 +20,11 @@ echo "==> fleet smoke run (parallel vs sequential byte-identity + bench JSON)"
 cargo run -q --release -p hcg-bench --bin repro -- fleet --threads 2 \
     --json BENCH_fleet.json --out target/repro_fleet.txt
 
+echo "==> fuzz smoke run (fixed seed, zero divergences expected)"
+cargo run -q --release -p hcg-bench --bin repro -- fuzz --seed 0 --iters 50 \
+    --json target/fuzz/smoke.json --out target/repro_fuzz.txt
+
+echo "==> corpus replay (committed repros through the full oracle)"
+cargo test -q --release -p hcg-fuzz --test corpus_replay
+
 echo "OK: all checks passed"

@@ -16,6 +16,7 @@
 //! | [`exec`] | `hcg-exec` | Work-stealing thread pool for fanning compile jobs across workers |
 //! | [`baselines`] | `hcg-baselines` | Simulink-Coder-like and DFSynth-like reference generators |
 //! | [`analysis`] | `hcg-analysis` | Multi-pass static analyzer: model lints and generated-program lints |
+//! | [`fuzz`] | `hcg-fuzz` | Differential model fuzzer: random models, cross-generator oracle, delta-debugging shrinker |
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@ pub use hcg_analysis as analysis;
 pub use hcg_baselines as baselines;
 pub use hcg_core as core;
 pub use hcg_exec as exec;
+pub use hcg_fuzz as fuzz;
 pub use hcg_graph as graph;
 pub use hcg_isa as isa;
 pub use hcg_kernels as kernels;
