@@ -186,6 +186,7 @@ impl CodeGenerator for SimulinkCoderGen {
                         | ActorKind::UnitDelay => continue,
                         _ => {}
                     }
+                    ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
                     if actor.kind.class() == KindClass::Intensive {
                         let general = self.lib.general_for(actor.kind).ok_or_else(|| {
                             GenError::Internal(format!("no general kernel for {}", actor.kind))
@@ -219,7 +220,12 @@ impl CodeGenerator for SimulinkCoderGen {
             Pass::new("compose", |p| p.finish()),
             Pass::new("fold", |p| {
                 let prog = p.program_mut()?;
-                prog.body = fold_adjacent_loops(std::mem::take(&mut prog.body));
+                let (body, origins) = fold_adjacent_loops(
+                    std::mem::take(&mut prog.body),
+                    std::mem::take(&mut prog.origins),
+                );
+                prog.body = body;
+                prog.origins = origins;
                 Ok(())
             }),
         ]
@@ -231,9 +237,22 @@ impl CodeGenerator for SimulinkCoderGen {
 /// Safe because every scalar statement reads/writes only element `i` (plus
 /// whole buffers written before the pair), so interleaving per element
 /// preserves dataflow order.
-fn fold_adjacent_loops(body: Vec<Stmt>) -> Vec<Stmt> {
+///
+/// The origin table (when present) folds in lockstep: a merged loop keeps
+/// the first loop's origin, so attribution stays parallel to the body.
+fn fold_adjacent_loops(
+    body: Vec<Stmt>,
+    mut origins: Vec<hcg_vm::Origin>,
+) -> (Vec<Stmt>, Vec<hcg_vm::Origin>) {
+    let tracked = !origins.is_empty();
+    if tracked {
+        origins.resize(body.len(), hcg_vm::Origin::default());
+    } else {
+        origins = vec![hcg_vm::Origin::default(); body.len()];
+    }
     let mut out: Vec<Stmt> = Vec::with_capacity(body.len());
-    for stmt in body {
+    let mut out_origins: Vec<hcg_vm::Origin> = Vec::with_capacity(body.len());
+    for (stmt, origin) in body.into_iter().zip(origins) {
         let mergeable = matches!(
             (&stmt, out.last()),
             (
@@ -255,9 +274,13 @@ fn fold_adjacent_loops(body: Vec<Stmt>) -> Vec<Stmt> {
             b1.extend(b2);
         } else {
             out.push(stmt);
+            out_origins.push(origin);
         }
     }
-    out
+    if !tracked {
+        out_origins.clear();
+    }
+    (out, out_origins)
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ impl CodeGenerator for DfSynthGen {
                         | ActorKind::UnitDelay => continue,
                         _ => {}
                     }
+                    ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
                     if actor.kind.class() == KindClass::Intensive {
                         // Always the generic implementation — DFSynth performs
                         // no input-scale pre-calculation.

@@ -14,6 +14,7 @@
 //! cargo run -p hcg-bench --bin repro --release -- ablation-threshold | ablation-history
 //! cargo run -p hcg-bench --bin repro --release -- fleet [--threads N] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- fuzz [--seed S] [--iters N] [--threads T] [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- profile [--model M] [--json PATH] [--trace PATH]
 //! ```
 
 use hcg_baselines::SimulinkCoderGen;
@@ -73,6 +74,7 @@ fn main() {
             fusion_cmd();
             fleet_cmd(args.threads, args.json.as_deref());
             fuzz_cmd(&args);
+            profile_cmd(&args);
         }
         "table1" => table1_cmd(),
         "fig1" => fig1_cmd(args.wall_clock),
@@ -89,6 +91,7 @@ fn main() {
         "fusion" => fusion_cmd(),
         "fleet" => fleet_cmd(args.threads, args.json.as_deref()),
         "fuzz" => fuzz_cmd(&args),
+        "profile" => profile_cmd(&args),
         other => {
             eprintln!("unknown experiment {other:?}; see module docs for the list");
             std::process::exit(2);
@@ -537,8 +540,12 @@ fn fuzz_cmd(args: &cli::CommonArgs) {
         report.threads,
         report.elapsed.as_secs_f64()
     );
-    for (stage, d) in &report.stage_times {
-        outln!("    {:>18}: {:>9.1} ms", stage, d.as_secs_f64() * 1e3);
+    for (key, value) in report.telemetry.iter() {
+        if let (Some(stage), hcg_obs::MetricValue::Gauge(secs)) =
+            (key.strip_prefix("fuzz.stage_seconds."), value)
+        {
+            outln!("    {:>18}: {:>9.1} ms", stage, secs * 1e3);
+        }
     }
     for f in &report.failures {
         outln!(
@@ -572,4 +579,72 @@ fn fuzz_cmd(args: &cli::CommonArgs) {
         0,
         "fuzzing found divergences; see the report above"
     );
+}
+
+fn profile_cmd(args: &cli::CommonArgs) {
+    heading("Execution profile — cost-model cycles attributed to source actors and SIMD regions");
+    // Trace the whole matrix: pipeline/pass/session spans light up inside
+    // the generators while the profiler prices their output.
+    hcg_obs::clear_events();
+    hcg_obs::set_tracing(true);
+    let entries = profile_matrix(args.model.as_deref());
+    hcg_obs::set_tracing(false);
+    let events = hcg_obs::take_events();
+    if entries.is_empty() {
+        outln!(
+            "  no benchmark model matches --model {:?}",
+            args.model.as_deref().unwrap_or("")
+        );
+        return;
+    }
+    for e in &entries {
+        // Conservation: per-actor attribution must sum to the VM total.
+        assert_eq!(
+            e.profile.attributed_cycles(),
+            e.profile.total_cycles,
+            "cycle attribution diverged from the VM total"
+        );
+        for line in e.profile.render(5).lines() {
+            outln!("  {line}");
+        }
+        outln!();
+    }
+    let snap = hcg_obs::MetricsRegistry::global().snapshot();
+    outln!(
+        "  conservation: attributed == total cycles for all {} profiles",
+        entries.len()
+    );
+    outln!(
+        "  metrics: {} pipeline run(s), {} pass(es) timed; {} trace span(s) captured",
+        snap.counter("pipeline.runs").unwrap_or(0),
+        snap.counter("pipeline.stages").unwrap_or(0),
+        events.len()
+    );
+    outln!("\n  span tree (head):");
+    for line in hcg_obs::render_tree(&events).lines().take(12) {
+        outln!("  {line}");
+    }
+    if let Some(path) = &args.trace {
+        let trace = hcg_obs::chrome_trace_json(&events);
+        hcg_obs::json::validate(&trace).expect("chrome trace JSON must validate");
+        write_report_file(path, &trace, "trace");
+    }
+    if let Some(path) = &args.json {
+        let body = profile_json(&entries);
+        hcg_obs::json::validate(&body).expect("profile JSON must validate");
+        write_report_file(path, &body, "profile");
+    }
+}
+
+/// Write a report body to `path`, creating parent directories.
+fn write_report_file(path: &std::path::Path, body: &str, what: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, body) {
+        Ok(()) => outln!("  ({what} written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }

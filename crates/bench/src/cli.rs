@@ -1,9 +1,9 @@
 //! Shared command-line parsing for the `repro` binary.
 //!
 //! Every subcommand understands the same flag vocabulary (`--threads`,
-//! `--json`, `--seed`, `--iters`, `--out`, `--wall-clock`), parsed once
-//! here instead of per subcommand. Unknown flags are errors; the first
-//! bare word is the subcommand.
+//! `--json`, `--seed`, `--iters`, `--out`, `--wall-clock`, `--model`,
+//! `--trace`), parsed once here instead of per subcommand. Unknown flags
+//! are errors; the first bare word is the subcommand.
 
 use std::path::PathBuf;
 
@@ -24,6 +24,10 @@ pub struct CommonArgs {
     pub seed: u64,
     /// `--iters N`: iteration count for randomized subcommands.
     pub iters: usize,
+    /// `--model NAME`: restrict a subcommand to one benchmark model.
+    pub model: Option<String>,
+    /// `--trace PATH`: Chrome trace-event JSON destination.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -36,6 +40,8 @@ impl Default for CommonArgs {
             json: None,
             seed: 0,
             iters: 200,
+            model: None,
+            trace: None,
         }
     }
 }
@@ -68,6 +74,13 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
             }
             "--iters" => {
                 out.iters = parse_num(args.next(), "--iters")?;
+            }
+            "--model" => {
+                out.model = Some(args.next().ok_or("--model requires a name")?);
+            }
+            "--trace" => {
+                out.trace =
+                    Some(PathBuf::from(args.next().ok_or("--trace requires a path")?));
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -128,8 +141,22 @@ mod tests {
     }
 
     #[test]
+    fn profile_invocation() {
+        let a = parse(&[
+            "profile", "--model", "FIR", "--json", "p.json", "--trace", "t.json",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("profile"));
+        assert_eq!(a.model.as_deref(), Some("FIR"));
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("p.json")));
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--model"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--threads", "abc"]).is_err());
         assert!(parse(&["--seed", "-1"]).is_err());
         assert!(parse(&["--bogus"]).is_err());

@@ -133,6 +133,14 @@ impl FleetRun {
 
 fn run_one(sessions: &[CompileSession], job: &FleetJob) -> FleetOutcome {
     let session = &sessions[job.session];
+    let _job_span = hcg_obs::span_with("fleet", || {
+        format!(
+            "{}/{}@{}",
+            short_name(session.model()),
+            job.generator,
+            job.arch
+        )
+    });
     let gen = generator_named(job.generator);
     let start = Instant::now();
     let prog = session

@@ -1,0 +1,100 @@
+//! The `repro -- profile` experiment: drive the evaluation matrix through
+//! the VM execution profiler and render per-actor / per-region cycle
+//! breakdowns.
+//!
+//! Each `model × generator × architecture` cell compiles through a shared
+//! [`CompileSession`] (front-end artifacts computed once per model) and is
+//! priced with the GCC-like cost model; [`hcg_vm::profile`] then attributes
+//! every top-level statement's cycles to the source actor and mapped SIMD
+//! region recorded at emit time. Attribution is conservative by
+//! construction — per-actor sums equal the VM's total charged cycles — and
+//! the `profile_conservation` integration test pins that for every example
+//! model.
+
+use crate::experiments::{benchmark_sessions, short_name};
+use crate::fleet::{generator_named, FLEET_ARCHES, FLEET_GENERATORS};
+use hcg_kernels::CodeLibrary;
+use hcg_vm::{profile, Compiler, CostModel, CycleProfile};
+
+/// One profiled cell of the `model × generator × arch` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Benchmark short name (the row label).
+    pub model: String,
+    /// The per-actor / per-region cycle breakdown.
+    pub profile: CycleProfile,
+}
+
+/// Profile the full evaluation matrix (paper benchmarks × the three
+/// generators × the two evaluation ISAs, GCC-like compiler profile).
+///
+/// `filter`, when given, keeps only the model whose short name or full
+/// name matches case-insensitively — the `--model` flag.
+pub fn profile_matrix(filter: Option<&str>) -> Vec<ProfileEntry> {
+    let lib = CodeLibrary::new();
+    let mut out = Vec::new();
+    for session in &benchmark_sessions() {
+        let name = short_name(session.model());
+        if let Some(f) = filter {
+            let matches = name.eq_ignore_ascii_case(f)
+                || session.model().name.eq_ignore_ascii_case(f);
+            if !matches {
+                continue;
+            }
+        }
+        for generator in FLEET_GENERATORS {
+            for arch in FLEET_ARCHES {
+                let gen = generator_named(generator);
+                let prog = session
+                    .generate(gen.as_ref(), arch)
+                    .unwrap_or_else(|e| panic!("{generator} on {name}: {e}"));
+                let cm = CostModel::new(arch, Compiler::GccLike);
+                out.push(ProfileEntry {
+                    model: name.clone(),
+                    profile: profile(&prog, &lib, &cm),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic JSON over a profiled matrix: one object per cell, in
+/// matrix order, each the profile's own stable rendering.
+pub fn profile_json(entries: &[ProfileEntry]) -> String {
+    let cells: Vec<String> = entries.iter().map(|e| e.profile.to_json()).collect();
+    format!(
+        "{{\n  \"experiment\": \"profile\",\n  \"compiler\": \"gcc\",\n  \"entries\": [{}]\n}}\n",
+        cells.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_selects_one_model() {
+        let all = profile_matrix(Some("fir"));
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|e| e.model == "FIR"));
+        assert_eq!(
+            all.len(),
+            FLEET_GENERATORS.len() * FLEET_ARCHES.len(),
+            "one cell per generator × arch"
+        );
+        assert!(profile_matrix(Some("no-such-model")).is_empty());
+    }
+
+    #[test]
+    fn entries_conserve_cycles_and_json_validates() {
+        let entries = profile_matrix(Some("FIR"));
+        for e in &entries {
+            assert_eq!(e.profile.attributed_cycles(), e.profile.total_cycles);
+            assert!(e.profile.total_cycles > 0);
+        }
+        let json = profile_json(&entries);
+        assert!(hcg_obs::json::validate(&json).is_ok(), "{json}");
+        assert_eq!(json, profile_json(&profile_matrix(Some("FIR"))));
+    }
+}

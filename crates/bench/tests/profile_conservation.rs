@@ -1,0 +1,105 @@
+//! Profiler guarantees, pinned end-to-end:
+//!
+//! 1. **Conservation** — for every bundled model × generator × evaluation
+//!    ISA × compiler profile, the per-actor cycles the execution profiler
+//!    attributes sum *exactly* to the VM cost model's total charged
+//!    cycles. No cycle is lost or double-counted.
+//! 2. **Byte-identity** — enabling span tracing changes nothing about
+//!    what the generators emit: the `Program` (origins included) and its
+//!    rendered C source are identical with tracing on and off.
+
+use hcg_bench::fleet::{generator_named, FLEET_ARCHES, FLEET_GENERATORS};
+use hcg_core::emit::to_c_source;
+use hcg_kernels::CodeLibrary;
+use hcg_model::parser::model_from_xml;
+use hcg_model::{library, Model};
+use hcg_vm::{profile, Compiler, CostModel};
+
+/// Every bundled model: the paper benchmarks, the two worked figures, and
+/// whatever is checked in under `examples/models/`.
+fn all_models() -> Vec<Model> {
+    let mut models = library::paper_benchmarks();
+    models.push(library::fig2_model());
+    models.push(library::fig4_model());
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/models");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/models exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 8, "example models missing");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable model file");
+        models.push(model_from_xml(&text).expect("example parses"));
+    }
+    models
+}
+
+#[test]
+fn attribution_conserves_cycles_everywhere() {
+    let lib = CodeLibrary::new();
+    for model in all_models() {
+        for generator in FLEET_GENERATORS {
+            let gen = generator_named(generator);
+            for arch in FLEET_ARCHES {
+                let prog = gen
+                    .generate(&model, arch)
+                    .unwrap_or_else(|e| panic!("{generator} on {}/{arch}: {e}", model.name));
+                assert_eq!(
+                    prog.origins.len(),
+                    prog.body.len(),
+                    "{generator} on {}/{arch}: every top-level statement needs provenance",
+                    model.name
+                );
+                for compiler in Compiler::ALL {
+                    let cm = CostModel::new(arch, compiler);
+                    let prof = profile(&prog, &lib, &cm);
+                    let total = cm.cycles(&prog, &lib);
+                    assert_eq!(
+                        prof.total_cycles, total,
+                        "{generator} on {}/{arch}/{compiler}: profiler total diverged",
+                        model.name
+                    );
+                    assert_eq!(
+                        prof.attributed_cycles(),
+                        total,
+                        "{generator} on {}/{arch}/{compiler}: attribution lost cycles",
+                        model.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_change_generated_programs() {
+    for model in all_models() {
+        for generator in FLEET_GENERATORS {
+            for arch in FLEET_ARCHES {
+                hcg_obs::set_tracing(false);
+                let off = generator_named(generator)
+                    .generate(&model, arch)
+                    .unwrap_or_else(|e| panic!("{generator} on {}/{arch}: {e}", model.name));
+                hcg_obs::set_tracing(true);
+                let on = generator_named(generator)
+                    .generate(&model, arch)
+                    .unwrap_or_else(|e| panic!("{generator} on {}/{arch}: {e}", model.name));
+                hcg_obs::set_tracing(false);
+                assert_eq!(
+                    on, off,
+                    "{generator} on {}/{arch}: tracing changed the program",
+                    model.name
+                );
+                assert_eq!(
+                    to_c_source(&on),
+                    to_c_source(&off),
+                    "{generator} on {}/{arch}: tracing changed the C source",
+                    model.name
+                );
+            }
+        }
+    }
+    hcg_obs::clear_events();
+}

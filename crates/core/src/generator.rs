@@ -14,7 +14,7 @@ use hcg_kernels::SelectError;
 use hcg_model::naming::unique_identifier;
 use hcg_model::schedule::{schedule, Schedule};
 use hcg_model::{ActorId, ActorKind, Model, ModelError, PortRef, TypeMap};
-use hcg_vm::{BufferId, BufferKind, Program, Stmt};
+use hcg_vm::{BufferId, BufferKind, Origin, Program, Stmt};
 use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -127,6 +127,10 @@ pub struct GenContext<'m> {
     pub prog: Program,
     out_buf: Vec<BufferId>,
     written_outports: BTreeSet<ActorId>,
+    // `(top-level statement index, origin)` marks recorded by `set_origin`;
+    // each mark covers statements up to the next mark. Materialised into
+    // `Program::origins` by `finish`.
+    origin_marks: Vec<(usize, Origin)>,
 }
 
 impl<'m> GenContext<'m> {
@@ -232,7 +236,16 @@ impl<'m> GenContext<'m> {
             prog,
             out_buf,
             written_outports: BTreeSet::new(),
+            origin_marks: Vec::new(),
         })
+    }
+
+    /// Attribute every top-level statement emitted from now on (until the
+    /// next call) to `origin`. Recorded unconditionally — attribution is
+    /// deterministic metadata, not gated on tracing — so equal inputs yield
+    /// byte-identical programs whether or not observability is enabled.
+    pub fn set_origin(&mut self, origin: Origin) {
+        self.origin_marks.push((self.prog.body.len(), origin));
     }
 
     /// Record that a generator wrote an `Outport`'s buffer directly
@@ -266,6 +279,8 @@ impl<'m> GenContext<'m> {
         for a in &self.model.actors {
             if a.kind == ActorKind::Outport && !self.written_outports.contains(&a.id) {
                 if let Ok(src) = self.value_buffer(PortRef::new(a.id, 0)) {
+                    self.origin_marks
+                        .push((self.prog.body.len(), Origin::actor(a.name.clone())));
                     self.prog.body.push(Stmt::Copy {
                         dst: self.actor_buffer(a.id),
                         src,
@@ -326,12 +341,20 @@ impl<'m> GenContext<'m> {
                     BufferKind::Temp,
                     None,
                 );
+                self.origin_marks.push((
+                    self.prog.body.len(),
+                    Origin::actor(self.model.actors[d.0].name.clone()),
+                ));
                 self.prog.body.push(Stmt::Copy { dst: shadow, src });
                 shadows.push((d, shadow));
             }
         }
         for d in order {
             if let Ok(src) = self.value_buffer(PortRef::new(d, 0)) {
+                self.origin_marks.push((
+                    self.prog.body.len(),
+                    Origin::actor(self.model.actors[d.0].name.clone()),
+                ));
                 self.prog.body.push(Stmt::Copy {
                     dst: self.actor_buffer(d),
                     src,
@@ -339,11 +362,30 @@ impl<'m> GenContext<'m> {
             }
         }
         for (d, shadow) in shadows {
+            self.origin_marks.push((
+                self.prog.body.len(),
+                Origin::actor(self.model.actors[d.0].name.clone()),
+            ));
             self.prog.body.push(Stmt::Copy {
                 dst: self.actor_buffer(d),
                 src: shadow,
             });
         }
+        // Materialise the marks into a per-statement origin table: each mark
+        // covers statements from its position up to the next mark.
+        let mut origins = vec![Origin::default(); self.prog.body.len()];
+        for (k, (start, origin)) in self.origin_marks.iter().enumerate() {
+            let end = self
+                .origin_marks
+                .get(k + 1)
+                .map_or(self.prog.body.len(), |(p, _)| *p)
+                .min(self.prog.body.len());
+            let start = (*start).min(self.prog.body.len());
+            for slot in &mut origins[start..end] {
+                *slot = origin.clone();
+            }
+        }
+        self.prog.origins = origins;
         self.prog
     }
 }

@@ -221,10 +221,12 @@ impl CodeGenerator for HcgGen {
                         let ri = region_of[aid.0];
                         if ri != usize::MAX {
                             if emitted_regions.insert(ri) {
+                                ctx.set_origin(hcg_vm::Origin::region(actor.name.clone(), ri));
                                 emit_region_plan(ctx, &regions[ri], &plans[ri])?;
                             }
                             continue;
                         }
+                        ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
                         match &dispatch[aid.0] {
                             Dispatch::Intensive { size } => {
                                 emit_intensive(ctx, &actor, size, &self.lib, &mut tuner)?;

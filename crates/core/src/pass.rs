@@ -49,6 +49,29 @@ impl StageCounters {
             kernel_calls: self.kernel_calls.saturating_sub(earlier.kernel_calls),
         }
     }
+
+    /// Component-wise accumulate `other` into `self` — the single summing
+    /// primitive behind [`StageReport::totals`] and registry emission.
+    pub fn add(&mut self, other: StageCounters) {
+        self.actors_dispatched += other.actors_dispatched;
+        self.regions_formed += other.regions_formed;
+        self.instructions_selected += other.instructions_selected;
+        self.nodes_fused += other.nodes_fused;
+        self.kernel_calls += other.kernel_calls;
+    }
+
+    /// Record every counter into a metrics registry under
+    /// `<prefix>.<field>` names.
+    pub fn record(&self, registry: &hcg_obs::MetricsRegistry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.actors_dispatched"), self.actors_dispatched);
+        registry.counter_add(&format!("{prefix}.regions_formed"), self.regions_formed);
+        registry.counter_add(
+            &format!("{prefix}.instructions_selected"),
+            self.instructions_selected,
+        );
+        registry.counter_add(&format!("{prefix}.nodes_fused"), self.nodes_fused);
+        registry.counter_add(&format!("{prefix}.kernel_calls"), self.kernel_calls);
+    }
 }
 
 /// What one pass did: wall-clock time, counter deltas, statements added,
@@ -91,13 +114,18 @@ impl StageReport {
     pub fn totals(&self) -> StageCounters {
         let mut t = StageCounters::default();
         for s in &self.stages {
-            t.actors_dispatched += s.counters.actors_dispatched;
-            t.regions_formed += s.counters.regions_formed;
-            t.instructions_selected += s.counters.instructions_selected;
-            t.nodes_fused += s.counters.nodes_fused;
-            t.kernel_calls += s.counters.kernel_calls;
+            t.add(s.counters);
         }
         t
+    }
+
+    /// Record this run's totals into a metrics registry: the summed
+    /// counters under `pipeline.*` plus run/stage/microsecond tallies.
+    pub fn record_metrics(&self, registry: &hcg_obs::MetricsRegistry) {
+        self.totals().record(registry, "pipeline");
+        registry.counter_add("pipeline.runs", 1);
+        registry.counter_add("pipeline.stages", self.stages.len() as u64);
+        registry.counter_add("pipeline.micros", self.total_micros());
     }
 
     /// Render as a fixed-width table (one line per stage plus a total row).
@@ -408,13 +436,16 @@ impl<'g> PassManager<'g> {
             (prog.generator.clone(), prog.name.clone())
         };
         let arch = ctx.arch();
+        let _run_span = hcg_obs::span_with("pipeline", || format!("{generator}/{model}@{arch}"));
         let mut stages = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             let counters_before = ctx.counters;
             let stmts_before = stmt_count(&ctx.current_program().body);
+            let pass_span = hcg_obs::span_with("pass", || format!("{generator}/{}", pass.name));
             let t0 = Instant::now();
             (pass.run)(&mut ctx)?;
             let micros = t0.elapsed().as_micros() as u64;
+            drop(pass_span);
             let prog = ctx.current_program();
             let lint_warnings = debug_lint_stage(prog, ctx.is_finished());
             stages.push(StageRecord {
@@ -431,6 +462,7 @@ impl<'g> PassManager<'g> {
             arch,
             stages,
         };
+        report.record_metrics(hcg_obs::MetricsRegistry::global());
         Ok((ctx.into_program()?, report))
     }
 }

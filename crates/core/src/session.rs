@@ -72,7 +72,11 @@ impl CompileSession {
     /// Returns the (cached) [`GenError::Model`] when the model is invalid.
     pub fn front_end(&self) -> Result<&FrontEnd, GenError> {
         self.front
-            .get_or_init(|| self.model.front_end().map_err(GenError::from))
+            .get_or_init(|| {
+                let _span =
+                    hcg_obs::span_with("session", || format!("front-end/{}", self.model.name));
+                self.model.front_end().map_err(GenError::from)
+            })
             .as_ref()
             .map_err(Clone::clone)
     }
@@ -103,6 +107,8 @@ impl CompileSession {
     pub fn dispatch(&self) -> Result<&[Dispatch], GenError> {
         self.dispatch
             .get_or_init(|| {
+                let _span =
+                    hcg_obs::span_with("session", || format!("dispatch/{}", self.model.name));
                 self.front_end()
                     .map(|fe| classify_all(&self.model, &fe.types))
             })

@@ -70,6 +70,17 @@ pub struct PoolStats {
     pub steals: u64,
 }
 
+impl PoolStats {
+    /// These stats as an [`hcg_obs::MetricsSnapshot`] — the shared schema
+    /// every JSON report embeds telemetry through.
+    pub fn snapshot(&self) -> hcg_obs::MetricsSnapshot {
+        let mut s = hcg_obs::MetricsSnapshot::new();
+        s.set_counter("exec.pool.workers", self.workers as u64);
+        s.set_counter("exec.pool.steals", self.steals);
+        s
+    }
+}
+
 /// Resolve a requested thread count: `0` means "all available cores",
 /// anything else is taken as-is (callers cap against job count separately).
 pub fn effective_threads(requested: usize) -> usize {
@@ -163,6 +174,9 @@ where
                     if stolen {
                         steals.fetch_add(1, Ordering::Relaxed);
                     }
+                    let _job_span = hcg_obs::span_with("exec", || {
+                        format!("job{index}{}", if stolen { " (stolen)" } else { "" })
+                    });
                     let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
                         index,
                         message: panic_message(payload.as_ref()),
@@ -194,13 +208,16 @@ where
                 })
             })
             .collect();
-        (
-            results,
-            PoolStats {
-                workers,
-                steals: steals.load(Ordering::Relaxed),
-            },
-        )
+        let stats = PoolStats {
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+        };
+        let registry = hcg_obs::MetricsRegistry::global();
+        registry.counter_add("exec.pool.runs", 1);
+        registry.counter_add("exec.pool.jobs", n_jobs as u64);
+        registry.counter_add("exec.pool.steals", stats.steals);
+        registry.counter_add("exec.pool.workers_spawned", stats.workers as u64);
+        (results, stats)
     })
 }
 

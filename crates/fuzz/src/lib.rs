@@ -194,7 +194,15 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             repro,
         });
     }
-    out.stage_times = stage_totals;
+    // Fold the accumulated stage timings (plus run shape) into the unified
+    // telemetry schema — the non-deterministic half of the report.
+    let mut telemetry = hcg_obs::MetricsSnapshot::new();
+    telemetry.set_counter("fuzz.cases", cfg.iters as u64);
+    telemetry.set_counter("fuzz.threads", out.threads as u64);
+    for (stage, d) in &stage_totals {
+        telemetry.set_gauge(&format!("fuzz.stage_seconds.{stage}"), d.as_secs_f64());
+    }
+    out.telemetry = telemetry;
 
     // Replay the committed corpus: every minimized repro must still load
     // and run through the oracle (clean, once its bug is fixed).

@@ -117,90 +117,105 @@ impl CaseReport {
     }
 }
 
+/// Run `f` as one named oracle stage: open an observability span, time it,
+/// append the wall-clock to `timings`.
+fn timed<T>(
+    name: &'static str,
+    timings: &mut Vec<(&'static str, Duration)>,
+    f: impl FnOnce() -> T,
+) -> T {
+    let _span = hcg_obs::span("oracle", name);
+    let t0 = Instant::now();
+    let out = f();
+    timings.push((name, t0.elapsed()));
+    out
+}
+
 /// Run every oracle check on one model.
 pub fn run_case(model: &Model, cfg: &OracleConfig) -> CaseReport {
-    let mut report = CaseReport {
-        divergences: Vec::new(),
-        timings: Vec::new(),
-    };
+    let mut divergences = Vec::new();
+    let mut timings = Vec::new();
     let lib = CodeLibrary::new();
 
     // Stage 1: compile the full generator × arch matrix.
-    let t0 = Instant::now();
-    let programs = compile_matrix(model, &mut report.divergences);
-    report.timings.push(("compile", t0.elapsed()));
+    let programs = timed("compile", &mut timings, || {
+        compile_matrix(model, &mut divergences)
+    });
 
     // Stage 2: cost-model sanity on every program × compiler profile.
-    let t0 = Instant::now();
-    for ((g, arch), prog) in &programs {
-        for compiler in Compiler::ALL {
-            let cm = CostModel::new(*arch, compiler);
-            let cycles = cm.cycles(prog, &lib);
-            let secs = cm.time_seconds(prog, &lib, 1);
-            if cycles == 0 || !secs.is_finite() || secs <= 0.0 {
-                report.divergences.push(Divergence {
-                    check: "cost",
-                    detail: format!("{g} on {arch}/{compiler}: cycles={cycles} secs={secs}"),
+    timed("cost", &mut timings, || {
+        for ((g, arch), prog) in &programs {
+            for compiler in Compiler::ALL {
+                let cm = CostModel::new(*arch, compiler);
+                let cycles = cm.cycles(prog, &lib);
+                let secs = cm.time_seconds(prog, &lib, 1);
+                if cycles == 0 || !secs.is_finite() || secs <= 0.0 {
+                    divergences.push(Divergence {
+                        check: "cost",
+                        detail: format!("{g} on {arch}/{compiler}: cycles={cycles} secs={secs}"),
+                    });
+                }
+            }
+        }
+    });
+
+    // Stage 3: numerical equivalence against the golden reference.
+    timed("equivalence", &mut timings, || {
+        check_equivalence(model, &programs, &lib, cfg, &mut divergences);
+    });
+
+    // Stage 4: validator cleanliness.
+    timed("validate", &mut timings, || {
+        for ((g, arch), prog) in &programs {
+            for d in validate_all(prog, &lib) {
+                divergences.push(Divergence {
+                    check: "validate",
+                    detail: format!("{g} on {arch}: {d}"),
                 });
             }
         }
-    }
-    report.timings.push(("cost", t0.elapsed()));
-
-    // Stage 3: numerical equivalence against the golden reference.
-    let t0 = Instant::now();
-    check_equivalence(model, &programs, &lib, cfg, &mut report.divergences);
-    report.timings.push(("equivalence", t0.elapsed()));
-
-    // Stage 4: validator cleanliness.
-    let t0 = Instant::now();
-    for ((g, arch), prog) in &programs {
-        for d in validate_all(prog, &lib) {
-            report.divergences.push(Divergence {
-                check: "validate",
-                detail: format!("{g} on {arch}: {d}"),
-            });
-        }
-    }
-    report.timings.push(("validate", t0.elapsed()));
+    });
 
     // Stage 5: lint gates — the model and every program must be
     // error-free under the analyzer.
-    let t0 = Instant::now();
-    let model_report = hcg_analysis::lint_model(model);
-    if model_report.has_errors() {
-        report.divergences.push(Divergence {
-            check: "lint-model",
-            detail: format!("{} model lint errors", model_report.error_count()),
-        });
-    }
-    for ((g, arch), prog) in &programs {
-        let r = hcg_analysis::lint_program(prog, &lib);
-        if r.has_errors() {
-            report.divergences.push(Divergence {
-                check: "lint-program",
-                detail: format!("{g} on {arch}: {} lint errors", r.error_count()),
+    timed("lint", &mut timings, || {
+        let model_report = hcg_analysis::lint_model(model);
+        if model_report.has_errors() {
+            divergences.push(Divergence {
+                check: "lint-model",
+                detail: format!("{} model lint errors", model_report.error_count()),
             });
         }
-    }
-    report.timings.push(("lint", t0.elapsed()));
+        for ((g, arch), prog) in &programs {
+            let r = hcg_analysis::lint_program(prog, &lib);
+            if r.has_errors() {
+                divergences.push(Divergence {
+                    check: "lint-program",
+                    detail: format!("{g} on {arch}: {} lint errors", r.error_count()),
+                });
+            }
+        }
+    });
 
     // Stage 6: XML round-trip is the identity, up to byte-identical C.
-    let t0 = Instant::now();
-    check_xml_roundtrip(model, &programs, &mut report.divergences);
-    report.timings.push(("xml-roundtrip", t0.elapsed()));
+    timed("xml-roundtrip", &mut timings, || {
+        check_xml_roundtrip(model, &programs, &mut divergences);
+    });
 
     // Stage 7: indexed and linear instruction selection agree.
-    let t0 = Instant::now();
-    check_indexed_selection(model, &mut report.divergences);
-    report.timings.push(("indexed-selection", t0.elapsed()));
+    timed("indexed-selection", &mut timings, || {
+        check_indexed_selection(model, &mut divergences);
+    });
 
     // Stage 8: the compile matrix is thread-count invariant.
-    let t0 = Instant::now();
-    check_fleet_identity(model, cfg.fleet_threads, &mut report.divergences);
-    report.timings.push(("fleet-identity", t0.elapsed()));
+    timed("fleet-identity", &mut timings, || {
+        check_fleet_identity(model, cfg.fleet_threads, &mut divergences);
+    });
 
-    report
+    CaseReport {
+        divergences,
+        timings,
+    }
 }
 
 type ProgramMatrix = BTreeMap<(&'static str, Arch), Program>;

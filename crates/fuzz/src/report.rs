@@ -46,9 +46,10 @@ pub struct FuzzReport {
     pub corpus_replayed: usize,
     /// Wall-clock of the whole run (excluded from the deterministic core).
     pub elapsed: Duration,
-    /// Accumulated per-stage oracle wall-clock, in stage order (excluded
-    /// from the deterministic core).
-    pub stage_times: Vec<(&'static str, Duration)>,
+    /// Wall-clock telemetry in the unified metrics schema: per-stage oracle
+    /// seconds as `fuzz.stage_seconds.<stage>` gauges plus run-shape
+    /// counters (excluded from the deterministic core).
+    pub telemetry: hcg_obs::MetricsSnapshot,
 }
 
 /// FNV-1a over a byte slice; tiny, dependency-free, stable across runs
@@ -121,20 +122,16 @@ impl FuzzReport {
         )
     }
 
-    /// The full report: the deterministic core plus timing telemetry.
+    /// The full report: the deterministic core plus timing telemetry (the
+    /// shared [`hcg_obs::MetricsSnapshot`] JSON schema).
     pub fn to_json(&self) -> String {
-        let stages: Vec<String> = self
-            .stage_times
-            .iter()
-            .map(|(s, d)| format!("{{\"stage\": \"{}\", \"seconds\": {:.6}}}", s, d.as_secs_f64()))
-            .collect();
         format!(
-            "{{\"deterministic\": {}, \"threads\": {}, \"elapsed_seconds\": {:.6}, \"cases_per_sec\": {:.2}, \"stage_times\": [{}]}}",
+            "{{\"deterministic\": {}, \"threads\": {}, \"elapsed_seconds\": {:.6}, \"cases_per_sec\": {:.2}, \"telemetry\": {}}}",
             self.deterministic_json(),
             self.threads,
             self.elapsed.as_secs_f64(),
             self.cases_per_sec(),
-            stages.join(", ")
+            self.telemetry.to_json()
         )
     }
 }
@@ -168,11 +165,13 @@ mod tests {
         };
         let a = r.deterministic_json();
         r.elapsed = Duration::from_secs(99);
-        r.stage_times.push(("compile", Duration::from_secs(1)));
+        r.telemetry.set_gauge("fuzz.stage_seconds.compile", 1.0);
         assert_eq!(a, r.deterministic_json());
         assert!(a.contains("\"cases_digest\": \"000000000000abcd\""));
         assert!(!a.contains("elapsed"));
-        assert!(r.to_json().contains("elapsed_seconds"));
+        let full = r.to_json();
+        assert!(full.contains("elapsed_seconds"));
+        assert!(full.contains("\"telemetry\": {\"fuzz.stage_seconds.compile\": 1}"));
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub fn schedule_runs() -> u64 {
     SCHEDULE_RUNS.with(Cell::get)
 }
 
+/// This thread's counters as an [`hcg_obs::MetricsSnapshot`], under the
+/// `model.*` namespace — the bridge from the thread-local cells into the
+/// unified metrics schema.
+pub fn snapshot() -> hcg_obs::MetricsSnapshot {
+    let mut s = hcg_obs::MetricsSnapshot::new();
+    s.set_counter("model.type_inference_runs", type_inference_runs());
+    s.set_counter("model.schedule_runs", schedule_runs());
+    s
+}
+
 pub(crate) fn note_type_inference() {
     TYPE_INFERENCE_RUNS.with(|c| c.set(c.get() + 1));
 }

@@ -1,0 +1,54 @@
+//! # hcg-obs — the observability layer
+//!
+//! Dependency-free tracing and metrics shared by every crate in the
+//! workspace:
+//!
+//! * [`span`]/[`span_with`] — RAII span guards recording into thread-local
+//!   buffers with deterministic ids; buffers flush losslessly into a global
+//!   sink whenever a thread's outermost span closes (so the `hcg-exec`
+//!   pool's workers publish before the pool joins them), and
+//!   [`take_events`] drains everything in a stable order.
+//! * [`MetricsRegistry`] — named monotonic counters and gauges behind one
+//!   process-global registry; [`MetricsSnapshot`] gives stable sorted-key
+//!   JSON plus counter deltas, unifying the previously scattered pipeline
+//!   counters, exec-pool steal stats, front-end run counters and fuzz
+//!   telemetry.
+//! * [`chrome_trace_json`] — Chrome trace-event JSON loadable by
+//!   `chrome://tracing` and Perfetto; [`render_tree`] is the compact text
+//!   alternative.
+//! * [`json::validate`] — a tiny JSON well-formedness checker so emitters
+//!   can assert their reports parse without pulling in a JSON crate.
+//!
+//! Instrumentation is opt-in: spans cost one relaxed atomic load while
+//! tracing is disabled ([`set_tracing`]), and no instrumented code path ever
+//! changes what a generator emits — programs are byte-identical with
+//! tracing on or off (proven by test in the bench crate).
+//!
+//! # Examples
+//!
+//! ```
+//! hcg_obs::set_tracing(true);
+//! {
+//!     let _outer = hcg_obs::span("demo", "outer");
+//!     let _inner = hcg_obs::span("demo", "inner");
+//! }
+//! hcg_obs::set_tracing(false);
+//! let events = hcg_obs::take_events();
+//! assert_eq!(events.len(), 2);
+//! let trace = hcg_obs::chrome_trace_json(&events);
+//! assert!(hcg_obs::json::validate(&trace).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod span;
+mod trace;
+
+pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use span::{
+    clear_events, flush_thread, set_tracing, span, span_with, take_events, tracing_enabled,
+    SpanEvent, SpanGuard,
+};
+pub use trace::{chrome_trace_json, render_tree};

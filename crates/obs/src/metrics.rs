@@ -1,0 +1,267 @@
+//! The unified metrics registry: named monotonic counters and gauges with
+//! a snapshot/delta API and stable sorted-key JSON output.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One metric value: a monotonic counter or a last-write-wins gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count (events, items, cycles).
+    Counter(u64),
+    /// Point-in-time measurement (seconds, ratios, worker counts).
+    Gauge(f64),
+}
+
+impl MetricValue {
+    /// Render as a JSON number (counters as integers, gauges via `f64`
+    /// shortest-round-trip formatting — stable for a given value).
+    fn to_json(self) -> String {
+        match self {
+            MetricValue::Counter(c) => c.to_string(),
+            MetricValue::Gauge(g) if g.is_finite() => format!("{g}"),
+            // JSON has no NaN/Inf; degrade to null rather than emit garbage.
+            MetricValue::Gauge(_) => "null".to_owned(),
+        }
+    }
+}
+
+/// A registry of named metrics. One process-global instance
+/// ([`MetricsRegistry::global`]) unifies counters from every subsystem;
+/// code that needs isolation (tests) can construct its own.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    values: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            values: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The process-global registry every subsystem records into.
+    pub fn global() -> &'static MetricsRegistry {
+        &GLOBAL
+    }
+
+    /// Add `by` to the named counter, creating it at zero first. A name
+    /// previously used as a gauge is converted (last writer wins on kind).
+    pub fn counter_add(&self, name: &str, by: u64) {
+        let mut m = self.values.lock().expect("metrics lock poisoned");
+        let slot = m
+            .entry(name.to_owned())
+            .or_insert(MetricValue::Counter(0));
+        *slot = match *slot {
+            MetricValue::Counter(c) => MetricValue::Counter(c.saturating_add(by)),
+            MetricValue::Gauge(_) => MetricValue::Counter(by),
+        };
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.values
+            .lock()
+            .expect("metrics lock poisoned")
+            .insert(name.to_owned(), MetricValue::Gauge(value));
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            values: self.values.lock().expect("metrics lock poisoned").clone(),
+        }
+    }
+
+    /// Remove every metric (test isolation).
+    pub fn reset(&self) {
+        self.values.lock().expect("metrics lock poisoned").clear();
+    }
+}
+
+/// An immutable point-in-time copy of a registry (or a hand-built metric
+/// set — the shared schema for report telemetry). Keys iterate and render
+/// in sorted order, so JSON output is byte-stable for equal content.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a counter value (used when building report telemetry by hand).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.values
+            .insert(name.to_owned(), MetricValue::Counter(value));
+    }
+
+    /// Set a gauge value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.values
+            .insert(name.to_owned(), MetricValue::Gauge(value));
+    }
+
+    /// The named counter, when present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The named gauge, when present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no metric is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(name, value)` in sorted-key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Metrics whose name starts with `prefix`, in sorted-key order.
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, MetricValue)> + 'a {
+        self.iter().filter(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Per-key difference `self - earlier`: counters subtract (saturating),
+    /// gauges keep this snapshot's value. Keys only in `earlier` are
+    /// dropped; keys only in `self` pass through unchanged.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(k, v)| {
+                let v = match (*v, earlier.values.get(k)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (v, _) => v,
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        MetricsSnapshot { values }
+    }
+
+    /// Copy every metric of `other` into `self` (other wins on clashes).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.values {
+            self.values.insert(k.clone(), *v);
+        }
+    }
+
+    /// A JSON object with one member per metric, keys sorted — byte-stable
+    /// for equal content.
+    pub fn to_json(&self) -> String {
+        let members: Vec<String> = self
+            .values
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", crate::json::escape(k), v.to_json()))
+            .collect();
+        format!("{{{}}}", members.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.counter_add("jobs", 3);
+        r.counter_add("jobs", 4);
+        r.gauge_set("workers", 8.0);
+        r.gauge_set("workers", 2.0);
+        let s = r.snapshot();
+        assert_eq!(s.counter("jobs"), Some(7));
+        assert_eq!(s.gauge("workers"), Some(2.0));
+        assert_eq!(s.counter("workers"), None);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut s = MetricsSnapshot::new();
+        s.set_gauge("b.ratio", 1.5);
+        s.set_counter("a.count", 2);
+        let j = s.to_json();
+        assert_eq!(j, "{\"a.count\": 2, \"b.ratio\": 1.5}");
+        assert_eq!(j, s.clone().to_json());
+        assert!(crate::json::validate(&j).is_ok());
+    }
+
+    #[test]
+    fn non_finite_gauges_render_null() {
+        let mut s = MetricsSnapshot::new();
+        s.set_gauge("bad", f64::NAN);
+        assert!(crate::json::validate(&s.to_json()).is_ok());
+        assert!(s.to_json().contains("null"));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_gauges() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("n", 10);
+        a.set_gauge("g", 1.0);
+        let mut b = a.clone();
+        b.set_counter("n", 17);
+        b.set_gauge("g", 9.0);
+        b.set_counter("new", 5);
+        let d = b.delta(&a);
+        assert_eq!(d.counter("n"), Some(7));
+        assert_eq!(d.gauge("g"), Some(9.0));
+        assert_eq!(d.counter("new"), Some(5));
+        // Underflow saturates rather than wrapping.
+        assert_eq!(a.delta(&b).counter("n"), Some(0));
+    }
+
+    #[test]
+    fn prefix_filter_and_merge() {
+        let mut s = MetricsSnapshot::new();
+        s.set_counter("exec.pool.jobs", 4);
+        s.set_counter("fuzz.cases", 9);
+        let execs: Vec<&str> = s.with_prefix("exec.").map(|(k, _)| k).collect();
+        assert_eq!(execs, ["exec.pool.jobs"]);
+        let mut t = MetricsSnapshot::new();
+        t.set_counter("fuzz.cases", 1);
+        t.merge(&s);
+        assert_eq!(t.counter("fuzz.cases"), Some(9));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        MetricsRegistry::global().counter_add("obs.test.global", 1);
+        assert!(MetricsRegistry::global()
+            .snapshot()
+            .counter("obs.test.global")
+            .is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! The span tracer: RAII guards, thread-local buffers, deterministic span
+//! ids, lossless cross-thread aggregation.
+//!
+//! Recording is gated on one process-global flag ([`set_tracing`]); a
+//! disabled [`span`] costs a single relaxed atomic load and allocates
+//! nothing. Each recording thread appends finished spans to a thread-local
+//! buffer; the buffer drains into a global sink whenever the thread's
+//! outermost span closes (with a thread-exit `Drop` as backstop), so
+//! scoped pool workers never lose events, and [`take_events`] gathers
+//! everything in a stable order.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Deterministic id: `thread_index << 32 | per-thread sequence`.
+    pub id: u64,
+    /// Span name (e.g. `hcg/compose`).
+    pub name: String,
+    /// Category (e.g. `pass`, `session`, `fleet`, `oracle`, `exec`).
+    pub cat: &'static str,
+    /// Recording thread's index (first-span order, not OS thread id).
+    pub tid: u64,
+    /// Nesting depth at open (0 = top level on its thread).
+    pub depth: u32,
+    /// Microseconds from the trace epoch to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Per-thread recording state. Buffered events publish to the global sink
+/// whenever the thread's outermost span closes (see [`SpanGuard`]'s `Drop`),
+/// so a pool worker's spans are visible before the pool joins it; the
+/// `Drop` here is a backstop for events still buffered at thread exit.
+struct LocalBuf {
+    tid: u64,
+    next_seq: u64,
+    depth: u32,
+    events: Vec<SpanEvent>,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        LocalBuf {
+            tid: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            next_seq: 0,
+            depth: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if !self.events.is_empty() {
+            if let Ok(mut sink) = SINK.lock() {
+                sink.append(&mut self.events);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// Turn span recording on or off process-wide. Off by default; flipping the
+/// flag never changes what instrumented code computes, only whether spans
+/// are buffered.
+pub fn set_tracing(enabled: bool) {
+    if enabled {
+        epoch(); // pin the epoch no later than the first enable
+    }
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Open a span; it closes (and records) when the returned guard drops.
+/// When tracing is disabled this is a no-op costing one atomic load.
+pub fn span(cat: &'static str, name: &str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { open: None };
+    }
+    open_span(cat, name.to_owned())
+}
+
+/// [`span`] with a lazily built name: the closure only runs (and only
+/// allocates) when tracing is enabled — use for formatted span names on
+/// hot paths.
+pub fn span_with(cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { open: None };
+    }
+    open_span(cat, name())
+}
+
+fn open_span(cat: &'static str, name: String) -> SpanGuard {
+    let start_us = epoch().elapsed().as_micros() as u64;
+    let (id, tid, depth) = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let id = (l.tid << 32) | (l.next_seq & 0xffff_ffff);
+        l.next_seq += 1;
+        let depth = l.depth;
+        l.depth += 1;
+        (id, l.tid, depth)
+    });
+    SpanGuard {
+        open: Some(OpenSpan {
+            id,
+            name,
+            cat,
+            tid,
+            depth,
+            start_us,
+            started: Instant::now(),
+        }),
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    name: String,
+    cat: &'static str,
+    tid: u64,
+    depth: u32,
+    start_us: u64,
+    started: Instant,
+}
+
+/// RAII guard returned by [`span`]; records the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let dur_us = open.started.elapsed().as_micros() as u64;
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.depth = l.depth.saturating_sub(1);
+            l.events.push(SpanEvent {
+                id: open.id,
+                name: open.name,
+                cat: open.cat,
+                tid: open.tid,
+                depth: open.depth,
+                start_us: open.start_us,
+                dur_us,
+            });
+            // Publish whenever the outermost span on this thread closes:
+            // thread-local destructors may run after a scoped thread is
+            // considered joined, so relying on `LocalBuf::drop` alone would
+            // race `take_events` against worker exit.
+            if l.depth == 0 {
+                if let Ok(mut sink) = SINK.lock() {
+                    sink.append(&mut l.events);
+                }
+            }
+        });
+    }
+}
+
+/// Flush the calling thread's buffered events into the global sink.
+/// Threads flush automatically on exit; call this only to publish events
+/// from a still-running thread (e.g. the main thread before export).
+pub fn flush_thread() {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if !l.events.is_empty() {
+            let mut sink = SINK.lock().expect("span sink poisoned");
+            sink.append(&mut l.events);
+        }
+    });
+}
+
+/// Flush the calling thread and drain every collected event, ordered by
+/// `(start_us, tid, id)` so equal traces render identically regardless of
+/// which worker flushed first.
+pub fn take_events() -> Vec<SpanEvent> {
+    flush_thread();
+    let mut events = {
+        let mut sink = SINK.lock().expect("span sink poisoned");
+        std::mem::take(&mut *sink)
+    };
+    events.sort_by_key(|e| (e.start_us, e.tid, e.id));
+    events
+}
+
+/// Discard all buffered events (this thread's and the sink's).
+pub fn clear_events() {
+    let _ = take_events();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share process-global state (the enable flag and sink), so
+    // they run under one lock to stay independent of test threading.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        set_tracing(false);
+        {
+            let _s = span("t", "invisible");
+        }
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn nesting_depth_and_ids() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        set_tracing(true);
+        {
+            let _outer = span("t", "outer");
+            let _inner = span_with("t", || format!("inner-{}", 1));
+        }
+        set_tracing(false);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner-1").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.tid, inner.tid);
+        assert_ne!(outer.id, inner.id);
+        assert!(outer.dur_us >= inner.dur_us);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        set_tracing(true);
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                scope.spawn(move || {
+                    let _s = span_with("worker", || format!("job{i}"));
+                });
+            }
+        });
+        set_tracing(false);
+        let events = take_events();
+        assert_eq!(events.len(), 3, "every worker's span must survive exit");
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3, "each worker gets its own tid");
+    }
+
+    #[test]
+    fn span_with_skips_closure_when_disabled() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_tracing(false);
+        let mut ran = false;
+        {
+            let _s = span_with("t", || {
+                ran = true;
+                String::new()
+            });
+        }
+        assert!(!ran, "name closure must not run while tracing is off");
+    }
+}

@@ -133,7 +133,9 @@ impl CostModel {
         (3, 2)
     }
 
-    /// Estimated cycles for one program step.
+    /// Estimated cycles for one program step: the sum of [`Self::stmt_cycles`]
+    /// over the program's top-level statements. The profiler relies on this
+    /// identity — per-statement attribution sums exactly to the total.
     ///
     /// Loop trip counts are static in the IR, so the estimate is exact for
     /// the cost model's definition of cost.
@@ -142,57 +144,56 @@ impl CostModel {
     }
 
     fn block_cycles(&self, prog: &Program, lib: &CodeLibrary, stmts: &[Stmt]) -> u64 {
+        stmts.iter().map(|s| self.stmt_cycles(prog, lib, s)).sum()
+    }
+
+    /// Cycles charged to one statement, including everything nested inside
+    /// it (a loop's cost covers its whole body across all trips).
+    pub fn stmt_cycles(&self, prog: &Program, lib: &CodeLibrary, s: &Stmt) -> u64 {
         let (qn, qd) = self.scalar_quality();
-        let mut total = 0u64;
-        for s in stmts {
-            total += match s {
-                Stmt::Loop {
-                    start,
-                    end,
-                    step,
-                    body,
-                } => {
-                    let trips = if end > start {
-                        (end - start).div_ceil(*step)
-                    } else {
-                        0
-                    } as u64;
-                    2 + trips * (self.loop_iter_cycles() + self.block_cycles(prog, lib, body))
+        match s {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let trips = if end > start {
+                    (end - start).div_ceil(*step)
+                } else {
+                    0
+                } as u64;
+                2 + trips * (self.loop_iter_cycles() + self.block_cycles(prog, lib, body))
+            }
+            Stmt::Scalar { op, srcs, .. } => {
+                let compute = self.scalar_op_cycles(op);
+                let mem = (srcs.len() as u64 + 1) * self.scalar_mem_cycles();
+                (compute + mem) * qn / qd
+            }
+            Stmt::VLoad { .. } => self.vector_mem_cycles(),
+            Stmt::VStore { buf, .. } => {
+                let mut c = self.vector_mem_cycles();
+                if prog.buffer(*buf).kind == BufferKind::Temp {
+                    c += self.spill_penalty();
                 }
-                Stmt::Scalar { op, srcs, .. } => {
-                    let compute = self.scalar_op_cycles(op);
-                    let mem = (srcs.len() as u64 + 1) * self.scalar_mem_cycles();
-                    (compute + mem) * qn / qd
-                }
-                Stmt::VLoad { .. } => self.vector_mem_cycles(),
-                Stmt::VStore { buf, .. } => {
-                    let mut c = self.vector_mem_cycles();
-                    if prog.buffer(*buf).kind == BufferKind::Temp {
-                        c += self.spill_penalty();
-                    }
-                    c
-                }
-                Stmt::VOp { cost, .. } => *cost as u64,
-                Stmt::KernelCall {
-                    actor,
-                    impl_name,
-                    inputs,
-                    ..
-                } => {
-                    let in_types: Vec<_> =
-                        inputs.iter().map(|b| prog.buffer(*b).ty).collect();
-                    let ops = KernelSize::from_inputs(*actor, &in_types)
-                        .and_then(|size| {
-                            lib.find(*actor, impl_name).map(|k| k.op_count(&size))
-                        })
-                        .unwrap_or(0);
-                    let (kn, kd) = self.kernel_op_cycles_num_den();
-                    ops * kn / kd
-                }
-                Stmt::Copy { dst, .. } => 2 * prog.buffer(*dst).ty.len() as u64,
-            };
+                c
+            }
+            Stmt::VOp { cost, .. } => *cost as u64,
+            Stmt::KernelCall {
+                actor,
+                impl_name,
+                inputs,
+                ..
+            } => {
+                let in_types: Vec<_> = inputs.iter().map(|b| prog.buffer(*b).ty).collect();
+                let ops = KernelSize::from_inputs(*actor, &in_types)
+                    .and_then(|size| lib.find(*actor, impl_name).map(|k| k.op_count(&size)))
+                    .unwrap_or(0);
+                let (kn, kd) = self.kernel_op_cycles_num_den();
+                ops * kn / kd
+            }
+            Stmt::Copy { dst, .. } => 2 * prog.buffer(*dst).ty.len() as u64,
         }
-        total
     }
 
     /// Wall-clock estimate for `iterations` model steps, in seconds — the

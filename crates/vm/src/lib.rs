@@ -45,13 +45,15 @@
 
 mod cost;
 mod interp;
+mod profile;
 mod program;
 mod validate;
 
 pub use cost::{paper_platforms, Compiler, CostModel};
 pub use interp::{ExecError, Machine};
+pub use profile::{profile, ActorCycles, CycleProfile, RegionCycles};
 pub use program::{
-    BufferDecl, BufferId, BufferKind, ElemRef, IndexExpr, Program, RegId, ScalarOp, Stmt,
+    BufferDecl, BufferId, BufferKind, ElemRef, IndexExpr, Origin, Program, RegId, ScalarOp, Stmt,
     StmtStats,
 };
 pub use validate::{validate, validate_all, Defect, DefectKind, ValidateError};

@@ -196,6 +196,44 @@ pub enum Stmt {
     },
 }
 
+/// Provenance of one top-level statement: the model actor (and, for
+/// HCG-mapped code, the SIMD region) it was emitted for. Pure metadata —
+/// the interpreter, cost model and source emitter never read it, so two
+/// programs differing only in origins execute, cost and render identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Origin {
+    /// Source actor name, when known.
+    pub actor: Option<String>,
+    /// Mapped-region index within the generator run, when the statement
+    /// came out of region instruction mapping.
+    pub region: Option<usize>,
+}
+
+impl Origin {
+    /// Provenance for code emitted on behalf of a single actor.
+    pub fn actor(name: impl Into<String>) -> Self {
+        Origin {
+            actor: Some(name.into()),
+            region: None,
+        }
+    }
+
+    /// Provenance for code emitted for a mapped SIMD region, labelled by
+    /// the region's first member actor.
+    pub fn region(name: impl Into<String>, index: usize) -> Self {
+        Origin {
+            actor: Some(name.into()),
+            region: Some(index),
+        }
+    }
+
+    /// Attribution label: the actor name, or `(unattributed)` for default
+    /// origins.
+    pub fn label(&self) -> &str {
+        self.actor.as_deref().unwrap_or("(unattributed)")
+    }
+}
+
 /// A generated program: buffers plus a statement body executed once per
 /// model step.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +254,11 @@ pub struct Program {
     pub reg_names: Vec<String>,
     /// Statements executed every step.
     pub body: Vec<Stmt>,
+    /// Provenance per top-level statement of `body` (parallel to it when
+    /// non-empty; generators that don't attribute leave it empty). Recorded
+    /// unconditionally — independent of whether tracing is enabled — so
+    /// equal inputs always produce equal programs.
+    pub origins: Vec<Origin>,
 }
 
 impl Program {
@@ -230,6 +273,7 @@ impl Program {
             reg_types: Vec::new(),
             reg_names: Vec::new(),
             body: Vec::new(),
+            origins: Vec::new(),
         }
     }
 

@@ -27,4 +27,11 @@ cargo run -q --release -p hcg-bench --bin repro -- fuzz --seed 0 --iters 50 \
 echo "==> corpus replay (committed repros through the full oracle)"
 cargo test -q --release -p hcg-fuzz --test corpus_replay
 
+echo "==> profile smoke run (cycle attribution conserves, trace JSON parses)"
+cargo run -q --release -p hcg-bench --bin repro -- profile --model FIR \
+    --json target/profile_smoke.json --trace target/trace_smoke.json \
+    --out target/repro_profile.txt
+grep -q '"traceEvents"' target/trace_smoke.json
+grep -q '"total_cycles"' target/profile_smoke.json
+
 echo "OK: all checks passed"

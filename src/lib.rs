@@ -7,6 +7,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
+//! | [`obs`] | `hcg-obs` | Observability layer: span tracing (Chrome trace JSON), unified metrics registry |
 //! | [`model`] | `hcg-model` | Simulink-like models: actors, typed signals, XML model files, scheduling, benchmark library |
 //! | [`graph`] | `hcg-graph` | Dataflow graphs, subgraph extension, instruction matching |
 //! | [`isa`] | `hcg-isa` | SIMD instruction sets (NEON/SSE/AVX) with computing graphs, loadable from text files |
@@ -51,4 +52,5 @@ pub use hcg_graph as graph;
 pub use hcg_isa as isa;
 pub use hcg_kernels as kernels;
 pub use hcg_model as model;
+pub use hcg_obs as obs;
 pub use hcg_vm as vm;
