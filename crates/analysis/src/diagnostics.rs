@@ -120,6 +120,17 @@ pub enum LintCode {
     LaneWidthExceedsArch,
     /// A write to a `Const` buffer.
     WriteToConst,
+
+    // ---- program front end: value-range (raised by hcg-verify) ----
+    /// Integer arithmetic whose result interval can escape its dtype and
+    /// wrap.
+    PossibleOverflow,
+    /// An integer division whose divisor interval contains zero (defined as
+    /// zero in the VM, undefined behaviour in lowered C).
+    PossibleDivByZero,
+    /// A vector op pattern reading a lane index beyond a source register's
+    /// lane count.
+    LaneOutOfRange,
 }
 
 impl LintCode {
@@ -167,6 +178,9 @@ impl LintCode {
             KernelAliasing => "program/kernel-aliasing",
             LaneWidthExceedsArch => "program/lane-width-exceeds-arch",
             WriteToConst => "program/write-to-const",
+            PossibleOverflow => "program/possible-overflow",
+            PossibleDivByZero => "program/possible-div-by-zero",
+            LaneOutOfRange => "program/lane-out-of-range",
         }
     }
 
@@ -174,8 +188,15 @@ impl LintCode {
     pub const fn severity(self) -> Severity {
         use LintCode::*;
         match self {
-            DuplicateConnection | DanglingOutput | UnreachableActor | NoOutput | DeadStore
-            | NeverReadBuffer | SanitizedNameCollision => Severity::Warning,
+            DuplicateConnection
+            | DanglingOutput
+            | UnreachableActor
+            | NoOutput
+            | DeadStore
+            | NeverReadBuffer
+            | SanitizedNameCollision
+            | PossibleOverflow
+            | PossibleDivByZero => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -305,7 +326,8 @@ impl LintReport {
 
     /// Record one finding.
     pub fn push(&mut self, code: LintCode, location: Location, message: impl Into<String>) {
-        self.diagnostics.push(Diagnostic::new(code, location, message));
+        self.diagnostics
+            .push(Diagnostic::new(code, location, message));
     }
 
     /// Append another report's findings (used when chaining file-level and
@@ -372,6 +394,28 @@ impl fmt::Display for LintReport {
     }
 }
 
+/// Shared CLI formatter for a batch of reports: every front end that prints
+/// diagnostics (the `lint` tool, `repro -- lint`, the static verifier's
+/// range lints) renders through this one function so reports look identical
+/// everywhere, and all of them gate their exit status on the returned
+/// error flag.
+///
+/// Returns the rendered text and `true` when any report contains an
+/// error-severity finding.
+pub fn format_reports<'a, I>(reports: I) -> (String, bool)
+where
+    I: IntoIterator<Item = &'a LintReport>,
+{
+    let mut out = String::new();
+    let mut has_errors = false;
+    for r in reports {
+        out.push_str(&r.render());
+        out.push('\n');
+        has_errors |= r.has_errors();
+    }
+    (out, has_errors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,7 +438,10 @@ mod tests {
         assert!(r.has_errors());
         assert!(r.has(LintCode::DeadStore));
         assert!(!r.has(LintCode::NoOutput));
-        assert_eq!(r.codes(), vec![LintCode::AlgebraicLoop, LintCode::DeadStore]);
+        assert_eq!(
+            r.codes(),
+            vec![LintCode::AlgebraicLoop, LintCode::DeadStore]
+        );
     }
 
     #[test]
@@ -467,6 +514,9 @@ mod tests {
             KernelAliasing,
             LaneWidthExceedsArch,
             WriteToConst,
+            PossibleOverflow,
+            PossibleDivByZero,
+            LaneOutOfRange,
         ];
         let mut names: Vec<&str> = all.iter().map(|c| c.name()).collect();
         names.sort();

@@ -22,7 +22,7 @@ mod model_lints;
 mod program_lints;
 mod xml_front;
 
-pub use diagnostics::{Diagnostic, LintCode, LintReport, Location, Severity};
+pub use diagnostics::{format_reports, Diagnostic, LintCode, LintReport, Location, Severity};
 pub use model_lints::lint_model;
 pub use program_lints::{lint_program, lint_stage};
 pub use xml_front::lint_model_file;

@@ -128,7 +128,10 @@ fn lint_param_values(a: &Actor, r: &mut LintReport) {
     match a.kind {
         ActorKind::Inport | ActorKind::Constant | ActorKind::UnitDelay => {
             if a.params.contains_key("type") && a.type_param("type").is_none() {
-                bad("type", "not a valid signal type (expected e.g. \"f32*1024\")".into());
+                bad(
+                    "type",
+                    "not a valid signal type (expected e.g. \"f32*1024\")".into(),
+                );
             }
             if a.kind == ActorKind::Constant {
                 if let Some(p) = a.param("value") {
@@ -351,7 +354,11 @@ fn propagate_one(a: &Actor, ins: &[Option<SignalType>]) -> Option<SignalType> {
             }
         }),
         Add | Sub | Mul | Div | BitAnd | BitOr | BitXor | Min | Max | Abd => array_known,
-        Switch => ins.get(1).copied().flatten().or(ins.get(2).copied().flatten()),
+        Switch => ins
+            .get(1)
+            .copied()
+            .flatten()
+            .or(ins.get(2).copied().flatten()),
         MatMul => {
             let (x, y) = (ins[0]?, ins[1]?);
             let (r, _) = mat_dims(x)?;
@@ -432,9 +439,8 @@ fn lint_types(model: &Model, r: &mut LintReport) {
                             format!("{} inputs mix dtypes {} and {}", a.kind, x.dtype, y.dtype),
                         );
                     }
-                    let shapes_ok = x.shape == y.shape
-                        || x.shape == Shape::Scalar
-                        || y.shape == Shape::Scalar;
+                    let shapes_ok =
+                        x.shape == y.shape || x.shape == Shape::Scalar || y.shape == Shape::Scalar;
                     if !shapes_ok {
                         r.push(
                             LintCode::ScaleMismatch,
@@ -460,7 +466,10 @@ fn lint_types(model: &Model, r: &mut LintReport) {
                         r.push(
                             LintCode::ScaleMismatch,
                             at(a),
-                            format!("Switch data input scales differ: {} vs {}", x.shape, y.shape),
+                            format!(
+                                "Switch data input scales differ: {} vs {}",
+                                x.shape, y.shape
+                            ),
                         );
                     }
                     if let Some(c) = ins[0] {

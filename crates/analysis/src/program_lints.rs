@@ -37,9 +37,8 @@ pub fn lint_program(prog: &Program, lib: &CodeLibrary) -> LintReport {
 pub fn lint_stage(prog: &Program, lib: &CodeLibrary, complete: bool) -> LintReport {
     let mut r = lint_program(prog, lib);
     if !complete {
-        r.diagnostics.retain(|d| {
-            !matches!(d.code, LintCode::DeadStore | LintCode::NeverReadBuffer)
-        });
+        r.diagnostics
+            .retain(|d| !matches!(d.code, LintCode::DeadStore | LintCode::NeverReadBuffer));
     }
     r
 }
@@ -461,7 +460,11 @@ mod tests {
             reg,
         });
         let r = lint_program(&p, &CodeLibrary::new());
-        assert!(r.has(LintCode::UninitializedRegister), "got: {}", r.render());
+        assert!(
+            r.has(LintCode::UninitializedRegister),
+            "got: {}",
+            r.render()
+        );
     }
 
     #[test]
@@ -483,21 +486,48 @@ mod tests {
         // Unrolled code writes t[0], t[1], t[2], t[3] then reads them all —
         // element stores at different indices must not count as overwrites.
         let mut p = Program::new("t", "test", Arch::Neon128);
-        let a = p.add_buffer("a", SignalType::vector(DataType::I32, 4), BufferKind::Input, None);
-        let t = p.add_buffer("t", SignalType::vector(DataType::I32, 4), BufferKind::Temp, None);
-        let o = p.add_buffer("o", SignalType::vector(DataType::I32, 4), BufferKind::Output, None);
+        let a = p.add_buffer(
+            "a",
+            SignalType::vector(DataType::I32, 4),
+            BufferKind::Input,
+            None,
+        );
+        let t = p.add_buffer(
+            "t",
+            SignalType::vector(DataType::I32, 4),
+            BufferKind::Temp,
+            None,
+        );
+        let o = p.add_buffer(
+            "o",
+            SignalType::vector(DataType::I32, 4),
+            BufferKind::Output,
+            None,
+        );
         for i in 0..4 {
             p.body.push(Stmt::Scalar {
                 op: ScalarOp::Elem(ElemOp::Abs),
-                dst: ElemRef { buf: t, index: IndexExpr::Const(i) },
-                srcs: vec![ElemRef { buf: a, index: IndexExpr::Const(i) }],
+                dst: ElemRef {
+                    buf: t,
+                    index: IndexExpr::Const(i),
+                },
+                srcs: vec![ElemRef {
+                    buf: a,
+                    index: IndexExpr::Const(i),
+                }],
             });
         }
         for i in 0..4 {
             p.body.push(Stmt::Scalar {
                 op: ScalarOp::Elem(ElemOp::Abs),
-                dst: ElemRef { buf: o, index: IndexExpr::Const(i) },
-                srcs: vec![ElemRef { buf: t, index: IndexExpr::Const(i) }],
+                dst: ElemRef {
+                    buf: o,
+                    index: IndexExpr::Const(i),
+                },
+                srcs: vec![ElemRef {
+                    buf: t,
+                    index: IndexExpr::Const(i),
+                }],
             });
         }
         let r = lint_program(&p, &CodeLibrary::new());
@@ -505,20 +535,47 @@ mod tests {
 
         // But writing the SAME element twice with no read in between is dead.
         let mut p = Program::new("t", "test", Arch::Neon128);
-        let a = p.add_buffer("a", SignalType::vector(DataType::I32, 4), BufferKind::Input, None);
-        let t = p.add_buffer("t", SignalType::vector(DataType::I32, 4), BufferKind::Temp, None);
-        let o = p.add_buffer("o", SignalType::vector(DataType::I32, 4), BufferKind::Output, None);
+        let a = p.add_buffer(
+            "a",
+            SignalType::vector(DataType::I32, 4),
+            BufferKind::Input,
+            None,
+        );
+        let t = p.add_buffer(
+            "t",
+            SignalType::vector(DataType::I32, 4),
+            BufferKind::Temp,
+            None,
+        );
+        let o = p.add_buffer(
+            "o",
+            SignalType::vector(DataType::I32, 4),
+            BufferKind::Output,
+            None,
+        );
         for _ in 0..2 {
             p.body.push(Stmt::Scalar {
                 op: ScalarOp::Elem(ElemOp::Abs),
-                dst: ElemRef { buf: t, index: IndexExpr::Const(0) },
-                srcs: vec![ElemRef { buf: a, index: IndexExpr::Const(0) }],
+                dst: ElemRef {
+                    buf: t,
+                    index: IndexExpr::Const(0),
+                },
+                srcs: vec![ElemRef {
+                    buf: a,
+                    index: IndexExpr::Const(0),
+                }],
             });
         }
         p.body.push(Stmt::Scalar {
             op: ScalarOp::Elem(ElemOp::Abs),
-            dst: ElemRef { buf: o, index: IndexExpr::Const(0) },
-            srcs: vec![ElemRef { buf: t, index: IndexExpr::Const(0) }],
+            dst: ElemRef {
+                buf: o,
+                index: IndexExpr::Const(0),
+            },
+            srcs: vec![ElemRef {
+                buf: t,
+                index: IndexExpr::Const(0),
+            }],
         });
         let r = lint_program(&p, &CodeLibrary::new());
         assert!(r.has(LintCode::DeadStore), "got: {}", r.render());
@@ -612,7 +669,11 @@ mod tests {
         p.body.push(abs_loop(t, a));
         p.body.push(abs_loop(o, t));
         let r = lint_program(&p, &CodeLibrary::new());
-        assert!(r.has(LintCode::UninitializedRegister), "got: {}", r.render());
+        assert!(
+            r.has(LintCode::UninitializedRegister),
+            "got: {}",
+            r.render()
+        );
         assert!(r.has(LintCode::DeadStore), "got: {}", r.render());
         let text = r.render();
         assert!(text.contains("program/uninitialized-register"));

@@ -39,7 +39,11 @@ pub fn lint_model_file(text: &str) -> LintReport {
         Err(e) => {
             // The lenient walk missed something the strict parser rejects —
             // still surface it rather than silently returning a clean report.
-            r.push(LintCode::MalformedModelFile, Location::Global, e.to_string());
+            r.push(
+                LintCode::MalformedModelFile,
+                Location::Global,
+                e.to_string(),
+            );
         }
     }
     r

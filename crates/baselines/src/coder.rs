@@ -316,7 +316,9 @@ mod tests {
     #[test]
     fn generic_kernels_for_intensive() {
         let g = SimulinkCoderGen::new();
-        let p = g.generate(&library::dct_model(1024), Arch::Neon128).unwrap();
+        let p = g
+            .generate(&library::dct_model(1024), Arch::Neon128)
+            .unwrap();
         let call = p
             .body
             .iter()

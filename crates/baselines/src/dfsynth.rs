@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn uses_generic_kernels_only() {
         let g = DfSynthGen::new();
-        let p = g.generate(&library::fft_model(1024), Arch::Neon128).unwrap();
+        let p = g
+            .generate(&library::fft_model(1024), Arch::Neon128)
+            .unwrap();
         let call = p
             .body
             .iter()

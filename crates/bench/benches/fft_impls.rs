@@ -20,11 +20,9 @@ fn bench_fft_impls(c: &mut Criterion) {
             if kernel.name == "naive_dft" && n > 256 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name, n),
-                &input,
-                |b, input| b.iter(|| kernel.run(input).expect("fft runs")),
-            );
+            group.bench_with_input(BenchmarkId::new(kernel.name, n), &input, |b, input| {
+                b.iter(|| kernel.run(input).expect("fft runs"))
+            });
         }
     }
     group.finish();

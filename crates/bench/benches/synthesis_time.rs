@@ -17,11 +17,9 @@ fn bench_synthesis(c: &mut Criterion) {
     for model in library::paper_benchmarks() {
         for gen in &generators {
             let short = model.name.split('_').next().unwrap_or("?").to_owned();
-            group.bench_with_input(
-                BenchmarkId::new(gen.name(), short),
-                &model,
-                |b, model| b.iter(|| gen.generate(model, Arch::Neon128).expect("generates")),
-            );
+            group.bench_with_input(BenchmarkId::new(gen.name(), short), &model, |b, model| {
+                b.iter(|| gen.generate(model, Arch::Neon128).expect("generates"))
+            });
         }
     }
     group.finish();

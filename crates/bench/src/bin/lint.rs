@@ -13,13 +13,13 @@
 //! each program's lint report. The exit status is non-zero when any report
 //! contains error-severity diagnostics.
 
-use hcg_analysis::{lint_model_file, lint_program, LintReport};
+use hcg_analysis::{format_reports, lint_model_file, lint_program, LintReport};
 use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
 use hcg_core::{CodeGenerator, HcgGen};
 use hcg_isa::Arch;
 use hcg_kernels::CodeLibrary;
-use hcg_model::parser::{model_from_xml, model_to_xml};
 use hcg_model::library;
+use hcg_model::parser::{model_from_xml, model_to_xml};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +69,10 @@ fn main() {
                 match generator.generate(&model, arch) {
                     Ok(prog) => failed |= print_report(&lint_program(&prog, &lib)),
                     Err(e) => {
-                        eprintln!("lint: {} on {arch} failed to generate: {e}", generator.name());
+                        eprintln!(
+                            "lint: {} on {arch} failed to generate: {e}",
+                            generator.name()
+                        );
                         failed = true;
                     }
                 }
@@ -81,10 +84,12 @@ fn main() {
     }
 }
 
-/// Print a report; returns true when it contains errors.
+/// Print a report through the shared diagnostics formatter; returns true
+/// when it contains errors.
 fn print_report(report: &LintReport) -> bool {
-    println!("{}", report.render());
-    report.has_errors()
+    let (text, has_errors) = format_reports([report]);
+    print!("{text}");
+    has_errors
 }
 
 /// Write the bundled library models out as XML files, so the lint gate (and

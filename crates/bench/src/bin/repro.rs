@@ -15,6 +15,8 @@
 //! cargo run -p hcg-bench --bin repro --release -- fleet [--threads N] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- fuzz [--seed S] [--iters N] [--threads T] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- profile [--model M] [--json PATH] [--trace PATH]
+//! cargo run -p hcg-bench --bin repro --release -- verify [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- lint
 //! ```
 
 use hcg_baselines::SimulinkCoderGen;
@@ -75,6 +77,8 @@ fn main() {
             fleet_cmd(args.threads, args.json.as_deref());
             fuzz_cmd(&args);
             profile_cmd(&args);
+            lint_cmd();
+            verify_cmd(&args);
         }
         "table1" => table1_cmd(),
         "fig1" => fig1_cmd(args.wall_clock),
@@ -92,6 +96,8 @@ fn main() {
         "fleet" => fleet_cmd(args.threads, args.json.as_deref()),
         "fuzz" => fuzz_cmd(&args),
         "profile" => profile_cmd(&args),
+        "lint" => lint_cmd(),
+        "verify" => verify_cmd(&args),
         other => {
             eprintln!("unknown experiment {other:?}; see module docs for the list");
             std::process::exit(2);
@@ -140,7 +146,9 @@ fn fig1_cmd(wall_clock: bool) {
     heading(&format!(
         "Figure 1 — FFT implementation cost vs input length ({unit}, lower is better)"
     ));
-    let lengths = [4, 8, 16, 32, 64, 100, 128, 256, 500, 512, 1000, 1024, 2048, 4096];
+    let lengths = [
+        4, 8, 16, 32, 64, 100, 128, 256, 500, 512, 1000, 1024, 2048, 4096,
+    ];
     let rows = fig1(&lengths, wall_clock);
     let impls: Vec<String> = rows[0].costs.iter().map(|(n, _)| n.clone()).collect();
     out!("{:>6}", "n");
@@ -178,7 +186,9 @@ fn fig2_cmd() {
         .expect("generates");
     outln!("--- Simulink-Coder-like (ARM: scalar, expression-folded) ---");
     outln!("{}", to_c_source(&coder));
-    let hcg = HcgGen::new().generate(&m, Arch::Neon128).expect("generates");
+    let hcg = HcgGen::new()
+        .generate(&m, Arch::Neon128)
+        .expect("generates");
     outln!("--- HCG (fused SIMD) ---");
     outln!("{}", to_c_source(&hcg));
 }
@@ -192,18 +202,33 @@ fn fig4_cmd() {
     let set = hcg_isa::sets::builtin(Arch::Neon128);
     let regions = hcg_core::batch::form_regions(&ctx, &dispatch, &set);
     for trace in hcg_core::explain_region(&ctx, &regions[0], &set).expect("maps") {
-        outln!("  from {:<5} candidates: {:?}", trace.start, trace.candidates);
-        outln!("        matched {:<28} -> {}", trace.chosen, trace.instruction);
+        outln!(
+            "  from {:<5} candidates: {:?}",
+            trace.start,
+            trace.candidates
+        );
+        outln!(
+            "        matched {:<28} -> {}",
+            trace.chosen,
+            trace.instruction
+        );
     }
     outln!();
-    let hcg = HcgGen::new().generate(&m, Arch::Neon128).expect("generates");
+    let hcg = HcgGen::new()
+        .generate(&m, Arch::Neon128)
+        .expect("generates");
     outln!("{}", to_c_source(&hcg));
 }
 
 fn print_exec_rows(rows: &[ExecRow]) {
     outln!(
         "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "Model", "Simulink(s)", "DFSynth(s)", "HCG(s)", "vs Simulink", "vs DFSynth"
+        "Model",
+        "Simulink(s)",
+        "DFSynth(s)",
+        "HCG(s)",
+        "vs Simulink",
+        "vs DFSynth"
     );
     for r in rows {
         outln!(
@@ -257,7 +282,11 @@ fn memory_cmd() {
     heading("Section 4.1 — memory usage of generated code (paper: within 1%)");
     outln!(
         "{:>10} {:>12} {:>12} {:>12} {:>8}",
-        "Model", "Simulink(B)", "DFSynth(B)", "HCG(B)", "spread"
+        "Model",
+        "Simulink(B)",
+        "DFSynth(B)",
+        "HCG(B)",
+        "spread"
     );
     for r in memory_table(Arch::Neon128) {
         let (a, b, c) = r.bytes;
@@ -278,13 +307,19 @@ fn gentime_cmd(threads: usize) {
     heading("Section 4.1 — code generation time (paper: 1-2 s for all tools)");
     outln!(
         "{:>10} {:>14} {:>14} {:>14}",
-        "Model", "Simulink(us)", "DFSynth(us)", "HCG(us)"
+        "Model",
+        "Simulink(us)",
+        "DFSynth(us)",
+        "HCG(us)"
     );
     // `--threads 0` (the default) keeps the historical sequential timing.
     for r in gentime_threads(Arch::Neon128, threads.max(1)) {
         outln!(
             "{:>10} {:>14} {:>14} {:>14}",
-            r.model, r.micros.0, r.micros.1, r.micros.2
+            r.model,
+            r.micros.0,
+            r.micros.1,
+            r.micros.2
         );
     }
 
@@ -330,7 +365,10 @@ fn ablation_threshold_cmd() {
     let rows = ablation_threshold(1024, 6, CostModel::new(Arch::Neon128, Compiler::GccLike));
     outln!(
         "{:>8} {:>14} {:>14} {:>10}",
-        "actors", "SIMD cycles", "scalar cycles", "speedup"
+        "actors",
+        "SIMD cycles",
+        "scalar cycles",
+        "speedup"
     );
     for r in rows {
         outln!(
@@ -346,8 +384,14 @@ fn ablation_threshold_cmd() {
 fn ablation_history_cmd() {
     heading("Algorithm 1 ablation — selection-history cache (wall-clock meter)");
     let a = ablation_history(1024);
-    outln!("  cold synthesis (pre-calculation runs): {:>8} us", a.cold_micros);
-    outln!("  warm synthesis (history hit):          {:>8} us", a.warm_micros);
+    outln!(
+        "  cold synthesis (pre-calculation runs): {:>8} us",
+        a.cold_micros
+    );
+    outln!(
+        "  warm synthesis (history hit):          {:>8} us",
+        a.warm_micros
+    );
     outln!(
         "  speedup: {:.1}x",
         a.cold_micros as f64 / a.warm_micros.max(1) as f64
@@ -358,7 +402,9 @@ fn ablation_greedy_cmd() {
     heading("Greedy-order ablation — largest-first vs smallest-first subgraph matching (ARM+GCC)");
     outln!(
         "{:>10} {:>22} {:>22}",
-        "Model", "largest (vops/cyc)", "smallest (vops/cyc)"
+        "Model",
+        "largest (vops/cyc)",
+        "smallest (vops/cyc)"
     );
     for r in ablation_greedy_order(CostModel::new(Arch::Neon128, Compiler::GccLike)) {
         outln!(
@@ -634,6 +680,185 @@ fn profile_cmd(args: &cli::CommonArgs) {
         hcg_obs::json::validate(&body).expect("profile JSON must validate");
         write_report_file(path, &body, "profile");
     }
+}
+
+/// The model set the static gates cover: the six paper benchmarks plus the
+/// bundled example models (the same set `lint --dump-examples` writes out).
+fn gate_models() -> Vec<hcg_model::Model> {
+    let mut models = benchmark_models();
+    models.push(library::fig2_model());
+    models.push(library::fig4_model());
+    models.push(library::switch_model(256));
+    models.push(library::mixed_width_model(256));
+    models
+}
+
+fn gate_generators() -> Vec<Box<dyn CodeGenerator>> {
+    vec![
+        Box::new(HcgGen::new()),
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(hcg_baselines::DfSynthGen::new()),
+    ]
+}
+
+fn lint_cmd() {
+    heading("Static analysis — model and generated-program lints over the bundled models");
+    let lib = hcg_kernels::CodeLibrary::new();
+    let mut reports = Vec::new();
+    let mut programs = 0usize;
+    for m in gate_models() {
+        reports.push(hcg_analysis::lint_model(&m));
+        for generator in gate_generators() {
+            for arch in Arch::ALL {
+                let prog = generator.generate(&m, arch).unwrap_or_else(|e| {
+                    panic!("{} on {arch} failed on {}: {e}", generator.name(), m.name)
+                });
+                programs += 1;
+                reports.push(hcg_analysis::lint_program(&prog, &lib));
+            }
+        }
+    }
+    // One shared formatter for every diagnostics consumer; quiet subjects
+    // are elided from the transcript.
+    let noisy: Vec<&hcg_analysis::LintReport> = reports
+        .iter()
+        .filter(|r| !r.diagnostics.is_empty())
+        .collect();
+    let (text, has_errors) = hcg_analysis::format_reports(noisy.iter().copied());
+    for line in text.lines() {
+        outln!("  {line}");
+    }
+    let warnings: usize = reports
+        .iter()
+        .map(|r| r.of_severity(hcg_analysis::Severity::Warning).len())
+        .sum();
+    outln!(
+        "  {} model(s), {} generated program(s) linted: {} finding report(s), {} warning(s)",
+        gate_models().len(),
+        programs,
+        noisy.len(),
+        warnings
+    );
+    assert!(!has_errors, "lint gate found error-severity diagnostics");
+}
+
+fn verify_cmd(args: &cli::CommonArgs) {
+    heading("Static verification — symbolic equivalence proof for every generated program");
+    let arches = [Arch::Neon128, Arch::Avx256];
+    let mut rows = Vec::new();
+    let mut lint_reports = Vec::new();
+    let mut all_equivalent = true;
+    hcg_obs::clear_events();
+    hcg_obs::set_tracing(true);
+    for m in gate_models() {
+        for generator in gate_generators() {
+            for arch in arches {
+                let prog = generator.generate(&m, arch).unwrap_or_else(|e| {
+                    panic!("{} on {arch} failed on {}: {e}", generator.name(), m.name)
+                });
+                let outcome = hcg_verify::verify_program(&m, &prog).unwrap_or_else(|e| {
+                    panic!(
+                        "verifier rejected {} {} on {arch}: {e}",
+                        m.name,
+                        generator.name()
+                    )
+                });
+                all_equivalent &= outcome.equivalent;
+                let ranges = hcg_verify::range_lint(&prog);
+                rows.push((
+                    m.name.clone(),
+                    generator.name(),
+                    arch,
+                    outcome,
+                    ranges.diagnostics.len(),
+                ));
+                lint_reports.push(ranges);
+            }
+        }
+    }
+    hcg_obs::set_tracing(false);
+    let spans = hcg_obs::take_events();
+
+    outln!(
+        "  {:>12} {:>16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Model",
+        "Generator",
+        "Arch",
+        "proved",
+        "elems",
+        "exprs",
+        "rlints"
+    );
+    for (model, generator, arch, outcome, rlints) in &rows {
+        outln!(
+            "  {:>12} {:>16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            model,
+            generator,
+            format!("{arch}"),
+            if outcome.equivalent { "yes" } else { "NO" },
+            outcome.elems,
+            outcome.exprs,
+            rlints
+        );
+        if let Some(w) = &outcome.witness {
+            outln!("      divergence: {w}");
+        }
+    }
+    // Same shared formatter as the lint front end; value-range findings on
+    // the bundled models are advisory warnings, shown but non-fatal.
+    let noisy: Vec<&hcg_analysis::LintReport> = lint_reports
+        .iter()
+        .filter(|r| !r.diagnostics.is_empty())
+        .collect();
+    let (text, range_errors) = hcg_analysis::format_reports(noisy.iter().copied());
+    if !noisy.is_empty() {
+        outln!("\n  value-range findings:");
+        for line in text.lines() {
+            outln!("  {line}");
+        }
+    }
+    let verify_spans = spans.iter().filter(|e| e.cat == "verify").count();
+    let snap = hcg_obs::MetricsRegistry::global().snapshot();
+    outln!(
+        "\n  {} program(s) verified, {} proved, {} divergent; {} expression node(s) interned",
+        snap.counter("verify.programs").unwrap_or(0),
+        snap.counter("verify.proved").unwrap_or(0),
+        snap.counter("verify.divergent").unwrap_or(0),
+        snap.counter("verify.exprs").unwrap_or(0)
+    );
+    outln!("  {verify_spans} verify span(s) captured in the tracer");
+
+    if let Some(path) = &args.json {
+        let mut body = String::from("{\n  \"experiment\": \"verify\",\n  \"results\": [\n");
+        for (i, (model, generator, arch, outcome, rlints)) in rows.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"model\": \"{model}\", \"generator\": \"{generator}\", \"arch\": \"{arch}\", \
+                 \"equivalent\": {}, \"outports\": {}, \"states\": {}, \"elems\": {}, \"exprs\": {}, \
+                 \"range_findings\": {}}}{}\n",
+                outcome.equivalent,
+                outcome.outports,
+                outcome.states,
+                outcome.elems,
+                outcome.exprs,
+                rlints,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        body.push_str(&format!(
+            "  ],\n  \"programs\": {},\n  \"all_equivalent\": {all_equivalent},\n  \"range_errors\": {range_errors}\n}}\n",
+            rows.len()
+        ));
+        hcg_obs::json::validate(&body).expect("verify JSON must validate");
+        write_report_file(path, &body, "verify report");
+    }
+    assert!(
+        all_equivalent,
+        "static verification found divergent programs; see the table above"
+    );
+    assert!(
+        !range_errors,
+        "value-range analysis found error-severity findings on bundled models"
+    );
 }
 
 /// Write a report body to `path`, creating parent directories.

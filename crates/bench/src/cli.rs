@@ -59,12 +59,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
         match a.as_str() {
             "--wall-clock" => out.wall_clock = true,
             "--out" => {
-                out.out_path =
-                    PathBuf::from(args.next().ok_or("--out requires a path")?);
+                out.out_path = PathBuf::from(args.next().ok_or("--out requires a path")?);
             }
             "--json" => {
-                out.json =
-                    Some(PathBuf::from(args.next().ok_or("--json requires a path")?));
+                out.json = Some(PathBuf::from(args.next().ok_or("--json requires a path")?));
             }
             "--threads" => {
                 out.threads = parse_num(args.next(), "--threads")?;
@@ -79,8 +77,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
                 out.model = Some(args.next().ok_or("--model requires a name")?);
             }
             "--trace" => {
-                out.trace =
-                    Some(PathBuf::from(args.next().ok_or("--trace requires a path")?));
+                out.trace = Some(PathBuf::from(args.next().ok_or("--trace requires a path")?));
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -122,7 +119,15 @@ mod tests {
     #[test]
     fn full_fuzz_invocation() {
         let a = parse(&[
-            "fuzz", "--seed", "7", "--iters", "50", "--threads", "3", "--json", "x.json",
+            "fuzz",
+            "--seed",
+            "7",
+            "--iters",
+            "50",
+            "--threads",
+            "3",
+            "--json",
+            "x.json",
         ])
         .unwrap();
         assert_eq!(a.cmd.as_deref(), Some("fuzz"));

@@ -84,10 +84,7 @@ pub fn check_consistency(model: &Model, arch: Arch, steps: usize, seed: u64) -> 
             m.step().expect("program executes");
             for (name, want) in &expected {
                 let got = m.read_buffer(name).expect("output buffer exists");
-                let scale = want
-                    .as_f64()
-                    .iter()
-                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                let scale = want.as_f64().iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
                 let diff = got.max_abs_diff(want) / scale;
                 max_diff = max_diff.max(diff);
             }

@@ -19,7 +19,10 @@ pub fn benchmark_models() -> Vec<Model> {
 /// per session and shared by every generator × architecture combination
 /// driven through it.
 pub fn benchmark_sessions() -> Vec<CompileSession> {
-    benchmark_models().into_iter().map(CompileSession::new).collect()
+    benchmark_models()
+        .into_iter()
+        .map(CompileSession::new)
+        .collect()
 }
 
 /// Short display name for a benchmark model (strips size suffixes).
@@ -214,9 +217,15 @@ pub fn memory_table(arch: Arch) -> Vec<MemoryRow> {
         .map(|s| MemoryRow {
             model: short_name(s.model()),
             bytes: (
-                s.generate(&coder, arch).expect("generates").memory_footprint(),
-                s.generate(&dfsynth, arch).expect("generates").memory_footprint(),
-                s.generate(&hcg, arch).expect("generates").memory_footprint(),
+                s.generate(&coder, arch)
+                    .expect("generates")
+                    .memory_footprint(),
+                s.generate(&dfsynth, arch)
+                    .expect("generates")
+                    .memory_footprint(),
+                s.generate(&hcg, arch)
+                    .expect("generates")
+                    .memory_footprint(),
             ),
         })
         .collect()
@@ -282,9 +291,7 @@ pub fn gentime_reports(arch: Arch) -> Vec<(String, Vec<StageReport>)> {
                 .iter()
                 .map(|g| {
                     s.generate_with_report(*g, arch)
-                        .unwrap_or_else(|e| {
-                            panic!("{} on {}: {e}", g.name(), s.model().name)
-                        })
+                        .unwrap_or_else(|e| panic!("{} on {}: {e}", g.name(), s.model().name))
                         .1
                 })
                 .collect();
@@ -332,7 +339,9 @@ pub fn ablation_threshold(len: usize, max_chain: usize, platform: CostModel) -> 
             b.connect(prev, 0, o, 0);
             let m = b.build().expect("chain model is valid");
 
-            let simd = HcgGen::new().generate(&m, platform.arch).expect("generates");
+            let simd = HcgGen::new()
+                .generate(&m, platform.arch)
+                .expect("generates");
             let scalar_gen = HcgGen::with_options(HcgOptions {
                 simd_threshold: usize::MAX,
                 ..HcgOptions::default()
@@ -591,7 +600,12 @@ mod tests {
             let names: Vec<&str> = hcg.stages.iter().map(|s| s.name).collect();
             assert_eq!(
                 names,
-                ["dispatch", "region-formation", "instruction-mapping", "compose"],
+                [
+                    "dispatch",
+                    "region-formation",
+                    "instruction-mapping",
+                    "compose"
+                ],
                 "{model}"
             );
         }
@@ -624,8 +638,8 @@ mod tests {
         // Longer chains amortise loads/stores: the SIMD/scalar ratio must
         // improve monotonically-ish with chain length.
         let first_ratio = rows[0].simd_cycles as f64 / rows[0].scalar_cycles as f64;
-        let last_ratio = rows.last().unwrap().simd_cycles as f64
-            / rows.last().unwrap().scalar_cycles as f64;
+        let last_ratio =
+            rows.last().unwrap().simd_cycles as f64 / rows.last().unwrap().scalar_cycles as f64;
         assert!(last_ratio < first_ratio);
         // And SIMD must win clearly for the longest chain.
         assert!(rows.last().unwrap().simd_cycles * 2 < rows.last().unwrap().scalar_cycles);

@@ -36,8 +36,8 @@ pub fn profile_matrix(filter: Option<&str>) -> Vec<ProfileEntry> {
     for session in &benchmark_sessions() {
         let name = short_name(session.model());
         if let Some(f) = filter {
-            let matches = name.eq_ignore_ascii_case(f)
-                || session.model().name.eq_ignore_ascii_case(f);
+            let matches =
+                name.eq_ignore_ascii_case(f) || session.model().name.eq_ignore_ascii_case(f);
             if !matches {
                 continue;
             }

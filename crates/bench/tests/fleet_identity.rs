@@ -25,8 +25,7 @@ fn parallel_fleet_is_byte_identical_to_sequential() {
         let sessions = benchmark_sessions();
         let run = run_fleet(&sessions, &FLEET_ARCHES, threads);
         assert_eq!(run.ok_count(), jobs.len(), "threads={threads}");
-        for ((job, reference), parallel) in
-            jobs.iter().zip(&reference.outcomes).zip(&run.outcomes)
+        for ((job, reference), parallel) in jobs.iter().zip(&reference.outcomes).zip(&run.outcomes)
         {
             let reference = reference.as_ref().expect("sequential job succeeds");
             let parallel = parallel.as_ref().expect("parallel job succeeds");
@@ -46,7 +45,11 @@ fn cost_tables_identical_across_thread_counts() {
     let reference = table2_threads(1);
     assert_eq!(reference.len(), 6);
     for threads in [2usize, 8] {
-        assert_eq!(table2_threads(threads), reference, "table2 threads={threads}");
+        assert_eq!(
+            table2_threads(threads),
+            reference,
+            "table2 threads={threads}"
+        );
     }
     let fig5_reference = fig5_threads(1);
     let fig5_parallel = fig5_threads(8);

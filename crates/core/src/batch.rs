@@ -121,9 +121,9 @@ pub fn form_regions_indexed(
         candidates.sort_by_key(|&r| std::cmp::Reverse(first_pos[r]));
         candidates.dedup();
         let joined = candidates.into_iter().find(|&r| {
-            producers.iter().all(|&p| {
-                region_of[p.0] == Some(r) || available_before(p, first_pos[r])
-            })
+            producers
+                .iter()
+                .all(|&p| region_of[p.0] == Some(r) || available_before(p, first_pos[r]))
         });
         match joined {
             Some(r) => {
@@ -193,10 +193,7 @@ struct PlanStep {
 }
 
 /// Build the region's dataflow graph (step 1 of §3.2.2).
-fn build_dfg(
-    ctx: &GenContext<'_>,
-    region: &BatchRegion,
-) -> Result<(Dfg, Vec<BufferId>), GenError> {
+fn build_dfg(ctx: &GenContext<'_>, region: &BatchRegion) -> Result<(Dfg, Vec<BufferId>), GenError> {
     let mut externals: Vec<BufferId> = Vec::new();
     let mut ext_index = BTreeMap::new();
     let mut node_of: BTreeMap<ActorId, NodeId> = BTreeMap::new();
@@ -233,10 +230,8 @@ fn build_dfg(
     // Outputs: any member value consumed outside the region.
     for (&aid, &nid) in &node_of {
         let consumers = ctx.model.consumers(PortRef::new(aid, 0));
-        let leaves_region = consumers.is_empty()
-            || consumers
-                .iter()
-                .any(|c| !node_of.contains_key(&c.actor));
+        let leaves_region =
+            consumers.is_empty() || consumers.iter().any(|c| !node_of.contains_key(&c.actor));
         if leaves_region {
             g.mark_output(nid);
         }
@@ -329,9 +324,7 @@ pub struct RegionPlan {
 enum RegionPlanKind {
     /// Lines 3–4 (+ the §4.3 threshold): the region falls back to
     /// conventional translation.
-    Conventional {
-        fallback_style: LoopStyle,
-    },
+    Conventional { fallback_style: LoopStyle },
     /// The SIMD path: the region's dataflow graph, its external input
     /// buffers, the selected instruction steps, and the outputs whose store
     /// redirects straight into an outport buffer.
@@ -505,11 +498,7 @@ pub fn emit_region_plan(
             lanes,
             format!("{}_batch", ctx.prog.buffer(buf).name),
         );
-        body.push(Stmt::VLoad {
-            reg,
-            buf,
-            index,
-        });
+        body.push(Stmt::VLoad { reg, buf, index });
         ext_regs.push(reg);
     }
 
@@ -555,9 +544,9 @@ pub fn emit_region_plan(
     // Output-variable reuse: a value consumed only by an Outport is stored
     // straight into the outport's buffer, eliding the final copy.
     for &out in g.outputs() {
-        let reg = *node_regs.get(&out).ok_or_else(|| {
-            GenError::Internal(format!("output node {out} was fused away"))
-        })?;
+        let reg = *node_regs
+            .get(&out)
+            .ok_or_else(|| GenError::Internal(format!("output node {out} was fused away")))?;
         let aid = region
             .members
             .iter()
@@ -629,9 +618,8 @@ pub fn explain_region(
                 break;
             }
         }
-        let (c, instruction) = chosen.ok_or_else(|| {
-            GenError::Internal(format!("no instruction for node {start}"))
-        })?;
+        let (c, instruction) =
+            chosen.ok_or_else(|| GenError::Internal(format!("no instruction for node {start}")))?;
         out.push(MapTrace {
             start: g.node(start).label.clone(),
             candidates: rendered,
@@ -769,7 +757,9 @@ mod tests {
             .body
             .iter()
             .find_map(|s| match s {
-                Stmt::Loop { start, end, step, .. } => Some((*start, *end, *step)),
+                Stmt::Loop {
+                    start, end, step, ..
+                } => Some((*start, *end, *step)),
                 _ => None,
             })
             .expect("a SIMD loop");
@@ -881,6 +871,9 @@ mod tests {
             .collect();
         assert_eq!(codes[0], "Sub_batch = vsubq_s32(b_batch, c_batch);");
         assert_eq!(codes[1], "Shr_batch = vhaddq_s32(a_batch, Sub_batch);");
-        assert_eq!(codes[2], "AddM_batch = vmlaq_s32(Sub_batch, Sub_batch, d_batch);");
+        assert_eq!(
+            codes[2],
+            "AddM_batch = vmlaq_s32(Sub_batch, Sub_batch, d_batch);"
+        );
     }
 }

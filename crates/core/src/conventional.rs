@@ -37,7 +37,11 @@ impl Operand {
     fn at(&self, index: IndexExpr) -> ElemRef {
         ElemRef {
             buf: self.buf,
-            index: if self.broadcast { IndexExpr::Const(0) } else { index },
+            index: if self.broadcast {
+                IndexExpr::Const(0)
+            } else {
+                index
+            },
         }
     }
 }
@@ -90,10 +94,9 @@ pub fn emit_conventional(
     let len = out_ty.len();
     let dst = ctx.actor_buffer(id);
     let operand = |ctx: &GenContext<'_>, port: usize| -> Result<Operand, GenError> {
-        let src = ctx
-            .model
-            .driver(PortRef::new(id, port))
-            .ok_or_else(|| GenError::Internal(format!("unconnected input {port} of {}", actor.name)))?;
+        let src = ctx.model.driver(PortRef::new(id, port)).ok_or_else(|| {
+            GenError::Internal(format!("unconnected input {port} of {}", actor.name))
+        })?;
         let src_ty = ctx.types.output(src.actor, src.port);
         Ok(Operand {
             buf: ctx.actor_buffer(src.actor),
@@ -128,8 +131,14 @@ pub fn emit_conventional(
             return Ok(());
         }
         Saturate => {
-            let lo = actor.param("min").and_then(|p| p.as_float()).unwrap_or(f64::MIN);
-            let hi = actor.param("max").and_then(|p| p.as_float()).unwrap_or(f64::MAX);
+            let lo = actor
+                .param("min")
+                .and_then(|p| p.as_float())
+                .unwrap_or(f64::MIN);
+            let hi = actor
+                .param("max")
+                .and_then(|p| p.as_float())
+                .unwrap_or(f64::MAX);
             ScalarOp::Clamp { lo, hi }
         }
         Cast => ScalarOp::Cast,
@@ -147,9 +156,8 @@ pub fn emit_conventional(
             )));
         }
         kind => {
-            let op = ElemOp::from_actor(kind, amount).ok_or_else(|| {
-                GenError::Internal(format!("no scalar semantics for {kind}"))
-            })?;
+            let op = ElemOp::from_actor(kind, amount)
+                .ok_or_else(|| GenError::Internal(format!("no scalar semantics for {kind}")))?;
             ScalarOp::Elem(op)
         }
     };
@@ -222,7 +230,11 @@ mod tests {
             mach.step().unwrap();
             // s = b - c; Shr_out = (a + s) >> 1; Add_out = s + s*d.
             let s = [5i64, 15, 25, 35];
-            let shr: Vec<i64> = s.iter().zip([1, 2, 3, 4]).map(|(s, a)| (a + s) >> 1).collect();
+            let shr: Vec<i64> = s
+                .iter()
+                .zip([1, 2, 3, 4])
+                .map(|(s, a)| (a + s) >> 1)
+                .collect();
             let add: Vec<i64> = s.iter().map(|s| s + s * 2).collect();
             assert_eq!(mach.read_buffer("Shr_out").unwrap().as_i64(), shr);
             assert_eq!(mach.read_buffer("Add_out").unwrap().as_i64(), add);

@@ -59,10 +59,7 @@ pub fn classify(model: &Model, types: &TypeMap, actor: &Actor) -> Dispatch {
             if !uniform || len == 0 {
                 return Dispatch::Basic;
             }
-            let amount = actor
-                .param("amount")
-                .and_then(|p| p.as_int())
-                .unwrap_or(0) as u32;
+            let amount = actor.param("amount").and_then(|p| p.as_int()).unwrap_or(0) as u32;
             match ElemOp::from_actor(actor.kind, amount) {
                 Some(op) if op.supports(out.dtype) => Dispatch::Batch { op, len },
                 _ => Dispatch::Basic,
@@ -107,7 +104,13 @@ mod tests {
             &d[fft.0],
             Dispatch::Intensive { size } if size.0 == vec![1024]
         ));
-        assert!(matches!(&d[mul.0], Dispatch::Batch { op: ElemOp::Mul, len: 1024 }));
+        assert!(matches!(
+            &d[mul.0],
+            Dispatch::Batch {
+                op: ElemOp::Mul,
+                len: 1024
+            }
+        ));
     }
 
     #[test]
@@ -122,7 +125,10 @@ mod tests {
         b.connect(add, 0, o, 0);
         let m = b.build().unwrap();
         let t = m.infer_types().unwrap();
-        assert_eq!(classify(&m, &t, m.actor_by_name("sum").unwrap()), Dispatch::Basic);
+        assert_eq!(
+            classify(&m, &t, m.actor_by_name("sum").unwrap()),
+            Dispatch::Basic
+        );
     }
 
     #[test]
@@ -138,7 +144,10 @@ mod tests {
         b.connect(mul, 0, o, 0);
         let m = b.build().unwrap();
         let t = m.infer_types().unwrap();
-        assert_eq!(classify(&m, &t, m.actor_by_name("m").unwrap()), Dispatch::Basic);
+        assert_eq!(
+            classify(&m, &t, m.actor_by_name("m").unwrap()),
+            Dispatch::Basic
+        );
     }
 
     #[test]
@@ -167,7 +176,10 @@ mod tests {
         let m = b.build_unchecked();
         // Bypass full inference failure by classifying with raw types.
         if let Ok(t) = m.infer_types() {
-            assert_eq!(classify(&m, &t, m.actor_by_name("fft").unwrap()), Dispatch::Basic);
+            assert_eq!(
+                classify(&m, &t, m.actor_by_name("fft").unwrap()),
+                Dispatch::Basic
+            );
         }
     }
 

@@ -29,7 +29,10 @@ pub fn to_c_source(prog: &Program) -> String {
             out.push_str(&format!("{qual}{cty} {}[{}];\n", b.name, b.ty.len()));
         }
     }
-    out.push_str(&format!("\nvoid {}_step(void) {{\n", sanitize_fn(&prog.name)));
+    out.push_str(&format!(
+        "\nvoid {}_step(void) {{\n",
+        sanitize_fn(&prog.name)
+    ));
     render_block(prog, &prog.body, 1, &mut out);
     out.push_str("}\n");
     out
@@ -127,11 +130,7 @@ fn render_block(prog: &Program, stmts: &[Stmt], depth: usize, out: &mut String) 
             }
             Stmt::VOp { code, dst, .. } => {
                 let (dtype, _) = prog.reg_types[dst.0];
-                out.push_str(&format!(
-                    "{pad}{} {}\n",
-                    prog.arch.vector_type(dtype),
-                    code
-                ));
+                out.push_str(&format!("{pad}{} {}\n", prog.arch.vector_type(dtype), code));
             }
             Stmt::KernelCall {
                 actor,
@@ -175,9 +174,18 @@ mod tests {
         let p = gen.generate(&library::fig4_model(), Arch::Neon128).unwrap();
         let src = to_c_source(&p);
         // The paper's Listing 1, modulo variable spelling.
-        assert!(src.contains("int32x4_t a_batch = vld1q_s32(&a[0]);"), "{src}");
-        assert!(src.contains("Sub_batch = vsubq_s32(b_batch, c_batch);"), "{src}");
-        assert!(src.contains("Shr_batch = vhaddq_s32(a_batch, Sub_batch);"), "{src}");
+        assert!(
+            src.contains("int32x4_t a_batch = vld1q_s32(&a[0]);"),
+            "{src}"
+        );
+        assert!(
+            src.contains("Sub_batch = vsubq_s32(b_batch, c_batch);"),
+            "{src}"
+        );
+        assert!(
+            src.contains("Shr_batch = vhaddq_s32(a_batch, Sub_batch);"),
+            "{src}"
+        );
         assert!(
             src.contains("AddM_batch = vmlaq_s32(Sub_batch, Sub_batch, d_batch);"),
             "{src}"
@@ -188,16 +196,23 @@ mod tests {
     #[test]
     fn loops_and_kernel_calls_render() {
         let gen = HcgGen::new();
-        let p = gen.generate(&library::fft_model(1024), Arch::Neon128).unwrap();
+        let p = gen
+            .generate(&library::fft_model(1024), Arch::Neon128)
+            .unwrap();
         let src = to_c_source(&p);
-        assert!(src.contains("for (size_t i = 0; i < 1024; i += 4)"), "{src}");
+        assert!(
+            src.contains("for (size_t i = 0; i < 1024; i += 4)"),
+            "{src}"
+        );
         assert!(src.contains("fft_radix4("), "{src}");
     }
 
     #[test]
     fn intel_source_uses_intel_spelling() {
         let gen = HcgGen::new();
-        let p = gen.generate(&library::fir_model(1024, 4), Arch::Avx256).unwrap();
+        let p = gen
+            .generate(&library::fir_model(1024, 4), Arch::Avx256)
+            .unwrap();
         let src = to_c_source(&p);
         assert!(src.contains("_mm256_"), "{src}");
         assert!(src.contains("__m256i"), "{src}");

@@ -104,7 +104,9 @@ pub trait CodeGenerator {
         arch: Arch,
     ) -> Result<(Program, StageReport), GenError> {
         let ctx = PipelineCtx::standalone(model, arch, self.name())?;
-        PassManager::new(self.passes()).run(ctx)
+        let (prog, report) = PassManager::new(self.passes()).run(ctx)?;
+        debug_verify(model, &prog);
+        Ok((prog, report))
     }
 }
 
@@ -188,12 +190,9 @@ impl<'m> GenContext<'m> {
         for a in &model.actors {
             let name = unique_identifier(sanitize(&a.name), &mut used);
             let id = match a.kind {
-                ActorKind::Inport => prog.add_buffer(
-                    name,
-                    types.output(a.id, 0),
-                    BufferKind::Input,
-                    None,
-                ),
+                ActorKind::Inport => {
+                    prog.add_buffer(name, types.output(a.id, 0), BufferKind::Input, None)
+                }
                 ActorKind::Outport => {
                     // The outport's buffer matches its *input* type.
                     let src = model
@@ -336,7 +335,10 @@ impl<'m> GenContext<'m> {
             if let Ok(src) = self.value_buffer(PortRef::new(d, 0)) {
                 let ty = self.types.output(d, 0);
                 let shadow = self.prog.add_buffer(
-                    format!("{}_next", self.prog.buffer(self.actor_buffer(d)).name.clone()),
+                    format!(
+                        "{}_next",
+                        self.prog.buffer(self.actor_buffer(d)).name.clone()
+                    ),
                     ty,
                     BufferKind::Temp,
                     None,
@@ -421,16 +423,61 @@ pub fn debug_lint_stage(prog: &Program, complete: bool) -> Option<usize> {
             "generated program failed lint:\n{}",
             report.render()
         );
-        Some(
-            report
-                .of_severity(hcg_analysis::Severity::Warning)
-                .len(),
-        )
+        Some(report.of_severity(hcg_analysis::Severity::Warning).len())
     }
     #[cfg(not(debug_assertions))]
     {
         let _ = (prog, complete);
         None
+    }
+}
+
+/// Whether [`debug_verify`] actually verifies. Off by default — symbolic
+/// proofs are cheap but not free, and unit tests churn out thousands of
+/// programs.
+static DEBUG_VERIFY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Opt in to (or out of) static translation validation of every generated
+/// program. When enabled, `generate_with_report` runs the `hcg-verify`
+/// symbolic equivalence proof after the pipeline finishes — in debug/test
+/// builds only, like [`debug_lint`] — and panics on any divergence, since a
+/// generated program that does not implement its model is a generator bug.
+pub fn set_debug_verify(enabled: bool) {
+    DEBUG_VERIFY.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The post-generation verification hook (debug/test builds only, opt-in
+/// via [`set_debug_verify`]): statically prove the finished program
+/// equivalent to its model.
+///
+/// # Panics
+///
+/// Panics (debug builds, when enabled) on a divergence witness or a
+/// verifier error — both mean the generator lowered the model incorrectly.
+pub fn debug_verify(model: &Model, prog: &Program) {
+    #[cfg(debug_assertions)]
+    {
+        if !DEBUG_VERIFY.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        match hcg_verify::verify_program(model, prog) {
+            Ok(outcome) => {
+                if let Some(w) = outcome.witness {
+                    panic!(
+                        "generated program diverges from its model ({} on {}): {w}",
+                        prog.generator, prog.arch
+                    );
+                }
+            }
+            Err(e) => panic!(
+                "static verification of {} on {} failed: {e}",
+                prog.generator, prog.arch
+            ),
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (model, prog);
     }
 }
 

@@ -289,7 +289,8 @@ mod tests {
         gen.generate(&m, Arch::Avx256).unwrap();
         assert_eq!(gen.history_len(), 1);
         // A different scale adds an entry.
-        gen.generate(&library::fft_model(256), Arch::Neon128).unwrap();
+        gen.generate(&library::fft_model(256), Arch::Neon128)
+            .unwrap();
         assert_eq!(gen.history_len(), 2);
     }
 

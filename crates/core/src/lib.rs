@@ -42,7 +42,10 @@ mod hcg;
 pub use batch::{explain_region, BatchOptions, BatchRegion, MapTrace, MatchOrder, RegionPlan};
 pub use conventional::LoopStyle;
 pub use dispatch::Dispatch;
-pub use generator::{debug_lint, debug_lint_stage, CodeGenerator, GenContext, GenError};
+pub use generator::{
+    debug_lint, debug_lint_stage, debug_verify, set_debug_verify, CodeGenerator, GenContext,
+    GenError,
+};
 pub use hcg::{HcgGen, HcgOptions};
 pub use pass::{
     dispatch_pass, Pass, PassManager, PipelineCtx, StageCounters, StageRecord, StageReport,

@@ -40,7 +40,9 @@ impl StageCounters {
     /// Component-wise `self - earlier` (saturating; counters only grow).
     pub fn delta(self, earlier: StageCounters) -> StageCounters {
         StageCounters {
-            actors_dispatched: self.actors_dispatched.saturating_sub(earlier.actors_dispatched),
+            actors_dispatched: self
+                .actors_dispatched
+                .saturating_sub(earlier.actors_dispatched),
             regions_formed: self.regions_formed.saturating_sub(earlier.regions_formed),
             instructions_selected: self
                 .instructions_selected
@@ -63,7 +65,10 @@ impl StageCounters {
     /// Record every counter into a metrics registry under
     /// `<prefix>.<field>` names.
     pub fn record(&self, registry: &hcg_obs::MetricsRegistry, prefix: &str) {
-        registry.counter_add(&format!("{prefix}.actors_dispatched"), self.actors_dispatched);
+        registry.counter_add(
+            &format!("{prefix}.actors_dispatched"),
+            self.actors_dispatched,
+        );
         registry.counter_add(&format!("{prefix}.regions_formed"), self.regions_formed);
         registry.counter_add(
             &format!("{prefix}.instructions_selected"),
@@ -527,7 +532,9 @@ mod tests {
     fn unfinished_pipeline_is_an_error() {
         let m = library::fig4_model();
         let ctx = PipelineCtx::standalone(&m, Arch::Neon128, "test").unwrap();
-        let err = PassManager::new(vec![dispatch_pass()]).run(ctx).unwrap_err();
+        let err = PassManager::new(vec![dispatch_pass()])
+            .run(ctx)
+            .unwrap_err();
         assert!(matches!(err, GenError::Internal(_)));
     }
 

@@ -40,8 +40,7 @@ impl<'m> Reference<'m> {
                         } else {
                             init
                         };
-                        Tensor::from_f64(ty, vals)
-                            .map_err(|e| GenError::Internal(e.to_string()))?
+                        Tensor::from_f64(ty, vals).map_err(|e| GenError::Internal(e.to_string()))?
                     }
                     None => Tensor::zeros(ty),
                 };
@@ -78,16 +77,16 @@ impl<'m> Reference<'m> {
 
         for &aid in &self.order.order.clone() {
             let actor = self.model.actor(aid).clone();
-            let input_of = |values: &BTreeMap<ActorId, Tensor>, p: usize| -> Result<Tensor, GenError> {
-                let src = self
-                    .model
-                    .driver(PortRef::new(aid, p))
-                    .ok_or_else(|| GenError::Internal("unconnected input".into()))?;
-                values
-                    .get(&src.actor)
-                    .cloned()
-                    .ok_or_else(|| GenError::Internal(format!("value of {} not ready", src.actor)))
-            };
+            let input_of =
+                |values: &BTreeMap<ActorId, Tensor>, p: usize| -> Result<Tensor, GenError> {
+                    let src = self
+                        .model
+                        .driver(PortRef::new(aid, p))
+                        .ok_or_else(|| GenError::Internal("unconnected input".into()))?;
+                    values.get(&src.actor).cloned().ok_or_else(|| {
+                        GenError::Internal(format!("value of {} not ready", src.actor))
+                    })
+                };
             let out_ty = if actor.kind.output_count() > 0 {
                 Some(self.types.output(aid, 0))
             } else {
@@ -96,12 +95,9 @@ impl<'m> Reference<'m> {
             let amount = actor.param("amount").and_then(|p| p.as_int()).unwrap_or(0) as u32;
 
             let value: Option<Tensor> = match actor.kind {
-                ActorKind::Inport => Some(
-                    inputs
-                        .get(&actor.name)
-                        .cloned()
-                        .ok_or_else(|| GenError::Internal(format!("missing input {:?}", actor.name)))?,
-                ),
+                ActorKind::Inport => Some(inputs.get(&actor.name).cloned().ok_or_else(|| {
+                    GenError::Internal(format!("missing input {:?}", actor.name))
+                })?),
                 ActorKind::Constant => {
                     let ty = out_ty.expect("constant has output");
                     let vals = actor
@@ -113,7 +109,10 @@ impl<'m> Reference<'m> {
                     } else {
                         vals
                     };
-                    Some(Tensor::from_f64(ty, vals).map_err(|e| GenError::Internal(e.to_string()))?)
+                    Some(
+                        Tensor::from_f64(ty, vals)
+                            .map_err(|e| GenError::Internal(e.to_string()))?,
+                    )
                 }
                 ActorKind::Outport => {
                     let v = input_of(&values, 0)?;
@@ -128,11 +127,8 @@ impl<'m> Reference<'m> {
                         .param("gain")
                         .and_then(|p| p.as_float())
                         .ok_or_else(|| GenError::Internal("gain missing".into()))?;
-                    let k = Tensor::from_f64(
-                        hcg_model::SignalType::scalar(x.ty.dtype),
-                        vec![g],
-                    )
-                    .map_err(|e| GenError::Internal(e.to_string()))?;
+                    let k = Tensor::from_f64(hcg_model::SignalType::scalar(x.ty.dtype), vec![g])
+                        .map_err(|e| GenError::Internal(e.to_string()))?;
                     Some(
                         x.binary(ElemOp::Mul, &k)
                             .map_err(|e| GenError::Internal(e.to_string()))?,
@@ -140,8 +136,14 @@ impl<'m> Reference<'m> {
                 }
                 ActorKind::Saturate => {
                     let x = input_of(&values, 0)?;
-                    let lo = actor.param("min").and_then(|p| p.as_float()).unwrap_or(f64::MIN);
-                    let hi = actor.param("max").and_then(|p| p.as_float()).unwrap_or(f64::MAX);
+                    let lo = actor
+                        .param("min")
+                        .and_then(|p| p.as_float())
+                        .unwrap_or(f64::MIN);
+                    let hi = actor
+                        .param("max")
+                        .and_then(|p| p.as_float())
+                        .unwrap_or(f64::MAX);
                     let clamped: Vec<f64> =
                         x.as_f64().into_iter().map(|v| v.clamp(lo, hi)).collect();
                     Some(
@@ -177,8 +179,9 @@ impl<'m> Reference<'m> {
                     )
                 }
                 kind if kind.class() == hcg_model::KindClass::Intensive => {
-                    let ins: Result<Vec<Tensor>, GenError> =
-                        (0..kind.input_count()).map(|p| input_of(&values, p)).collect();
+                    let ins: Result<Vec<Tensor>, GenError> = (0..kind.input_count())
+                        .map(|p| input_of(&values, p))
+                        .collect();
                     let general = self
                         .lib
                         .general_for(kind)
@@ -235,7 +238,10 @@ mod tests {
         let ty = SignalType::vector(DataType::I32, 4);
         let mut inputs = BTreeMap::new();
         inputs.insert("a".into(), Tensor::from_i64(ty, vec![1, 2, 3, 4]).unwrap());
-        inputs.insert("b".into(), Tensor::from_i64(ty, vec![10, 20, 30, 40]).unwrap());
+        inputs.insert(
+            "b".into(),
+            Tensor::from_i64(ty, vec![10, 20, 30, 40]).unwrap(),
+        );
         inputs.insert("c".into(), Tensor::from_i64(ty, vec![5, 5, 5, 5]).unwrap());
         inputs.insert("d".into(), Tensor::from_i64(ty, vec![2, 2, 2, 2]).unwrap());
         let out = r.step(&inputs).unwrap();

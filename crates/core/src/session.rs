@@ -131,11 +131,7 @@ impl CompileSession {
     /// # Errors
     ///
     /// Returns [`GenError`] when the model is invalid or synthesis fails.
-    pub fn generate(
-        &self,
-        generator: &dyn CodeGenerator,
-        arch: Arch,
-    ) -> Result<Program, GenError> {
+    pub fn generate(&self, generator: &dyn CodeGenerator, arch: Arch) -> Result<Program, GenError> {
         self.generate_with_report(generator, arch)
             .map(|(prog, _)| prog)
     }
@@ -154,8 +150,13 @@ impl CompileSession {
     ) -> Result<(Program, StageReport), GenError> {
         let fe = self.front_end()?;
         let dispatch = self.dispatch()?;
-        let mut ctx =
-            PipelineCtx::with_artifacts(&self.model, &fe.types, &fe.schedule, arch, generator.name())?;
+        let mut ctx = PipelineCtx::with_artifacts(
+            &self.model,
+            &fe.types,
+            &fe.schedule,
+            arch,
+            generator.name(),
+        )?;
         ctx.dispatch = Some(Cow::Borrowed(dispatch));
         PassManager::new(generator.passes()).run(ctx)
     }

@@ -141,10 +141,7 @@ where
             scope.spawn(move || {
                 loop {
                     // Own work first: pop the front (submission order).
-                    let mine = deques[me]
-                        .lock()
-                        .expect("deque lock poisoned")
-                        .pop_front();
+                    let mine = deques[me].lock().expect("deque lock poisoned").pop_front();
                     let (index, job, stolen) = match mine {
                         Some((index, job)) => (index, job, false),
                         None => {

@@ -37,10 +37,8 @@ pub fn load_corpus(dir: &Path) -> Result<Vec<(String, Model)>, String> {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let text =
-            fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let model =
-            model_from_xml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let model = model_from_xml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         out.push((name, model));
     }
     Ok(out)

@@ -134,7 +134,10 @@ const BINARY_INT: [ActorKind; 3] = [ActorKind::BitAnd, ActorKind::BitOr, ActorKi
 /// Panics if `cfg` is degenerate (empty dtype list) or if the generated
 /// model fails validation — both are bugs, not fuzz findings.
 pub fn generate_model(seed: u64, cfg: &GenConfig) -> Model {
-    assert!(!cfg.dtypes.is_empty(), "GenConfig::dtypes must not be empty");
+    assert!(
+        !cfg.dtypes.is_empty(),
+        "GenConfig::dtypes must not be empty"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let lanes = rng.gen_range(2..=cfg.max_lanes.max(2));
     let base_dtype = cfg.dtypes[rng.gen_range(0..cfg.dtypes.len())];
@@ -161,9 +164,7 @@ pub fn generate_model(seed: u64, cfg: &GenConfig) -> Model {
     let mut out = 0usize;
     for a in &model.actors {
         if a.kind.output_count() == 1
-            && model
-                .consumers(hcg_model::PortRef::new(a.id, 0))
-                .is_empty()
+            && model.consumers(hcg_model::PortRef::new(a.id, 0)).is_empty()
         {
             let o = b.add_actor(format!("out{out}"), ActorKind::Outport);
             b.connect(a.id, 0, o, 0);
@@ -213,7 +214,11 @@ fn grow(
         }
     };
     offer(w.binary, 0, true);
-    offer(w.unary, 1, signed_pool_exists || float_pool_exists || int_pool_exists);
+    offer(
+        w.unary,
+        1,
+        signed_pool_exists || float_pool_exists || int_pool_exists,
+    );
     offer(w.shift, 2, int_pool_exists);
     offer(w.delay, 3, true);
     offer(w.gain, 4, float_pool_exists);
@@ -281,8 +286,7 @@ fn grow(
         }
         // Constant shift on an integer value.
         2 => {
-            let (d, src) =
-                pick(rng, pools, &|d| d.is_int()).expect("feasibility checked above");
+            let (d, src) = pick(rng, pools, &|d| d.is_int()).expect("feasibility checked above");
             let kind = [ActorKind::Shr, ActorKind::Shl][rng.gen_range(0..2usize)];
             let amount = rng.gen_range(0..=7i64.min(d.bit_width() as i64 - 1));
             let a = b.shift(format!("sh{i}"), kind, amount);
@@ -298,8 +302,7 @@ fn grow(
         }
         // Gain by a scalar factor (floats only).
         4 => {
-            let (d, src) =
-                pick(rng, pools, &|d| d.is_float()).expect("feasibility checked above");
+            let (d, src) = pick(rng, pools, &|d| d.is_float()).expect("feasibility checked above");
             // Quarter-steps keep the textual form short; any f64 would
             // round-trip losslessly regardless.
             let factor = (rng.gen_range(-8i64..=8) as f64) / 4.0;
@@ -309,8 +312,7 @@ fn grow(
         }
         // Saturate clamp (floats only).
         5 => {
-            let (d, src) =
-                pick(rng, pools, &|d| d.is_float()).expect("feasibility checked above");
+            let (d, src) = pick(rng, pools, &|d| d.is_float()).expect("feasibility checked above");
             let lo = (rng.gen_range(-8i64..0) as f64) / 4.0;
             let hi = (rng.gen_range(1i64..=8) as f64) / 4.0;
             let a = b.add_actor(format!("sat{i}"), ActorKind::Saturate);
@@ -327,8 +329,7 @@ fn grow(
                 .iter()
                 .copied()
                 .filter(|to| {
-                    *to != d
-                        && (cfg.allow_float_to_int_cast || !(d.is_float() && to.is_int()))
+                    *to != d && (cfg.allow_float_to_int_cast || !(d.is_float() && to.is_int()))
                 })
                 .collect();
             if legal.is_empty() {
@@ -395,7 +396,11 @@ mod tests {
         let distinct: std::collections::BTreeSet<String> = (0..50)
             .map(|s| hcg_model::parser::model_to_xml(&generate_model(s, &cfg)))
             .collect();
-        assert!(distinct.len() > 40, "only {} distinct models", distinct.len());
+        assert!(
+            distinct.len() > 40,
+            "only {} distinct models",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -410,9 +415,7 @@ mod tests {
             let non_port = m
                 .actors
                 .iter()
-                .filter(|a| {
-                    !matches!(a.kind, ActorKind::Inport | ActorKind::Outport)
-                })
+                .filter(|a| !matches!(a.kind, ActorKind::Inport | ActorKind::Outport))
                 .count();
             // max_ops ops plus constants injected by the op draws.
             assert!(non_port <= cfg.max_ops, "seed {seed}: {non_port} ops");

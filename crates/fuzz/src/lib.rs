@@ -30,7 +30,7 @@ pub mod shrink;
 
 pub use gen::{generate_model, GenConfig, OpWeights};
 pub use oracle::{run_case, CaseReport, Divergence, OracleConfig};
-pub use report::{FailureSummary, FuzzReport};
+pub use report::{FailureSummary, FuzzReport, VerifyVerdict};
 pub use shrink::{shrink, ShrinkStats};
 
 use hcg_model::parser::model_to_xml;
@@ -86,8 +86,39 @@ pub fn case_seed(base: u64, index: usize) -> u64 {
 /// Transient fuzz artifact directory (`target/fuzz/` at the workspace
 /// root) — gitignored, safe to delete.
 pub fn transient_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/fuzz")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/fuzz")
+}
+
+/// Statically verify every generator × oracle architecture program of a
+/// (minimized) failing model with `hcg-verify`, producing one verdict per
+/// program for the report. Purely structural — no execution — so the
+/// verdicts are deterministic and cheap even for models whose dynamic
+/// behavior diverges.
+fn static_verdicts(model: &hcg_model::Model) -> Vec<VerifyVerdict> {
+    let mut out = Vec::new();
+    for g in oracle::ORACLE_GENERATORS {
+        let generator = oracle::generator_named(g);
+        for arch in oracle::ORACLE_ARCHES {
+            let (verdict, witness) = match generator.generate(model, arch) {
+                Ok(prog) => match hcg_verify::verify_program(model, &prog) {
+                    Ok(outcome) if outcome.equivalent => ("proved".to_owned(), None),
+                    Ok(outcome) => (
+                        "divergent".to_owned(),
+                        outcome.witness.map(|w| w.to_string()),
+                    ),
+                    Err(e) => (format!("verify error: {e}"), None),
+                },
+                Err(e) => (format!("generate error: {e}"), None),
+            };
+            out.push(VerifyVerdict {
+                generator: g,
+                arch: arch.to_string(),
+                verdict,
+                witness,
+            });
+        }
+    }
+    out
 }
 
 /// What one fuzz case job returns from the pool.
@@ -154,6 +185,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                         final_actors: 0,
                     },
                     repro: None,
+                    verify: Vec::new(),
                 });
                 continue;
             }
@@ -176,8 +208,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         let mut oracle_cfg = cfg.oracle;
         oracle_cfg.input_seed = splitmix64(case.seed);
         let model = generate_model(case.seed, &cfg.gen);
-        let (small, stats) =
-            shrink::shrink(&model, &|m| !run_case(m, &oracle_cfg).passed());
+        let (small, stats) = shrink::shrink(&model, &|m| !run_case(m, &oracle_cfg).passed());
         let repro = if cfg.write_failures {
             let dir = transient_dir();
             let _ = corpus::write_repro(&dir, &format!("raw_{seed:016x}"), &model);
@@ -187,11 +218,16 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         } else {
             None
         };
+        // Run the static translation validator over the minimized model:
+        // a structural divergence pins the bug to a generator, while
+        // "proved" verdicts point at input-dependent or numeric causes.
+        let verify = static_verdicts(&small);
         out.failures.push(FailureSummary {
             seed,
             divergences: case.report.divergences,
             shrink: stats,
             repro,
+            verify,
         });
     }
     // Fold the accumulated stage timings (plus run shape) into the unified
@@ -212,6 +248,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             if r.passed() {
                 out.corpus_replayed += 1;
             } else {
+                let verify = static_verdicts(&model);
                 out.failures.push(FailureSummary {
                     seed: u64::MAX,
                     divergences: r.divergences,
@@ -222,6 +259,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                         final_actors: model.actors.len(),
                     },
                     repro: Some(format!("corpus/{name}")),
+                    verify,
                 });
             }
         }
@@ -237,8 +275,7 @@ mod tests {
 
     #[test]
     fn case_seeds_are_spread() {
-        let seeds: std::collections::BTreeSet<u64> =
-            (0..1000).map(|i| case_seed(0, i)).collect();
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| case_seed(0, i)).collect();
         assert_eq!(seeds.len(), 1000);
         // Different bases decorrelate.
         assert_ne!(case_seed(0, 5), case_seed(1, 5));
@@ -255,6 +292,25 @@ mod tests {
         let b = run_fuzz(&cfg);
         assert_eq!(a.passed, 6, "divergences: {:?}", a.failures);
         assert_eq!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn static_verdicts_prove_clean_generated_models() {
+        // Any model the generator produces must statically verify for
+        // every generator × oracle arch — the same property the dynamic
+        // oracle checks, proven without execution.
+        for i in 0..3 {
+            let model = generate_model(case_seed(11, i), &GenConfig::default());
+            let verdicts = static_verdicts(&model);
+            assert_eq!(verdicts.len(), 6);
+            for v in &verdicts {
+                assert_eq!(
+                    v.verdict, "proved",
+                    "{} on {} for seed index {i}: {:?}",
+                    v.generator, v.arch, v.witness
+                );
+            }
+        }
     }
 
     #[test]

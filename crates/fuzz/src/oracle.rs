@@ -336,10 +336,7 @@ fn check_equivalence(
                             .unwrap_or(true)
                     })
                     .unwrap_or(true);
-                let scale = want
-                    .as_f64()
-                    .iter()
-                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                let scale = want.as_f64().iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
                 let diff = got.max_abs_diff(want) / scale;
                 let tol = if is_float { cfg.float_tolerance } else { 0.0 };
                 if diff > tol || !diff.is_finite() {
@@ -355,11 +352,7 @@ fn check_equivalence(
     }
 }
 
-fn check_xml_roundtrip(
-    model: &Model,
-    programs: &ProgramMatrix,
-    divergences: &mut Vec<Divergence>,
-) {
+fn check_xml_roundtrip(model: &Model, programs: &ProgramMatrix, divergences: &mut Vec<Divergence>) {
     let xml = model_to_xml(model);
     let parsed = match model_from_xml(&xml) {
         Ok(m) => m,
@@ -515,11 +508,7 @@ mod tests {
         for seed in 0..12 {
             let m = generate_model(seed, &GenConfig::default());
             let r = run_case(&m, &cfg);
-            assert!(
-                r.passed(),
-                "seed {seed} diverged: {:?}",
-                r.divergences
-            );
+            assert!(r.passed(), "seed {seed} diverged: {:?}", r.divergences);
         }
     }
 

@@ -11,6 +11,20 @@ use crate::oracle::Divergence;
 use crate::shrink::ShrinkStats;
 use std::time::Duration;
 
+/// Static-verifier verdict for one generator × architecture program of a
+/// minimized failing model (see `hcg-verify`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyVerdict {
+    /// Generator short name (`hcg`, `simulink-coder`, `dfsynth`).
+    pub generator: &'static str,
+    /// Target architecture the program was generated for.
+    pub arch: String,
+    /// `proved`, `divergent`, or an error description.
+    pub verdict: String,
+    /// First-divergence witness rendering, when divergent.
+    pub witness: Option<String>,
+}
+
 /// One shrunk failure in the report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureSummary {
@@ -22,6 +36,10 @@ pub struct FailureSummary {
     pub shrink: ShrinkStats,
     /// Repro file the minimized model was written to, if any.
     pub repro: Option<String>,
+    /// Static translation-validation verdicts for the minimized model,
+    /// one per generator × oracle architecture. The static verifier and
+    /// the dynamic oracle disagree exactly when a bug is input-dependent.
+    pub verify: Vec<VerifyVerdict>,
 }
 
 /// Aggregated outcome of one fuzz run.
@@ -55,7 +73,11 @@ pub struct FuzzReport {
 /// FNV-1a over a byte slice; tiny, dependency-free, stable across runs
 /// and platforms.
 pub fn fnv1a(bytes: &[u8], state: u64) -> u64 {
-    let mut h = if state == 0 { 0xcbf2_9ce4_8422_2325 } else { state };
+    let mut h = if state == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        state
+    };
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1_0000_01b3);
@@ -97,14 +119,32 @@ impl FuzzReport {
                         )
                     })
                     .collect();
+                let verify: Vec<String> = f
+                    .verify
+                    .iter()
+                    .map(|v| {
+                        let witness = match &v.witness {
+                            Some(w) => format!(", \"witness\": \"{}\"", escape(w)),
+                            None => String::new(),
+                        };
+                        format!(
+                            "{{\"generator\": \"{}\", \"arch\": \"{}\", \"verdict\": \"{}\"{}}}",
+                            escape(v.generator),
+                            escape(&v.arch),
+                            escape(&v.verdict),
+                            witness
+                        )
+                    })
+                    .collect();
                 format!(
-                    "{{\"seed\": {}, \"divergences\": [{}], \"shrink\": {{\"attempts\": {}, \"accepted\": {}, \"initial_actors\": {}, \"final_actors\": {}}}}}",
+                    "{{\"seed\": {}, \"divergences\": [{}], \"shrink\": {{\"attempts\": {}, \"accepted\": {}, \"initial_actors\": {}, \"final_actors\": {}}}, \"verify\": [{}]}}",
                     f.seed,
                     divs.join(", "),
                     f.shrink.attempts,
                     f.shrink.accepted,
                     f.shrink.initial_actors,
-                    f.shrink.final_actors
+                    f.shrink.final_actors,
+                    verify.join(", ")
                 )
             })
             .collect();
@@ -190,10 +230,49 @@ mod tests {
                     final_actors: 1,
                 },
                 repro: None,
+                verify: Vec::new(),
             }],
             ..FuzzReport::default()
         };
         let j = r.deterministic_json();
         assert!(j.contains("say \\\"hi\\\" \\\\ bye"));
+        // No verdicts recorded: the array is present but empty.
+        assert!(j.contains("\"verify\": []"));
+    }
+
+    #[test]
+    fn verify_verdicts_render_inside_failures() {
+        let r = FuzzReport {
+            failures: vec![FailureSummary {
+                seed: 3,
+                divergences: Vec::new(),
+                shrink: crate::shrink::ShrinkStats {
+                    attempts: 0,
+                    accepted: 0,
+                    initial_actors: 1,
+                    final_actors: 1,
+                },
+                repro: None,
+                verify: vec![
+                    VerifyVerdict {
+                        generator: "hcg",
+                        arch: "neon128".to_owned(),
+                        verdict: "proved".to_owned(),
+                        witness: None,
+                    },
+                    VerifyVerdict {
+                        generator: "dfsynth",
+                        arch: "avx256".to_owned(),
+                        verdict: "divergent".to_owned(),
+                        witness: Some("outport \"y\" element 0".to_owned()),
+                    },
+                ],
+            }],
+            ..FuzzReport::default()
+        };
+        let j = r.deterministic_json();
+        assert!(j.contains("\"generator\": \"hcg\""));
+        assert!(j.contains("\"verdict\": \"proved\""));
+        assert!(j.contains("\"witness\": \"outport \\\"y\\\" element 0\""));
     }
 }

@@ -145,11 +145,7 @@ fn producer(model: &Model, input: PortRef) -> Option<PortRef> {
 /// Rebuild `model` without the actors in `drop`, applying `rewires`
 /// (`from` port → replacement port) to surviving connections. Returns
 /// `None` when the candidate does not build.
-fn remove_actors(
-    model: &Model,
-    drop: &[ActorId],
-    rewires: &[(PortRef, PortRef)],
-) -> Option<Model> {
+fn remove_actors(model: &Model, drop: &[ActorId], rewires: &[(PortRef, PortRef)]) -> Option<Model> {
     let keep: Vec<&hcg_model::Actor> = model
         .actors
         .iter()
@@ -175,8 +171,7 @@ fn remove_actors(
             .find(|(old, _)| *old == c.from)
             .map(|(_, new)| *new)
             .unwrap_or(c.from);
-        let (Some(&nf), Some(&nt)) = (renumber.get(&from.actor), renumber.get(&c.to.actor))
-        else {
+        let (Some(&nf), Some(&nt)) = (renumber.get(&from.actor), renumber.get(&c.to.actor)) else {
             continue; // connection touched a dropped actor
         };
         b.connect(nf, from.port, nt, c.to.port);

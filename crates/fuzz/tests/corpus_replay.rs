@@ -38,6 +38,9 @@ fn committed_repros_roundtrip_byte_stable() {
         // And the on-disk bytes are exactly what the emitter produces, so
         // `write_repro` output never churns in review.
         let on_disk = std::fs::read_to_string(corpus_dir().join(&name)).expect("readable");
-        assert_eq!(on_disk, emitted, "{name}: on-disk bytes differ from emitter output");
+        assert_eq!(
+            on_disk, emitted,
+            "{name}: on-disk bytes differ from emitter output"
+        );
     }
 }

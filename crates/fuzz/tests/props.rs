@@ -2,9 +2,9 @@
 //! the identity, both on the model itself and — the stronger claim — on
 //! the C source every generator emits for it.
 
+use hcg_core::emit::to_c_source;
 use hcg_fuzz::gen::{generate_model, GenConfig};
 use hcg_fuzz::oracle::{generator_named, ORACLE_GENERATORS};
-use hcg_core::emit::to_c_source;
 use hcg_isa::Arch;
 use hcg_model::parser::{model_from_xml, model_to_xml};
 use proptest::prelude::*;

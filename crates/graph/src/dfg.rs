@@ -251,7 +251,10 @@ mod tests {
         let g = sample();
         assert_eq!(g.len_nodes(), 5);
         assert_eq!(g.outputs().len(), 2);
-        assert_eq!(g.consumers(NodeId(0)), vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            g.consumers(NodeId(0)),
+            vec![NodeId(1), NodeId(3), NodeId(4)]
+        );
     }
 
     #[test]

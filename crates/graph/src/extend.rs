@@ -158,10 +158,7 @@ fn candidate_of(graph: &Dfg, nodes: &[NodeId], max_depth: usize) -> Option<Candi
     // The sink is the unique member whose value is consumed outside the set
     // or is a region output.
     let mut sinks = nodes.iter().copied().filter(|&n| {
-        let external_consumer = graph
-            .consumers(n)
-            .iter()
-            .any(|c| !nodes.contains(c));
+        let external_consumer = graph.consumers(n).iter().any(|c| !nodes.contains(c));
         external_consumer || graph.is_output(n) || graph.consumers(n).is_empty()
     });
     let sink = sinks.next()?;

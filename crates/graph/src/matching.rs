@@ -160,8 +160,7 @@ pub fn find_instruction_indexed<'a>(
     lanes: usize,
     tree: &ValTree,
 ) -> Option<(&'a SimdInstr, InstrMatch)> {
-    find_indexed_pos(set, index, dtype, lanes, tree)
-        .map(|(pos, m)| (&set.instrs[pos as usize], m))
+    find_indexed_pos(set, index, dtype, lanes, tree).map(|(pos, m)| (&set.instrs[pos as usize], m))
 }
 
 /// Bucket walk returning the matched instruction's position in
@@ -403,8 +402,7 @@ mod tests {
                 for lanes in [2, 4, 8, 16] {
                     for tree in &trees {
                         let linear = find_instruction(&set, dtype, lanes, tree);
-                        let indexed =
-                            find_instruction_indexed(&set, &index, dtype, lanes, tree);
+                        let indexed = find_instruction_indexed(&set, &index, dtype, lanes, tree);
                         assert_eq!(
                             linear.as_ref().map(|(i, m)| (&i.name, m)),
                             indexed.as_ref().map(|(i, m)| (&i.name, m)),
@@ -445,8 +443,12 @@ mod tests {
         assert_eq!((memo.hits(), memo.misses()), (1, 1));
 
         // Negative results are cached too.
-        assert!(memo.find(&set, &index, DataType::I32, 4, &miss_tree).is_none());
-        assert!(memo.find(&set, &index, DataType::I32, 4, &miss_tree).is_none());
+        assert!(memo
+            .find(&set, &index, DataType::I32, 4, &miss_tree)
+            .is_none());
+        assert!(memo
+            .find(&set, &index, DataType::I32, 4, &miss_tree)
+            .is_none());
         assert_eq!((memo.hits(), memo.misses()), (2, 2));
     }
 

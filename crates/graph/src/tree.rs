@@ -12,7 +12,7 @@ use std::fmt;
 /// A value used twice inside the candidate appears as two identical subtrees
 /// — instruction patterns with repeated input slots (e.g. `Mul(I1, I1)`)
 /// match exactly that shape.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValTree {
     /// A value available before the candidate runs.
     Leaf(DfgInput),
@@ -65,6 +65,25 @@ impl ValTree {
         match self {
             ValTree::Leaf(_) => 0,
             ValTree::Op { args, .. } => 1 + args.iter().map(ValTree::op_count).sum::<usize>(),
+        }
+    }
+
+    /// The tree with the operands of every commutative operation sorted into
+    /// a canonical order, recursively. Two trees that differ only in
+    /// commutative operand order canonicalize to equal trees — the same
+    /// normalization the `hcg-verify` expression arena applies when
+    /// interning, so pattern-matching layers and the verifier agree on what
+    /// counts as "the same computation".
+    pub fn canonicalized(&self) -> ValTree {
+        match self {
+            ValTree::Leaf(l) => ValTree::Leaf(*l),
+            ValTree::Op { op, args } => {
+                let mut args: Vec<ValTree> = args.iter().map(ValTree::canonicalized).collect();
+                if op.commutative() {
+                    args.sort();
+                }
+                ValTree::Op { op: *op, args }
+            }
         }
     }
 }
@@ -130,6 +149,35 @@ mod tests {
         let t = ValTree::from_subgraph(&g, &[neg], neg);
         assert_eq!(t.to_string(), "Neg(n0)");
         assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn canonicalized_sorts_commutative_args() {
+        let a = ValTree::Op {
+            op: ElemOp::Add,
+            args: vec![
+                ValTree::Leaf(DfgInput::External(1)),
+                ValTree::Leaf(DfgInput::External(0)),
+            ],
+        };
+        let b = ValTree::Op {
+            op: ElemOp::Add,
+            args: vec![
+                ValTree::Leaf(DfgInput::External(0)),
+                ValTree::Leaf(DfgInput::External(1)),
+            ],
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.canonicalized(), b.canonicalized());
+        // Non-commutative operand order is preserved.
+        let s = ValTree::Op {
+            op: ElemOp::Sub,
+            args: vec![
+                ValTree::Leaf(DfgInput::External(1)),
+                ValTree::Leaf(DfgInput::External(0)),
+            ],
+        };
+        assert_eq!(s.canonicalized().to_string(), "Sub(e1, e0)");
     }
 
     #[test]

@@ -45,7 +45,8 @@ fn random_dfg(seed: u64, n_ext: usize, n_nodes: usize) -> Dfg {
             }
         };
         let inputs: Vec<DfgInput> = (0..op.arity()).map(|_| pick(next(), i)).collect();
-        g.add_node(op, inputs, format!("n{i}")).expect("valid construction");
+        g.add_node(op, inputs, format!("n{i}"))
+            .expect("valid construction");
     }
     // Every sink (no consumers) is an output; plus one random internal.
     let node_count = g.len_nodes();

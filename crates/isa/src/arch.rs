@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn load_store_spelling() {
-        assert_eq!(
-            Arch::Neon128.load_expr(DataType::I32, "a"),
-            "vld1q_s32(a)"
-        );
+        assert_eq!(Arch::Neon128.load_expr(DataType::I32, "a"), "vld1q_s32(a)");
         assert_eq!(
             Arch::Neon128.store_stmt(DataType::I32, "&out[i]", "v"),
             "vst1q_s32(&out[i], v);"

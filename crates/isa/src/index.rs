@@ -207,8 +207,7 @@ mod tests {
             let set = sets::builtin(arch);
             let index = InstrIndex::build(&set);
             for instr in &set.instrs {
-                let bucket =
-                    index.candidate_positions(instr.pattern.op, instr.dtype, instr.lanes);
+                let bucket = index.candidate_positions(instr.pattern.op, instr.dtype, instr.lanes);
                 assert!(
                     bucket
                         .iter()

@@ -203,10 +203,7 @@ mod tests {
             code: "O1 = vshlq_n_s32(I1, #A);".into(),
             cost: 1,
         };
-        assert_eq!(
-            shl.render(&["x".into()], "y", 3),
-            "y = vshlq_n_s32(x, 3);"
-        );
+        assert_eq!(shl.render(&["x".into()], "y", 3), "y = vshlq_n_s32(x, 3);");
     }
 
     #[test]

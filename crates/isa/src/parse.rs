@@ -30,7 +30,11 @@ pub struct ParseIsaError {
 
 impl fmt::Display for ParseIsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "instruction set file, line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "instruction set file, line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -63,9 +67,9 @@ pub fn instr_set_from_text(text: &str) -> Result<InstrSet, ParseIsaError> {
                 .next()
                 .ok_or_else(|| err(lineno, "set directive needs a name"))?;
             let arch = match (parts.next(), parts.next()) {
-                (Some("arch"), Some(a)) => a
-                    .parse::<Arch>()
-                    .map_err(|e| err(lineno, e.to_string()))?,
+                (Some("arch"), Some(a)) => {
+                    a.parse::<Arch>().map_err(|e| err(lineno, e.to_string()))?
+                }
                 _ => return Err(err(lineno, "expected `set <name> arch <arch>`")),
             };
             set = Some(InstrSet::new(name, arch));
@@ -114,7 +118,10 @@ pub fn parse_instr_line(lineno: usize, line: &str) -> Result<SimdInstr, ParseIsa
     let name = code
         .split('(')
         .next()
-        .and_then(|head| head.rsplit(|c: char| !c.is_ascii_alphanumeric() && c != '_').next())
+        .and_then(|head| {
+            head.rsplit(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .next()
+        })
         .filter(|s| !s.is_empty())
         .ok_or_else(|| err(lineno, "cannot derive instruction name from Code"))?
         .to_owned();
@@ -140,7 +147,11 @@ fn split_fields(line: &str) -> Vec<&str> {
     let mut out = Vec::new();
     for (i, &start) in cuts.iter().enumerate() {
         let end = cuts.get(i + 1).copied().unwrap_or(line.len());
-        out.push(line[start..end].trim_end_matches([' ', '\t', ';']).trim_start());
+        out.push(
+            line[start..end]
+                .trim_end_matches([' ', '\t', ';'])
+                .trim_start(),
+        );
     }
     out
 }
@@ -173,9 +184,7 @@ fn parse_graph_field(
     if parts.len() < 3 {
         return Err(err(lineno, "Graph needs at least op, dtype, lanes"));
     }
-    let dtype: DataType = parts[1]
-        .parse()
-        .map_err(|e| err(lineno, format!("{e}")))?;
+    let dtype: DataType = parts[1].parse().map_err(|e| err(lineno, format!("{e}")))?;
     let lanes: usize = parts[2]
         .parse()
         .map_err(|_| err(lineno, "bad lane count"))?;
@@ -243,7 +252,10 @@ pub fn instr_set_to_file(
 /// Serialise a set back to the file format (round-trips through
 /// [`instr_set_from_text`]).
 pub fn instr_set_to_text(set: &InstrSet) -> String {
-    let mut out = format!("# {} instruction set\nset {} arch {}\n", set.name, set.name, set.arch);
+    let mut out = format!(
+        "# {} instruction set\nset {} arch {}\n",
+        set.name, set.name, set.arch
+    );
     for i in &set.instrs {
         out.push_str(&format!(
             "Graph: {}, {}, {}, O1 ; Code: {} ; Cost: {}\n",
@@ -260,8 +272,11 @@ mod tests {
 
     #[test]
     fn paper_flat_form() {
-        let i = parse_instr_line(1, "Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);")
-            .unwrap();
+        let i = parse_instr_line(
+            1,
+            "Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);",
+        )
+        .unwrap();
         assert_eq!(i.name, "vaddq_s32");
         assert_eq!(i.dtype, DataType::I32);
         assert_eq!(i.lanes, 4);

@@ -183,7 +183,11 @@ impl<'a> PatParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.s.get(self.pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        while self
+            .s
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }
@@ -209,7 +213,8 @@ impl<'a> PatParser<'a> {
                 return Err(self.err("expected ']'"));
             }
             self.pos += 1;
-            num.parse::<u32>().map_err(|_| self.err("bad shift amount"))?
+            num.parse::<u32>()
+                .map_err(|_| self.err("bad shift amount"))?
         } else {
             SHIFT_ANY
         };

@@ -61,7 +61,10 @@ impl fmt::Display for SelectError {
                 write!(f, "code library has no implementation for {k}")
             }
             SelectError::AllFailed { actor, last } => {
-                write!(f, "every {actor} implementation failed pre-calculation: {last}")
+                write!(
+                    f,
+                    "every {actor} implementation failed pre-calculation: {last}"
+                )
             }
         }
     }
@@ -103,10 +106,7 @@ impl Autotuner {
     /// `loadSelectionHistory(ActorType)` (line 1): the remembered
     /// selections for one actor kind.
     pub fn history_for(&self, actor: ActorKind) -> Vec<&Selection> {
-        self.history
-            .values()
-            .filter(|s| s.actor == actor)
-            .collect()
+        self.history.values().filter(|s| s.actor == actor).collect()
     }
 
     /// Algorithm 1 in full: history lookup (lines 3–6), then
@@ -351,8 +351,12 @@ mod tests {
         let lib = CodeLibrary::new();
         let mut t = Autotuner::new(Meter::OpCount);
         let size = KernelSize(vec![256]);
-        let (first, h1) = t.select(&lib, ActorKind::Fft, DataType::F32, &size).unwrap();
-        let (second, h2) = t.select(&lib, ActorKind::Fft, DataType::F32, &size).unwrap();
+        let (first, h1) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &size)
+            .unwrap();
+        let (second, h2) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &size)
+            .unwrap();
         assert!(!h1);
         assert!(h2);
         assert_eq!(first.name, second.name);
@@ -385,11 +389,21 @@ mod tests {
         let lib = CodeLibrary::new();
         let mut t = Autotuner::new(Meter::OpCount);
         let (short, _) = t
-            .select(&lib, ActorKind::Conv, DataType::F32, &KernelSize(vec![1024, 4]))
+            .select(
+                &lib,
+                ActorKind::Conv,
+                DataType::F32,
+                &KernelSize(vec![1024, 4]),
+            )
             .unwrap();
         assert_eq!(short.name, "direct");
         let (long, _) = t
-            .select(&lib, ActorKind::Conv, DataType::F32, &KernelSize(vec![1024, 512]))
+            .select(
+                &lib,
+                ActorKind::Conv,
+                DataType::F32,
+                &KernelSize(vec![1024, 512]),
+            )
             .unwrap();
         assert_eq!(long.name, "via_fft");
     }
@@ -399,7 +413,12 @@ mod tests {
         let lib = CodeLibrary::new();
         let mut t = Autotuner::new(Meter::OpCount);
         let (mm, _) = t
-            .select(&lib, ActorKind::MatMul, DataType::F64, &KernelSize(vec![4, 4, 4]))
+            .select(
+                &lib,
+                ActorKind::MatMul,
+                DataType::F64,
+                &KernelSize(vec![4, 4, 4]),
+            )
             .unwrap();
         assert_eq!(mm.name, "unrolled");
         let (inv, _) = t
@@ -417,7 +436,9 @@ mod tests {
         let lib = CodeLibrary::new();
         let mut t = Autotuner::new(Meter::WallClock { reps: 2 });
         let size = KernelSize(vec![64]);
-        let (k, _) = t.select(&lib, ActorKind::Fft, DataType::F32, &size).unwrap();
+        let (k, _) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &size)
+            .unwrap();
         assert!(k.can_handle_size(&size));
         // Whatever won must be recorded.
         assert_eq!(t.history_for(ActorKind::Fft).len(), 1);
@@ -429,8 +450,13 @@ mod tests {
         let mut t = Autotuner::new(Meter::OpCount);
         t.select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
             .unwrap();
-        t.select(&lib, ActorKind::Conv, DataType::F32, &KernelSize(vec![100, 9]))
-            .unwrap();
+        t.select(
+            &lib,
+            ActorKind::Conv,
+            DataType::F32,
+            &KernelSize(vec![100, 9]),
+        )
+        .unwrap();
         let text = t.history_to_text();
         let mut t2 = Autotuner::new(Meter::OpCount);
         t2.load_history_text(&text);

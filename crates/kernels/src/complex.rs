@@ -153,10 +153,7 @@ mod tests {
 
     #[test]
     fn interleave_roundtrip() {
-        let v = vec![
-            Complex64::new(1.0, 2.0),
-            Complex64::new(-3.0, 0.5),
-        ];
+        let v = vec![Complex64::new(1.0, 2.0), Complex64::new(-3.0, 0.5)];
         assert_eq!(from_interleaved(&to_interleaved(&v)), v);
     }
 

@@ -186,7 +186,10 @@ mod tests {
         // outer product of the 1-D kernels.
         let hr = [1.0, 2.0];
         let hc = [3.0, -1.0, 0.5];
-        let h: Vec<f64> = hr.iter().flat_map(|&a| hc.iter().map(move |&b| a * b)).collect();
+        let h: Vec<f64> = hr
+            .iter()
+            .flat_map(|&a| hc.iter().map(move |&b| a * b))
+            .collect();
         let mut impulse = vec![0.0; 9];
         impulse[0] = 1.0;
         let out = conv2d_direct(&impulse, (3, 3), &h, (2, 3));

@@ -156,10 +156,7 @@ mod tests {
     fn fft_dct_matches_naive() {
         for n in [1usize, 2, 3, 8, 16, 30, 64, 100] {
             let x = signal(n);
-            assert!(
-                close(&dct2_naive(&x), &dct2_fft(&x), 1e-8),
-                "n={n}"
-            );
+            assert!(close(&dct2_naive(&x), &dct2_fft(&x), 1e-8), "n={n}");
         }
     }
 

@@ -13,7 +13,7 @@ use crate::matrix::{
     det_analytic, det_lu, inv_analytic, inv_gauss, matmul_general, matmul_unrolled,
 };
 use crate::{conv, dct, fft, matrix};
-use hcg_model::{ActorKind, DataType, SignalType, Shape, Tensor};
+use hcg_model::{ActorKind, DataType, Shape, SignalType, Tensor};
 use std::fmt;
 
 /// Error from running a kernel implementation.
@@ -174,12 +174,20 @@ fn out_tensor(dtype: DataType, data: Vec<f64>) -> Result<Tensor, KernelError> {
     Tensor::from_f64(ty, data).map_err(|e| kerr(e.to_string()))
 }
 
-fn out_matrix(dtype: DataType, rows: usize, cols: usize, data: Vec<f64>) -> Result<Tensor, KernelError> {
+fn out_matrix(
+    dtype: DataType,
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+) -> Result<Tensor, KernelError> {
     Tensor::from_f64(SignalType::matrix(dtype, rows, cols), data).map_err(|e| kerr(e.to_string()))
 }
 
 fn real_to_complex(x: &Tensor) -> Vec<Complex64> {
-    x.as_f64().into_iter().map(|r| Complex64::new(r, 0.0)).collect()
+    x.as_f64()
+        .into_iter()
+        .map(|r| Complex64::new(r, 0.0))
+        .collect()
 }
 
 fn fft_body(
@@ -553,45 +561,227 @@ impl CodeLibrary {
             // the any-length library function a template-based generator
             // links in (Algorithm 1's general implementation); the others
             // are the scale-specialised choices.
-            k("generic", Fft, true, any_size as fn(&KernelSize) -> bool, run_fft_generic as fn(&[Tensor]) -> Result<Tensor, KernelError>, ops_fft_generic as fn(&KernelSize) -> u64),
-            k("naive_dft", Fft, false, any_size, run_fft_naive, ops_fft_naive),
-            k("radix2", Fft, false, size_pow2, run_fft_radix2, ops_fft_radix2),
-            k("radix4", Fft, false, size_pow4, run_fft_radix4, ops_fft_radix4),
+            k(
+                "generic",
+                Fft,
+                true,
+                any_size as fn(&KernelSize) -> bool,
+                run_fft_generic as fn(&[Tensor]) -> Result<Tensor, KernelError>,
+                ops_fft_generic as fn(&KernelSize) -> u64,
+            ),
+            k(
+                "naive_dft",
+                Fft,
+                false,
+                any_size,
+                run_fft_naive,
+                ops_fft_naive,
+            ),
+            k(
+                "radix2",
+                Fft,
+                false,
+                size_pow2,
+                run_fft_radix2,
+                ops_fft_radix2,
+            ),
+            k(
+                "radix4",
+                Fft,
+                false,
+                size_pow4,
+                run_fft_radix4,
+                ops_fft_radix4,
+            ),
             k("mixed", Fft, false, any_size, run_fft_mixed, ops_fft_mixed),
-            k("bluestein", Fft, false, any_size, run_fft_bluestein, ops_fft_bluestein),
+            k(
+                "bluestein",
+                Fft,
+                false,
+                any_size,
+                run_fft_bluestein,
+                ops_fft_bluestein,
+            ),
             // IFFT family.
-            k("generic", Ifft, true, any_size, run_ifft_generic, ops_fft_generic),
-            k("naive_dft", Ifft, false, any_size, run_ifft_naive, ops_fft_naive),
-            k("radix2", Ifft, false, size_pow2, run_ifft_radix2, ops_fft_radix2),
-            k("radix4", Ifft, false, size_pow4, run_ifft_radix4, ops_fft_radix4),
-            k("mixed", Ifft, false, any_size, run_ifft_mixed, ops_fft_mixed),
-            k("bluestein", Ifft, false, any_size, run_ifft_bluestein, ops_fft_bluestein),
+            k(
+                "generic",
+                Ifft,
+                true,
+                any_size,
+                run_ifft_generic,
+                ops_fft_generic,
+            ),
+            k(
+                "naive_dft",
+                Ifft,
+                false,
+                any_size,
+                run_ifft_naive,
+                ops_fft_naive,
+            ),
+            k(
+                "radix2",
+                Ifft,
+                false,
+                size_pow2,
+                run_ifft_radix2,
+                ops_fft_radix2,
+            ),
+            k(
+                "radix4",
+                Ifft,
+                false,
+                size_pow4,
+                run_ifft_radix4,
+                ops_fft_radix4,
+            ),
+            k(
+                "mixed",
+                Ifft,
+                false,
+                any_size,
+                run_ifft_mixed,
+                ops_fft_mixed,
+            ),
+            k(
+                "bluestein",
+                Ifft,
+                false,
+                any_size,
+                run_ifft_bluestein,
+                ops_fft_bluestein,
+            ),
             // DCT / IDCT.
-            k("generic", Dct, true, any_size, run_dct_generic, ops_dct_generic),
+            k(
+                "generic",
+                Dct,
+                true,
+                any_size,
+                run_dct_generic,
+                ops_dct_generic,
+            ),
             k("naive", Dct, false, any_size, run_dct_naive, ops_dct_naive),
             k("via_fft", Dct, false, any_size, run_dct_fft, ops_dct_fft),
-            k("generic", Idct, true, any_size, run_idct_generic, ops_dct_generic),
-            k("naive", Idct, false, any_size, run_idct_naive, ops_dct_naive),
+            k(
+                "generic",
+                Idct,
+                true,
+                any_size,
+                run_idct_generic,
+                ops_dct_generic,
+            ),
+            k(
+                "naive",
+                Idct,
+                false,
+                any_size,
+                run_idct_naive,
+                ops_dct_naive,
+            ),
             k("via_fft", Idct, false, any_size, run_idct_fft, ops_dct_fft),
             // Convolution.
-            k("generic", Conv, true, any_size, run_conv_generic, ops_conv_generic),
-            k("direct", Conv, false, any_size, run_conv_direct, ops_conv_direct),
+            k(
+                "generic",
+                Conv,
+                true,
+                any_size,
+                run_conv_generic,
+                ops_conv_generic,
+            ),
+            k(
+                "direct",
+                Conv,
+                false,
+                any_size,
+                run_conv_direct,
+                ops_conv_direct,
+            ),
             k("via_fft", Conv, false, any_size, run_conv_fft, ops_conv_fft),
-            k("direct", Conv2d, true, any_size, run_conv2d_direct, ops_conv2d),
+            k(
+                "direct",
+                Conv2d,
+                true,
+                any_size,
+                run_conv2d_direct,
+                ops_conv2d,
+            ),
             // 2-D transforms: a generic row-column pass plus
             // size-specialised variants, so Algorithm 1 has real choices in
             // two dimensions as well.
-            k("rowcol_mixed", Fft2d, true, any_size, run_fft2d_rowcol, ops_fft2d),
-            k("rowcol_radix2", Fft2d, false, size_dims_pow2, run_fft2d_rowcol_radix2, ops_fft2d_radix2),
-            k("rowcol_fft", Dct2d, true, any_size, run_dct2d_rowcol, ops_dct2d),
-            k("rowcol_naive", Dct2d, false, any_size, run_dct2d_rowcol_naive, ops_dct2d_naive),
+            k(
+                "rowcol_mixed",
+                Fft2d,
+                true,
+                any_size,
+                run_fft2d_rowcol,
+                ops_fft2d,
+            ),
+            k(
+                "rowcol_radix2",
+                Fft2d,
+                false,
+                size_dims_pow2,
+                run_fft2d_rowcol_radix2,
+                ops_fft2d_radix2,
+            ),
+            k(
+                "rowcol_fft",
+                Dct2d,
+                true,
+                any_size,
+                run_dct2d_rowcol,
+                ops_dct2d,
+            ),
+            k(
+                "rowcol_naive",
+                Dct2d,
+                false,
+                any_size,
+                run_dct2d_rowcol_naive,
+                ops_dct2d_naive,
+            ),
             // Matrix algebra.
-            k("general", MatMul, true, any_size, run_matmul_general, ops_matmul_general),
-            k("unrolled", MatMul, false, size_square_2_to_4, run_matmul_unrolled, ops_matmul_unrolled),
-            k("gauss", MatInv, true, any_size, run_inv_gauss, ops_inv_gauss),
-            k("analytic", MatInv, false, size_n_1_to_4, run_inv_analytic, ops_inv_analytic),
+            k(
+                "general",
+                MatMul,
+                true,
+                any_size,
+                run_matmul_general,
+                ops_matmul_general,
+            ),
+            k(
+                "unrolled",
+                MatMul,
+                false,
+                size_square_2_to_4,
+                run_matmul_unrolled,
+                ops_matmul_unrolled,
+            ),
+            k(
+                "gauss",
+                MatInv,
+                true,
+                any_size,
+                run_inv_gauss,
+                ops_inv_gauss,
+            ),
+            k(
+                "analytic",
+                MatInv,
+                false,
+                size_n_1_to_4,
+                run_inv_analytic,
+                ops_inv_analytic,
+            ),
             k("lu", MatDet, true, any_size, run_det_lu, ops_det_lu),
-            k("analytic", MatDet, false, size_n_1_to_4, run_det_analytic, ops_det_analytic),
+            k(
+                "analytic",
+                MatDet,
+                false,
+                size_n_1_to_4,
+                run_det_analytic,
+                ops_det_analytic,
+            ),
         ];
         CodeLibrary { kernels }
     }
@@ -671,15 +861,15 @@ mod tests {
     fn all_fft_impls_agree_on_shared_sizes() {
         let lib = CodeLibrary::new();
         let x = vec_f32((0..16).map(|i| (i as f64 * 0.4).sin()).collect());
-        let reference = lib.find(ActorKind::Fft, "naive_dft").unwrap().run(std::slice::from_ref(&x)).unwrap();
+        let reference = lib
+            .find(ActorKind::Fft, "naive_dft")
+            .unwrap()
+            .run(std::slice::from_ref(&x))
+            .unwrap();
         for k in lib.for_actor(ActorKind::Fft) {
             if k.can_handle_size(&KernelSize(vec![16])) {
                 let out = k.run(std::slice::from_ref(&x)).unwrap();
-                assert!(
-                    out.max_abs_diff(&reference) < 1e-6,
-                    "{} diverges",
-                    k.name
-                );
+                assert!(out.max_abs_diff(&reference) < 1e-6, "{} diverges", k.name);
             }
         }
     }
@@ -702,8 +892,16 @@ mod tests {
     fn ifft_inverts_fft_via_library() {
         let lib = CodeLibrary::new();
         let x = vec_f32((0..8).map(|i| i as f64 * 0.25 - 1.0).collect());
-        let spec = lib.find(ActorKind::Fft, "radix2").unwrap().run(std::slice::from_ref(&x)).unwrap();
-        let back = lib.find(ActorKind::Ifft, "radix2").unwrap().run(&[spec]).unwrap();
+        let spec = lib
+            .find(ActorKind::Fft, "radix2")
+            .unwrap()
+            .run(std::slice::from_ref(&x))
+            .unwrap();
+        let back = lib
+            .find(ActorKind::Ifft, "radix2")
+            .unwrap()
+            .run(&[spec])
+            .unwrap();
         assert!(back.max_abs_diff(&x) < 1e-6);
     }
 
@@ -715,7 +913,11 @@ mod tests {
             vec![1.0, 2.0, 3.0, 4.0],
         )
         .unwrap();
-        let d = lib.find(ActorKind::MatDet, "analytic").unwrap().run(&[m]).unwrap();
+        let d = lib
+            .find(ActorKind::MatDet, "analytic")
+            .unwrap()
+            .run(&[m])
+            .unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d.as_f64()[0], -2.0);
     }
@@ -741,7 +943,10 @@ mod tests {
         assert_eq!(
             KernelSize::from_inputs(
                 ActorKind::MatMul,
-                &[ST::matrix(DataType::F64, 3, 4), ST::matrix(DataType::F64, 4, 2)]
+                &[
+                    ST::matrix(DataType::F64, 3, 4),
+                    ST::matrix(DataType::F64, 4, 2)
+                ]
             ),
             Some(KernelSize(vec![3, 4, 2]))
         );

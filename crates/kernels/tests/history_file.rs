@@ -13,7 +13,12 @@ fn history_survives_disk_roundtrip() {
         .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
         .expect("selects");
     first
-        .select(&lib, ActorKind::Conv, DataType::F64, &KernelSize(vec![512, 64]))
+        .select(
+            &lib,
+            ActorKind::Conv,
+            DataType::F64,
+            &KernelSize(vec![512, 64]),
+        )
         .expect("selects");
     first.save_history_file(&path).expect("saves");
 

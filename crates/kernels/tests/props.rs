@@ -4,8 +4,7 @@
 use hcg_kernels::{
     conv, dct,
     fft::{self, Direction},
-    from_interleaved, matrix, to_interleaved, Autotuner, CodeLibrary, Complex64, KernelSize,
-    Meter,
+    from_interleaved, matrix, to_interleaved, Autotuner, CodeLibrary, Complex64, KernelSize, Meter,
 };
 use hcg_model::{ActorKind, DataType};
 use proptest::prelude::*;

@@ -40,7 +40,10 @@ mod tests {
     fn front_end_matches_direct_calls() {
         let m = library::fig4_model();
         let fe = m.front_end().unwrap();
-        assert_eq!(fe.schedule.order, crate::schedule::schedule(&m).unwrap().order);
+        assert_eq!(
+            fe.schedule.order,
+            crate::schedule::schedule(&m).unwrap().order
+        );
         assert_eq!(fe.types, m.infer_types().unwrap());
     }
 }

@@ -245,10 +245,7 @@ pub fn random_batch_model(seed: u64, n: usize, actor_count: usize) -> Model {
     };
     let ty = SignalType::vector(dtype, n);
     let mut b = ModelBuilder::new(format!("Rand_{seed}_{n}"));
-    let mut values = vec![
-        b.inport("in0", ty),
-        b.inport("in1", ty),
-    ];
+    let mut values = vec![b.inport("in0", ty), b.inport("in1", ty)];
     let binary_int = [
         ActorKind::Add,
         ActorKind::Sub,
@@ -279,9 +276,7 @@ pub fn random_batch_model(seed: u64, n: usize, actor_count: usize) -> Model {
         };
         // Occasionally a unary op.
         if rng.next().is_multiple_of(4) {
-            let kind = if dtype.is_float()
-                || (dtype.is_signed() && rng.next().is_multiple_of(2))
-            {
+            let kind = if dtype.is_float() || (dtype.is_signed() && rng.next().is_multiple_of(2)) {
                 ActorKind::Abs
             } else {
                 ActorKind::BitNot
@@ -457,7 +452,8 @@ mod tests {
     #[test]
     fn all_paper_benchmarks_validate_and_schedule() {
         for m in paper_benchmarks() {
-            m.infer_types().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            m.infer_types()
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
             schedule(&m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
         }
     }
@@ -515,7 +511,8 @@ mod tests {
             mixed_width_model(24),
         ];
         for m in models {
-            m.infer_types().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            m.infer_types()
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
             schedule(&m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
         }
     }
@@ -525,10 +522,7 @@ mod tests {
         let m = fft2d_model(4, 8);
         let t = m.infer_types().unwrap();
         let f = m.actor_by_name("fft2d").unwrap().id;
-        assert_eq!(
-            t.output(f, 0),
-            SignalType::matrix(DataType::F32, 4, 16)
-        );
+        assert_eq!(t.output(f, 0), SignalType::matrix(DataType::F32, 4, 16));
     }
 
     #[test]
@@ -536,10 +530,7 @@ mod tests {
         let m = conv2d_model(8, 8, 3, 3);
         let t = m.infer_types().unwrap();
         let c = m.actor_by_name("conv2d").unwrap().id;
-        assert_eq!(
-            t.output(c, 0),
-            SignalType::matrix(DataType::F32, 10, 10)
-        );
+        assert_eq!(t.output(c, 0), SignalType::matrix(DataType::F32, 10, 10));
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl fmt::Display for ModelError {
                 write!(f, "input port {port} of actor {actor:?} is unconnected")
             }
             ModelError::BadParam { actor, param } => {
-                write!(f, "actor {actor:?} is missing or has malformed parameter {param:?}")
+                write!(
+                    f,
+                    "actor {actor:?} is missing or has malformed parameter {param:?}"
+                )
             }
             ModelError::TypeMismatch { actor, message } => {
                 write!(f, "type error at actor {actor:?}: {message}")
@@ -120,7 +123,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::Empty => f.write_str("model contains no actors"),
             ModelError::Cycle { actor } => {
-                write!(f, "combinational cycle through actor {actor:?} (insert a UnitDelay)")
+                write!(
+                    f,
+                    "combinational cycle through actor {actor:?} (insert a UnitDelay)"
+                )
             }
         }
     }
@@ -386,10 +392,7 @@ fn propagate(a: &Actor, ins: &[Option<SignalType>]) -> Result<Option<SignalType>
         .copied()
         .or(first_known);
     Ok(match a.kind {
-        Inport | Constant => Some(
-            a.type_param("type")
-                .ok_or_else(|| bad_param(a, "type"))?,
-        ),
+        Inport | Constant => Some(a.type_param("type").ok_or_else(|| bad_param(a, "type"))?),
         Outport => None,
         Gain | Saturate | Neg | Abs | Recp | Sqrt | BitNot | Shr | Shl => first_known,
         UnitDelay => match a.type_param("type") {
@@ -410,7 +413,11 @@ fn propagate(a: &Actor, ins: &[Option<SignalType>]) -> Result<Option<SignalType>
             }
         }),
         Add | Sub | Mul | Div | BitAnd | BitOr | BitXor | Min | Max | Abd => array_known,
-        Switch => ins.get(1).copied().flatten().or(ins.get(2).copied().flatten()),
+        Switch => ins
+            .get(1)
+            .copied()
+            .flatten()
+            .or(ins.get(2).copied().flatten()),
         MatMul => match (ins[0], ins[1]) {
             (Some(x), Some(y)) => {
                 let (r, k1) = mat_dims(a, x)?;
@@ -478,13 +485,18 @@ fn check_actor(a: &Actor, ins: &[SignalType], outs: &[SignalType]) -> Result<(),
         Add | Sub | Mul | Div | BitAnd | BitOr | BitXor | Min | Max | Abd => {
             let (x, y) = (ins[0], ins[1]);
             if x.dtype != y.dtype {
-                return Err(type_err(a, format!("mixed dtypes {} vs {}", x.dtype, y.dtype)));
+                return Err(type_err(
+                    a,
+                    format!("mixed dtypes {} vs {}", x.dtype, y.dtype),
+                ));
             }
-            let shapes_ok = x.shape == y.shape
-                || x.shape == Shape::Scalar
-                || y.shape == Shape::Scalar;
+            let shapes_ok =
+                x.shape == y.shape || x.shape == Shape::Scalar || y.shape == Shape::Scalar;
             if !shapes_ok {
-                return Err(type_err(a, format!("shape mismatch {} vs {}", x.shape, y.shape)));
+                return Err(type_err(
+                    a,
+                    format!("shape mismatch {} vs {}", x.shape, y.shape),
+                ));
             }
         }
         Switch => {
@@ -525,7 +537,11 @@ fn check_actor(a: &Actor, ins: &[SignalType], outs: &[SignalType]) -> Result<(),
             if v.len() != t.len() && v.len() != 1 {
                 return Err(type_err(
                     a,
-                    format!("constant value has {} elements, type needs {}", v.len(), t.len()),
+                    format!(
+                        "constant value has {} elements, type needs {}",
+                        v.len(),
+                        t.len()
+                    ),
                 ));
             }
         }
@@ -551,10 +567,9 @@ fn check_actor(a: &Actor, ins: &[SignalType], outs: &[SignalType]) -> Result<(),
                 return Err(type_err(a, "mixed dtypes"));
             }
         }
-        Conv2d | MatMul
-            if ins[0].dtype != ins[1].dtype => {
-                return Err(type_err(a, "mixed dtypes"));
-            }
+        Conv2d | MatMul if ins[0].dtype != ins[1].dtype => {
+            return Err(type_err(a, "mixed dtypes"));
+        }
         _ => {}
     }
     Ok(())

@@ -256,7 +256,11 @@ pub fn eval_unary_i(op: ElemOp, dtype: DataType, a: i64) -> i64 {
                 a >> n.min(63)
             } else {
                 let bits = dtype.bit_width();
-                let mask = if bits == 64 { !0i64 } else { (1i64 << bits) - 1 };
+                let mask = if bits == 64 {
+                    !0i64
+                } else {
+                    (1i64 << bits) - 1
+                };
                 ((a & mask) as u64 >> n.min(63)) as i64
             }
         }

@@ -69,7 +69,10 @@ fn schema_err(msg: impl Into<String>) -> ParseModelError {
 pub fn model_from_xml(text: &str) -> Result<Model, ParseModelError> {
     let root = xml::parse(text)?;
     if root.name != "model" {
-        return Err(schema_err(format!("root element must be <model>, got <{}>", root.name)));
+        return Err(schema_err(format!(
+            "root element must be <model>, got <{}>",
+            root.name
+        )));
     }
     let name = root.attr("name").unwrap_or("unnamed").to_owned();
     let mut actors: Vec<Actor> = Vec::new();
@@ -216,19 +219,15 @@ mod tests {
 
     #[test]
     fn non_dense_ids_rejected() {
-        let e = model_from_xml(
-            r#"<model name="t"><actor id="3" name="x" kind="Inport"/></model>"#,
-        )
-        .unwrap_err();
+        let e = model_from_xml(r#"<model name="t"><actor id="3" name="x" kind="Inport"/></model>"#)
+            .unwrap_err();
         assert!(matches!(e, ParseModelError::Schema(_)));
     }
 
     #[test]
     fn unknown_kind_rejected() {
-        let e = model_from_xml(
-            r#"<model name="t"><actor id="0" name="x" kind="Warp"/></model>"#,
-        )
-        .unwrap_err();
+        let e = model_from_xml(r#"<model name="t"><actor id="0" name="x" kind="Warp"/></model>"#)
+            .unwrap_err();
         assert!(matches!(e, ParseModelError::Schema(_)));
     }
 

@@ -8,8 +8,8 @@
 
 use crate::actor::{ActorId, ActorKind};
 use crate::model::{Model, ModelError};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A valid execution order for a model's actors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,10 +56,8 @@ pub fn schedule(model: &Model) -> Result<Schedule, ModelError> {
         indegree[to] += 1;
     }
 
-    let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
-        .filter(|&i| indegree[i] == 0)
-        .map(Reverse)
-        .collect();
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&i| indegree[i] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse(i)) = ready.pop() {
         order.push(ActorId(i));

@@ -175,7 +175,10 @@ impl Tensor {
     /// Fails when the operation does not support the element type.
     pub fn unary(&self, op: ElemOp) -> Result<Tensor, TensorError> {
         if !op.supports(self.ty.dtype) {
-            return Err(TensorError(format!("{op} unsupported on {}", self.ty.dtype)));
+            return Err(TensorError(format!(
+                "{op} unsupported on {}",
+                self.ty.dtype
+            )));
         }
         let data = match &self.data {
             TensorData::F(v) => TensorData::F(v.iter().map(|&a| eval_unary_f(op, a)).collect()),
@@ -203,7 +206,10 @@ impl Tensor {
             )));
         }
         if !op.supports(self.ty.dtype) {
-            return Err(TensorError(format!("{op} unsupported on {}", self.ty.dtype)));
+            return Err(TensorError(format!(
+                "{op} unsupported on {}",
+                self.ty.dtype
+            )));
         }
         let (n, out_ty) = if self.len() == rhs.len() {
             (self.len(), self.ty)
@@ -299,9 +305,15 @@ mod tests {
     fn binary_elementwise() {
         let a = vi32(vec![1, 2, 3]);
         let b = vi32(vec![10, 20, 30]);
-        assert_eq!(a.binary(ElemOp::Add, &b).unwrap().as_i64(), vec![11, 22, 33]);
+        assert_eq!(
+            a.binary(ElemOp::Add, &b).unwrap().as_i64(),
+            vec![11, 22, 33]
+        );
         assert_eq!(b.binary(ElemOp::Sub, &a).unwrap().as_i64(), vec![9, 18, 27]);
-        assert_eq!(a.binary(ElemOp::Mul, &b).unwrap().as_i64(), vec![10, 40, 90]);
+        assert_eq!(
+            a.binary(ElemOp::Mul, &b).unwrap().as_i64(),
+            vec![10, 40, 90]
+        );
     }
 
     #[test]

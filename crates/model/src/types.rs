@@ -217,7 +217,11 @@ impl FromStr for Shape {
             return Ok(Shape::Matrix(r, c));
         }
         let n: usize = s.parse().map_err(|_| err())?;
-        Ok(if n == 1 { Shape::Scalar } else { Shape::Vector(n) })
+        Ok(if n == 1 {
+            Shape::Scalar
+        } else {
+            Shape::Vector(n)
+        })
     }
 }
 

@@ -132,7 +132,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -220,10 +224,7 @@ impl<'a> Parser<'a> {
 
     fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
         let hay = &self.bytes[self.pos..];
-        match hay
-            .windows(end.len())
-            .position(|w| w == end.as_bytes())
-        {
+        match hay.windows(end.len()).position(|w| w == end.as_bytes()) {
             Some(i) => {
                 self.pos += i + end.len();
                 Ok(())

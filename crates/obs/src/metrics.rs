@@ -53,9 +53,7 @@ impl MetricsRegistry {
     /// previously used as a gauge is converted (last writer wins on kind).
     pub fn counter_add(&self, name: &str, by: u64) {
         let mut m = self.values.lock().expect("metrics lock poisoned");
-        let slot = m
-            .entry(name.to_owned())
-            .or_insert(MetricValue::Counter(0));
+        let slot = m.entry(name.to_owned()).or_insert(MetricValue::Counter(0));
         *slot = match *slot {
             MetricValue::Counter(c) => MetricValue::Counter(c.saturating_add(by)),
             MetricValue::Gauge(_) => MetricValue::Counter(by),

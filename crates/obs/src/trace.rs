@@ -36,8 +36,7 @@ pub fn render_tree(events: &[SpanEvent]) -> String {
     let mut out = String::new();
     for tid in tids {
         out.push_str(&format!("thread {tid}\n"));
-        let mut thread_events: Vec<&SpanEvent> =
-            events.iter().filter(|e| e.tid == tid).collect();
+        let mut thread_events: Vec<&SpanEvent> = events.iter().filter(|e| e.tid == tid).collect();
         // Within a thread, ids are sequential in open order, which is the
         // natural tree order (parents open before their children).
         thread_events.sort_by_key(|e| e.id);

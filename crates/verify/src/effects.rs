@@ -1,0 +1,113 @@
+//! Read/write effect analysis over generated programs.
+//!
+//! Walks the statement list once (without symbolic evaluation) and records,
+//! per top-level statement, which buffers each statement reads and writes —
+//! then folds those sets per origin actor and per mapped SIMD region using
+//! the program's [`Origin`](hcg_vm::Origin) metadata. The sets describe
+//! exactly the buffer traffic the VM interpreter performs: loops that can
+//! never run (empty trip count) contribute nothing, register-only vector
+//! ops contribute nothing, and a `KernelCall` reads its whole input buffers
+//! and writes its whole output buffer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hcg_vm::{Program, Stmt};
+
+/// Buffers one unit of code (a statement, actor or region) reads and writes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmtEffects {
+    /// Indices (into `Program::buffers`) of buffers read.
+    pub reads: BTreeSet<usize>,
+    /// Indices of buffers written.
+    pub writes: BTreeSet<usize>,
+}
+
+impl StmtEffects {
+    /// Merge another effect set into this one.
+    pub fn absorb(&mut self, other: &StmtEffects) {
+        self.reads.extend(other.reads.iter().copied());
+        self.writes.extend(other.writes.iter().copied());
+    }
+
+    /// `true` when the unit neither reads nor writes any buffer.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// Per-statement, per-actor and per-region buffer effects of one program.
+#[derive(Debug, Clone, Default)]
+pub struct EffectSummary {
+    /// One entry per top-level statement of `Program::body`.
+    pub per_stmt: Vec<StmtEffects>,
+    /// Effects folded by origin actor label (see
+    /// [`Origin::label`](hcg_vm::Origin::label)).
+    pub actors: BTreeMap<String, StmtEffects>,
+    /// Effects folded by mapped-region index, for statements that carry one.
+    pub regions: BTreeMap<usize, StmtEffects>,
+}
+
+/// Compute the program's buffer effect sets.
+pub fn effect_summary(prog: &Program) -> EffectSummary {
+    let mut summary = EffectSummary::default();
+    for (i, stmt) in prog.body.iter().enumerate() {
+        let mut eff = StmtEffects::default();
+        collect(stmt, &mut eff);
+        let origin = prog.origins.get(i);
+        if let Some(o) = origin {
+            summary
+                .actors
+                .entry(o.label().to_owned())
+                .or_default()
+                .absorb(&eff);
+            if let Some(r) = o.region {
+                summary.regions.entry(r).or_default().absorb(&eff);
+            }
+        }
+        summary.per_stmt.push(eff);
+    }
+    summary
+}
+
+fn collect(stmt: &Stmt, eff: &mut StmtEffects) {
+    match stmt {
+        Stmt::Loop {
+            start,
+            end,
+            step,
+            body,
+        } => {
+            // A loop that never runs (or would never terminate — the lint
+            // catches step 0 separately) performs no accesses, and the
+            // dynamic access log must agree.
+            if start < end && *step > 0 {
+                for s in body {
+                    collect(s, eff);
+                }
+            }
+        }
+        Stmt::Scalar { dst, srcs, .. } => {
+            for s in srcs {
+                eff.reads.insert(s.buf.0);
+            }
+            eff.writes.insert(dst.buf.0);
+        }
+        Stmt::VLoad { buf, .. } => {
+            eff.reads.insert(buf.0);
+        }
+        Stmt::VStore { buf, .. } => {
+            eff.writes.insert(buf.0);
+        }
+        Stmt::VOp { .. } => {}
+        Stmt::KernelCall { inputs, output, .. } => {
+            for b in inputs {
+                eff.reads.insert(b.0);
+            }
+            eff.writes.insert(output.0);
+        }
+        Stmt::Copy { dst, src } => {
+            eff.reads.insert(src.0);
+            eff.writes.insert(dst.0);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Hash-consed symbolic expression arena.
+//!
+//! Every value a generated program (or the model's reference semantics) can
+//! compute is represented as a tree of [`SymExpr`] nodes interned into an
+//! [`ExprArena`]. Interning gives three properties the verifier leans on:
+//!
+//! * **O(1) equality** — two values are structurally equal iff they carry
+//!   the same [`ExprId`], because identical nodes are stored once.
+//! * **Canonical commutativity** — operands of commutative operations are
+//!   sorted by id at interning time, so `Add(a, b)` and `Add(b, a)` receive
+//!   the same id. Under hash-consing the id order is a structural order,
+//!   which makes the sort well-defined across both sides of a proof as long
+//!   as they share one arena.
+//! * **Shared subtrees** — SIMD-fused, looped and unrolled lowerings of the
+//!   same model converge onto the same interned nodes, so memory stays
+//!   proportional to the number of *distinct* subcomputations.
+//!
+//! The node vocabulary generalises `hcg_graph::ValTree` (whose leaves are
+//! dataflow-graph positions) to whole programs: leaves are model inputs,
+//! delay states and constants; interior nodes are the element-wise operation
+//! set plus the scalar extras (`Select`/`Clamp`/`Cast`) and uninterpreted
+//! intensive kernels.
+
+use hcg_model::op::{wrap_int, ElemOp};
+use hcg_model::{ActorKind, DataType};
+use std::collections::HashMap;
+
+/// Identifier of an interned expression inside an [`ExprArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// One node of a symbolic value tree.
+///
+/// Constants are normalised into their storage dtype before interning (see
+/// [`ExprArena::constant`]) so that e.g. a `2.0` model parameter stored into
+/// an `i32` buffer and the literal `2` agree. Kernel results are
+/// *uninterpreted functions*: two kernel outputs are equal iff they apply
+/// the same actor kind to the same input element trees. The kernel's
+/// `impl_name` is deliberately not part of the node — Algorithm 1 is free to
+/// pick any implementation because the autotune contract guarantees all
+/// implementations of a family agree (a property the dynamic fuzz oracle
+/// tests separately).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymExpr {
+    /// Element `elem` of the `port`-th external input (inport ordinal in
+    /// model actor order).
+    Input {
+        /// Inport ordinal.
+        port: u32,
+        /// Element index.
+        elem: u32,
+    },
+    /// Element `elem` of the `delay`-th unit-delay state as latched by the
+    /// previous step (delay ordinal in model actor order).
+    State {
+        /// Unit-delay ordinal.
+        delay: u32,
+        /// Element index.
+        elem: u32,
+    },
+    /// A compile-time constant, normalised into its storage dtype.
+    Const {
+        /// Storage element type.
+        dtype: DataType,
+        /// Value bits: `f64::to_bits` for floats, the wrapped `i64` value
+        /// reinterpreted as `u64` for integers.
+        bits: u64,
+    },
+    /// An element-wise operation over interned operands (commutative
+    /// operand lists are sorted by id at interning time).
+    Op {
+        /// The operation.
+        op: ElemOp,
+        /// Operand ids (length = arity).
+        args: Vec<ExprId>,
+    },
+    /// `cond > 0 ? then_ : else_` (the `Switch` actor / `Select` scalar op).
+    Select {
+        /// Condition value (compared against zero in its float view).
+        cond: ExprId,
+        /// Value when the condition is positive.
+        then_: ExprId,
+        /// Value otherwise.
+        else_: ExprId,
+    },
+    /// Clamp into `[lo, hi]` (the `Saturate` actor). Bounds are stored as
+    /// `f64` bit patterns so the node is hashable.
+    Clamp {
+        /// Lower bound bits.
+        lo: u64,
+        /// Upper bound bits.
+        hi: u64,
+        /// Clamped value.
+        arg: ExprId,
+    },
+    /// Conversion into another element type. Only materialised when the
+    /// conversion can change the value: float→float is an identity in the
+    /// VM (all floats are stored as `f64`) and is never interned.
+    Cast {
+        /// Target element type.
+        to: DataType,
+        /// Converted value.
+        arg: ExprId,
+    },
+    /// An ordered argument pack — kernel calls take whole arrays, so their
+    /// inputs are tuples of tuples of element trees. Interning the pack
+    /// once keeps kernel nodes O(1) instead of O(n) per output element.
+    Tuple {
+        /// Packed ids.
+        items: Vec<ExprId>,
+    },
+    /// Element `elem` of an uninterpreted intensive kernel applied to the
+    /// packed input arrays.
+    Kernel {
+        /// Kernel family (the intensive actor kind).
+        kind: ActorKind,
+        /// Output element index.
+        elem: u32,
+        /// Id of the [`SymExpr::Tuple`] packing the input arrays.
+        args: ExprId,
+    },
+}
+
+/// Interning arena for [`SymExpr`] nodes.
+#[derive(Debug, Default)]
+pub struct ExprArena {
+    nodes: Vec<SymExpr>,
+    ids: HashMap<SymExpr, ExprId>,
+}
+
+impl ExprArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ExprArena::default()
+    }
+
+    /// Number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Intern a node, canonicalising commutative operand order, and return
+    /// its id. Structurally equal nodes always return the same id.
+    pub fn intern(&mut self, mut e: SymExpr) -> ExprId {
+        if let SymExpr::Op { op, args } = &mut e {
+            if op.commutative() {
+                args.sort_unstable();
+            }
+        }
+        if let Some(&id) = self.ids.get(&e) {
+            return id;
+        }
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(e.clone());
+        self.ids.insert(e, id);
+        id
+    }
+
+    /// Intern a constant, normalising `raw` into `dtype` exactly the way
+    /// buffer initialisation and tensor construction do: floats keep their
+    /// bits, integers round then wrap into the dtype's width.
+    pub fn constant(&mut self, dtype: DataType, raw: f64) -> ExprId {
+        let bits = if dtype.is_float() {
+            raw.to_bits()
+        } else {
+            wrap_int(dtype, raw.round() as i64) as u64
+        };
+        self.intern(SymExpr::Const { dtype, bits })
+    }
+
+    /// Wrap `arg` (of element type `from`) in the conversion the VM applies
+    /// when the value flows into a `to`-typed location. Identity conversions
+    /// — same dtype, or float→float (the VM stores every float as `f64`) —
+    /// return `arg` unchanged.
+    pub fn convert(&mut self, arg: ExprId, from: DataType, to: DataType) -> ExprId {
+        if from == to || (from.is_float() && to.is_float()) {
+            arg
+        } else {
+            self.intern(SymExpr::Cast { to, arg })
+        }
+    }
+
+    /// Access an interned node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this arena.
+    pub fn node(&self, id: ExprId) -> &SymExpr {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Render a tree as a human-readable expression string, for divergence
+    /// witnesses. Deeply nested trees are elided with `…` beyond a fixed
+    /// depth; kernel argument packs are summarised by arity.
+    pub fn render(&self, id: ExprId) -> String {
+        let mut out = String::new();
+        self.render_into(id, 8, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: ExprId, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        if depth == 0 {
+            out.push('…');
+            return;
+        }
+        match self.node(id) {
+            SymExpr::Input { port, elem } => {
+                let _ = write!(out, "in{port}[{elem}]");
+            }
+            SymExpr::State { delay, elem } => {
+                let _ = write!(out, "st{delay}[{elem}]");
+            }
+            SymExpr::Const { dtype, bits } => {
+                if dtype.is_float() {
+                    let _ = write!(out, "{}", f64::from_bits(*bits));
+                } else {
+                    let _ = write!(out, "{}", *bits as i64);
+                }
+            }
+            SymExpr::Op { op, args } => {
+                let _ = write!(out, "{}(", op.mnemonic());
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render_into(*a, depth - 1, out);
+                }
+                out.push(')');
+            }
+            SymExpr::Select { cond, then_, else_ } => {
+                out.push_str("Select(");
+                self.render_into(*cond, depth - 1, out);
+                out.push_str(", ");
+                self.render_into(*then_, depth - 1, out);
+                out.push_str(", ");
+                self.render_into(*else_, depth - 1, out);
+                out.push(')');
+            }
+            SymExpr::Clamp { lo, hi, arg } => {
+                let _ = write!(
+                    out,
+                    "Clamp[{}, {}](",
+                    f64::from_bits(*lo),
+                    f64::from_bits(*hi)
+                );
+                self.render_into(*arg, depth - 1, out);
+                out.push(')');
+            }
+            SymExpr::Cast { to, arg } => {
+                let _ = write!(out, "Cast[{to}](");
+                self.render_into(*arg, depth - 1, out);
+                out.push(')');
+            }
+            SymExpr::Tuple { items } => {
+                let _ = write!(out, "<{} values>", items.len());
+            }
+            SymExpr::Kernel { kind, elem, args } => {
+                let arity = match self.node(*args) {
+                    SymExpr::Tuple { items } => items.len(),
+                    _ => 1,
+                };
+                let _ = write!(out, "{kind}[{elem}](<{arity} inputs>)");
+            }
+        }
+    }
+}
+
+/// Intern a matched candidate [`hcg_graph::ValTree`] as a symbolic
+/// expression, mapping each `DfgInput` leaf through `leaf`. This ties
+/// Algorithm 2's operand trees into the verifier's vocabulary: a subgraph
+/// the instruction mapper matched and the SIMD code it emitted normalise to
+/// the same node.
+pub fn sym_from_valtree<F>(arena: &mut ExprArena, tree: &hcg_graph::ValTree, leaf: &F) -> ExprId
+where
+    F: Fn(&hcg_graph::DfgInput) -> ExprId,
+{
+    match tree {
+        hcg_graph::ValTree::Leaf(l) => leaf(l),
+        hcg_graph::ValTree::Op { op, args } => {
+            let ids = args
+                .iter()
+                .map(|a| sym_from_valtree(arena, a, leaf))
+                .collect();
+            arena.intern(SymExpr::Op { op: *op, args: ids })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_structural() {
+        let mut a = ExprArena::new();
+        let x = a.intern(SymExpr::Input { port: 0, elem: 0 });
+        let y = a.intern(SymExpr::Input { port: 0, elem: 1 });
+        let s1 = a.intern(SymExpr::Op {
+            op: ElemOp::Sub,
+            args: vec![x, y],
+        });
+        let s2 = a.intern(SymExpr::Op {
+            op: ElemOp::Sub,
+            args: vec![x, y],
+        });
+        let s3 = a.intern(SymExpr::Op {
+            op: ElemOp::Sub,
+            args: vec![y, x],
+        });
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3, "Sub is not commutative");
+    }
+
+    #[test]
+    fn commutative_operands_canonicalise() {
+        let mut a = ExprArena::new();
+        let x = a.intern(SymExpr::Input { port: 0, elem: 0 });
+        let y = a.intern(SymExpr::Input { port: 1, elem: 0 });
+        let ab = a.intern(SymExpr::Op {
+            op: ElemOp::Add,
+            args: vec![x, y],
+        });
+        let ba = a.intern(SymExpr::Op {
+            op: ElemOp::Add,
+            args: vec![y, x],
+        });
+        assert_eq!(ab, ba);
+        // Nested: Mul(Add(x,y), z) == Mul(z, Add(y,x)).
+        let z = a.intern(SymExpr::Input { port: 2, elem: 0 });
+        let m1 = a.intern(SymExpr::Op {
+            op: ElemOp::Mul,
+            args: vec![ab, z],
+        });
+        let m2 = a.intern(SymExpr::Op {
+            op: ElemOp::Mul,
+            args: vec![z, ba],
+        });
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn constants_normalise_per_dtype() {
+        let mut a = ExprArena::new();
+        // 2.4 stored into an i32 buffer rounds to 2, same as the literal 2.
+        assert_eq!(
+            a.constant(DataType::I32, 2.4),
+            a.constant(DataType::I32, 2.0)
+        );
+        // Width wrapping: 300 into an i8 equals 300 - 256 = 44.
+        assert_eq!(
+            a.constant(DataType::I8, 300.0),
+            a.constant(DataType::I8, 44.0)
+        );
+        // Float constants keep their bits and are distinct from ints.
+        assert_ne!(
+            a.constant(DataType::F32, 2.0),
+            a.constant(DataType::I32, 2.0)
+        );
+    }
+
+    #[test]
+    fn float_to_float_conversion_is_identity() {
+        let mut a = ExprArena::new();
+        let x = a.intern(SymExpr::Input { port: 0, elem: 0 });
+        assert_eq!(a.convert(x, DataType::F32, DataType::F64), x);
+        assert_eq!(a.convert(x, DataType::I32, DataType::I32), x);
+        assert_ne!(a.convert(x, DataType::F64, DataType::I32), x);
+        assert_ne!(a.convert(x, DataType::I16, DataType::I32), x);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut a = ExprArena::new();
+        let x = a.intern(SymExpr::Input { port: 0, elem: 3 });
+        let two = a.constant(DataType::I32, 2.0);
+        let m = a.intern(SymExpr::Op {
+            op: ElemOp::Mul,
+            args: vec![x, two],
+        });
+        // Commutative args sort by interning order: `x` was interned first.
+        assert_eq!(a.render(m), "Mul(in0[3], 2)");
+    }
+
+    #[test]
+    fn valtree_and_arena_agree_on_commutativity() {
+        use hcg_graph::{DfgInput, ValTree};
+        let mut a = ExprArena::new();
+        let leaf = |l: &DfgInput| match l {
+            DfgInput::External(e) => ExprId(*e as u32),
+            DfgInput::Node(_) => unreachable!(),
+        };
+        for l in [DfgInput::External(0), DfgInput::External(1)] {
+            // Pre-intern leaves so ids 0/1 exist.
+            let _ = a.intern(SymExpr::Input {
+                port: match l {
+                    DfgInput::External(e) => e as u32,
+                    _ => 0,
+                },
+                elem: 0,
+            });
+        }
+        let t1 = ValTree::Op {
+            op: ElemOp::Add,
+            args: vec![
+                ValTree::Leaf(DfgInput::External(0)),
+                ValTree::Leaf(DfgInput::External(1)),
+            ],
+        };
+        let t2 = ValTree::Op {
+            op: ElemOp::Add,
+            args: vec![
+                ValTree::Leaf(DfgInput::External(1)),
+                ValTree::Leaf(DfgInput::External(0)),
+            ],
+        };
+        let s1 = sym_from_valtree(&mut a, &t1, &leaf);
+        let s2 = sym_from_valtree(&mut a, &t2, &leaf);
+        assert_eq!(s1, s2);
+        assert_eq!(t1.canonicalized(), t2.canonicalized());
+    }
+}

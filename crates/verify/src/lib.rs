@@ -1,0 +1,77 @@
+//! Static translation validation for HCG-generated programs.
+//!
+//! The generators in `hcg-core` lower a scheduled dataflow model into a
+//! C-shaped [`Program`](hcg_vm::Program) three different ways (conventional
+//! unrolled scalar code, looped scalar code, SIMD-fused HCG code). This
+//! crate proves — without executing anything — that a generated program
+//! computes exactly what its model specifies:
+//!
+//! * [`expr`] interns symbolic expression trees into a hash-consed
+//!   [`ExprArena`], canonicalizing commutative operand order so that
+//!   structurally shuffled but equal computations share one id.
+//! * [`prog`] abstractly interprets the generated statement list over those
+//!   trees, unrolling loops and tracking vector registers, which normalises
+//!   all three code shapes to identical per-element trees.
+//! * [`model_sem`] derives the reference trees straight from the scheduled
+//!   model graph — the symbolic twin of the golden reference interpreter.
+//! * [`equiv`] compares the two sides per outport element (and per latched
+//!   delay state) and reports [`VerifyOutcome::equivalent`] or a
+//!   first-divergence [`Witness`] naming the statement to blame.
+//! * [`effects`] computes per-statement / per-actor / per-region buffer
+//!   read/write sets ([`EffectSummary`]) from the same walk shape.
+//! * [`range`] runs an interval abstract interpretation powering the
+//!   `program/possible-overflow`, `program/possible-div-by-zero` and
+//!   `program/lane-out-of-range` lints.
+//!
+//! Soundness note: equivalence here is *structural equivalence of
+//! canonicalized trees*. It never assumes algebraic identities beyond
+//! commutativity of ops the ISA itself declares commutative, so a proof
+//! implies bit-identical behaviour on every input; a divergence witness may
+//! occasionally be a false alarm for rewrites the canonicalizer does not
+//! know, which the generators do not perform today.
+
+#![warn(missing_docs)]
+
+pub mod effects;
+pub mod equiv;
+pub mod expr;
+pub mod model_sem;
+pub mod prog;
+pub mod range;
+
+pub use effects::{effect_summary, EffectSummary, StmtEffects};
+pub use equiv::{verify_program, VerifyOutcome, Witness};
+pub use expr::{ExprArena, ExprId, SymExpr};
+pub use model_sem::{model_semantics, ModelSemantics};
+pub use prog::{eval_program, ProgSummary};
+pub use range::{range_lint, Interval};
+
+use hcg_model::ModelError;
+
+/// Why a verification run could not produce a verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The model itself failed validation, type inference or scheduling.
+    Model(ModelError),
+    /// The program uses a construct outside the verifier's (and the IR
+    /// contract's) supported shape — nested loops, out-of-range accesses,
+    /// mismatched buffer inventories.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Model(e) => write!(f, "model error: {e}"),
+            VerifyError::Unsupported(msg) => write!(f, "unsupported program shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<ModelError> for VerifyError {
+    fn from(e: ModelError) -> Self {
+        VerifyError::Model(e)
+    }
+}

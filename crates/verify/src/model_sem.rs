@@ -1,0 +1,284 @@
+//! Reference symbolic semantics of a model, derived directly from the
+//! scheduled dataflow graph.
+//!
+//! This is the symbolic twin of `hcg-core`'s golden reference interpreter:
+//! it walks the deterministic schedule actor by actor and computes, for
+//! every actor output, the tree of [`SymExpr`] nodes describing each
+//! element in terms of inport values, previous-step delay states and
+//! constants. The result is what any correct lowering of the model must
+//! leave in its outport buffers (and latch into its state buffers) after
+//! one step.
+
+use crate::expr::{ExprArena, ExprId, SymExpr};
+use crate::VerifyError;
+use hcg_model::op::ElemOp;
+use hcg_model::schedule::schedule;
+use hcg_model::{ActorKind, KindClass, Model, PortRef};
+
+/// Per-outport and per-delay symbolic semantics of one model step.
+#[derive(Debug)]
+pub struct ModelSemantics {
+    /// `(outport name, element trees)` for every `Outport` actor, in model
+    /// actor order — the same order generators declare output buffers in.
+    pub outports: Vec<(String, Vec<ExprId>)>,
+    /// `(delay name, latched element trees)` for every `UnitDelay` actor,
+    /// in model actor order: the value its state buffer must hold at the
+    /// end of the step.
+    pub states: Vec<(String, Vec<ExprId>)>,
+}
+
+/// Derive the model's symbolic step semantics.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Model`] for models that fail validation, type
+/// inference or scheduling, and [`VerifyError::Unsupported`] for actor
+/// kinds without element-wise or kernel semantics.
+pub fn model_semantics(
+    arena: &mut ExprArena,
+    model: &Model,
+) -> Result<ModelSemantics, VerifyError> {
+    let types = model.infer_types()?;
+    let order = schedule(model)?;
+
+    // values[actor] = element trees of the actor's (single) output.
+    let mut values: Vec<Option<Vec<ExprId>>> = vec![None; model.actors.len()];
+
+    // Delay outputs are previous-step state, available from step start.
+    // Ordinals count actors of the kind in actor order, matching the
+    // declaration order of Input/State buffers in generated programs.
+    let mut input_ord = 0u32;
+    let mut delay_ord = 0u32;
+    let mut input_of_actor = vec![0u32; model.actors.len()];
+    let mut delay_of_actor = vec![0u32; model.actors.len()];
+    for a in &model.actors {
+        match a.kind {
+            ActorKind::Inport => {
+                input_of_actor[a.id.0] = input_ord;
+                input_ord += 1;
+            }
+            ActorKind::UnitDelay => {
+                delay_of_actor[a.id.0] = delay_ord;
+                delay_ord += 1;
+                let ty = types.output(a.id, 0);
+                let d = delay_of_actor[a.id.0];
+                values[a.id.0] = Some(
+                    (0..ty.len())
+                        .map(|i| {
+                            arena.intern(SymExpr::State {
+                                delay: d,
+                                elem: i as u32,
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let mut outports = Vec::new();
+    for &aid in &order.order {
+        let actor = model.actor(aid);
+        let input_of = |values: &[Option<Vec<ExprId>>],
+                        p: usize|
+         -> Result<(Vec<ExprId>, hcg_model::SignalType), VerifyError> {
+            let src = model.driver(PortRef::new(aid, p)).ok_or_else(|| {
+                VerifyError::Unsupported(format!("unconnected input {p} of {:?}", actor.name))
+            })?;
+            let trees = values[src.actor.0].clone().ok_or_else(|| {
+                VerifyError::Unsupported(format!("value of {} not ready", src.actor))
+            })?;
+            Ok((trees, types.output(src.actor, src.port)))
+        };
+        let out_ty = if actor.kind.output_count() > 0 {
+            Some(types.output(aid, 0))
+        } else {
+            None
+        };
+        let amount = actor.param("amount").and_then(|p| p.as_int()).unwrap_or(0) as u32;
+
+        let value: Option<Vec<ExprId>> = match actor.kind {
+            ActorKind::Inport => {
+                let ty = out_ty.expect("inport has output");
+                let port = input_of_actor[aid.0];
+                Some(
+                    (0..ty.len())
+                        .map(|i| {
+                            arena.intern(SymExpr::Input {
+                                port,
+                                elem: i as u32,
+                            })
+                        })
+                        .collect(),
+                )
+            }
+            ActorKind::Constant => {
+                let ty = out_ty.expect("constant has output");
+                let vals = actor
+                    .param("value")
+                    .and_then(|p| p.as_float_vec())
+                    .ok_or_else(|| {
+                        VerifyError::Unsupported(format!("{:?} has no value", actor.name))
+                    })?;
+                Some(
+                    (0..ty.len())
+                        .map(|i| {
+                            let raw = vals.get(i).or(vals.first()).copied().unwrap_or(0.0);
+                            arena.constant(ty.dtype, raw)
+                        })
+                        .collect(),
+                )
+            }
+            ActorKind::Outport => {
+                let (trees, _) = input_of(&values, 0)?;
+                outports.push((actor.name.clone(), trees));
+                None
+            }
+            // Injected above from state.
+            ActorKind::UnitDelay => None,
+            ActorKind::Gain => {
+                let (x, _) = input_of(&values, 0)?;
+                let ty = out_ty.expect("gain has output");
+                let g = actor
+                    .param("gain")
+                    .and_then(|p| p.as_float())
+                    .ok_or_else(|| {
+                        VerifyError::Unsupported(format!("{:?} missing gain", actor.name))
+                    })?;
+                let k = arena.constant(ty.dtype, g);
+                Some(
+                    x.iter()
+                        .map(|&xi| {
+                            arena.intern(SymExpr::Op {
+                                op: ElemOp::Mul,
+                                args: vec![xi, k],
+                            })
+                        })
+                        .collect(),
+                )
+            }
+            ActorKind::Saturate => {
+                let (x, _) = input_of(&values, 0)?;
+                let lo = actor
+                    .param("min")
+                    .and_then(|p| p.as_float())
+                    .unwrap_or(f64::MIN);
+                let hi = actor
+                    .param("max")
+                    .and_then(|p| p.as_float())
+                    .unwrap_or(f64::MAX);
+                Some(
+                    x.iter()
+                        .map(|&xi| {
+                            arena.intern(SymExpr::Clamp {
+                                lo: lo.to_bits(),
+                                hi: hi.to_bits(),
+                                arg: xi,
+                            })
+                        })
+                        .collect(),
+                )
+            }
+            ActorKind::Cast => {
+                let (x, in_ty) = input_of(&values, 0)?;
+                let to = out_ty.expect("cast has output").dtype;
+                Some(
+                    x.iter()
+                        .map(|&xi| arena.convert(xi, in_ty.dtype, to))
+                        .collect(),
+                )
+            }
+            ActorKind::Switch => {
+                let (c, _) = input_of(&values, 0)?;
+                let (a, _) = input_of(&values, 1)?;
+                let (b, _) = input_of(&values, 2)?;
+                let n = out_ty.expect("switch has output").len();
+                Some(
+                    (0..n)
+                        .map(|i| {
+                            let cond = if c.len() == 1 { c[0] } else { c[i] };
+                            arena.intern(SymExpr::Select {
+                                cond,
+                                then_: a[i],
+                                else_: b[i],
+                            })
+                        })
+                        .collect(),
+                )
+            }
+            kind if kind.class() == KindClass::Intensive => {
+                let mut arrays = Vec::with_capacity(kind.input_count());
+                for p in 0..kind.input_count() {
+                    let (trees, _) = input_of(&values, p)?;
+                    arrays.push(arena.intern(SymExpr::Tuple { items: trees }));
+                }
+                let args = arena.intern(SymExpr::Tuple { items: arrays });
+                let n = out_ty.expect("intensive actor has output").len();
+                Some(
+                    (0..n)
+                        .map(|i| {
+                            arena.intern(SymExpr::Kernel {
+                                kind,
+                                elem: i as u32,
+                                args,
+                            })
+                        })
+                        .collect(),
+                )
+            }
+            kind => {
+                let op = ElemOp::from_actor(kind, amount).ok_or_else(|| {
+                    VerifyError::Unsupported(format!("no element semantics for {kind}"))
+                })?;
+                let (x, _) = input_of(&values, 0)?;
+                let n = out_ty.expect("batch actor has output").len();
+                let pick = |v: &[ExprId], i: usize| if v.len() == 1 { v[0] } else { v[i] };
+                if op.arity() == 1 {
+                    Some(
+                        (0..n)
+                            .map(|i| {
+                                let xi = pick(&x, i);
+                                arena.intern(SymExpr::Op { op, args: vec![xi] })
+                            })
+                            .collect(),
+                    )
+                } else {
+                    let (y, _) = input_of(&values, 1)?;
+                    Some(
+                        (0..n)
+                            .map(|i| {
+                                let xi = pick(&x, i);
+                                let yi = pick(&y, i);
+                                arena.intern(SymExpr::Op {
+                                    op,
+                                    args: vec![xi, yi],
+                                })
+                            })
+                            .collect(),
+                    )
+                }
+            }
+        };
+        if let Some(v) = value {
+            values[aid.0] = Some(v);
+        }
+    }
+
+    // Latch delays from their drivers (delay drivers that are themselves
+    // delays contribute their previous-step state, as in the reference).
+    let mut states = Vec::new();
+    for a in &model.actors {
+        if a.kind == ActorKind::UnitDelay {
+            let src = model.driver(PortRef::new(a.id, 0)).ok_or_else(|| {
+                VerifyError::Unsupported(format!("unconnected delay {:?}", a.name))
+            })?;
+            let trees = values[src.actor.0].clone().ok_or_else(|| {
+                VerifyError::Unsupported(format!("delay driver {} has no value", src.actor))
+            })?;
+            states.push((a.name.clone(), trees));
+        }
+    }
+
+    Ok(ModelSemantics { outports, states })
+}

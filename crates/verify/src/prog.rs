@@ -1,0 +1,341 @@
+//! Symbolic abstract interpretation of a generated [`Program`].
+//!
+//! The evaluator executes a program's statement list exactly the way the VM
+//! interpreter does — same loop iteration, same index arithmetic, same
+//! dtype conversions — but over [`SymExpr`] trees instead of numbers. Loops
+//! are concretely unrolled (all bounds in the IR are static), which is what
+//! normalises the three code shapes the generators emit: unrolled scalar
+//! statements, looped scalar statements and SIMD load/op/store sections all
+//! leave the same per-element trees behind. Splat/broadcast operands need
+//! no special casing either — a broadcast read is simply an access to
+//! element 0, which yields the scalar's (shared) tree.
+
+use crate::expr::{ExprArena, ExprId, SymExpr};
+use crate::VerifyError;
+use hcg_isa::{Pattern, PatternArg};
+use hcg_vm::{BufferKind, Program, ScalarOp, Stmt};
+
+/// The symbolic memory state a program leaves behind after one step:
+/// per-buffer element trees plus, for divergence witnesses, the top-level
+/// statement index that last wrote each element.
+#[derive(Debug)]
+pub struct ProgSummary {
+    /// `bufs[b][i]` is the tree of element `i` of buffer `b` after the step.
+    pub bufs: Vec<Vec<ExprId>>,
+    /// `writer[b][i]` is the index (into `Program::body`) of the top-level
+    /// statement that last wrote the element, or `None` if the element kept
+    /// its initial value.
+    pub writer: Vec<Vec<Option<usize>>>,
+}
+
+struct Eval<'a, 'p> {
+    arena: &'a mut ExprArena,
+    prog: &'p Program,
+    bufs: Vec<Vec<ExprId>>,
+    writer: Vec<Vec<Option<usize>>>,
+    regs: Vec<Vec<ExprId>>,
+}
+
+/// Abstractly interpret one step of `prog`, starting from symbolic inputs
+/// and states.
+///
+/// Input buffers start as [`SymExpr::Input`] leaves and state buffers as
+/// [`SymExpr::State`] leaves, both numbered by their ordinal among buffers
+/// of that kind — generators allocate actor buffers in model actor order,
+/// so the `k`-th input buffer belongs to the `k`-th inport. Constants take
+/// their declared init data (broadcast like the VM does) and temporaries
+/// and outputs start at the dtype's zero, mirroring `Machine::new`.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Unsupported`] for programs the IR contract rules
+/// out anyway: nested loops, out-of-range element accesses, or vector
+/// operations whose source registers are narrower than their destination.
+pub fn eval_program(arena: &mut ExprArena, prog: &Program) -> Result<ProgSummary, VerifyError> {
+    let mut input_ord = 0u32;
+    let mut state_ord = 0u32;
+    let mut bufs = Vec::with_capacity(prog.buffers.len());
+    for b in &prog.buffers {
+        let n = b.ty.len();
+        let elems: Vec<ExprId> = match b.kind {
+            BufferKind::Input => {
+                let port = input_ord;
+                input_ord += 1;
+                (0..n)
+                    .map(|i| {
+                        arena.intern(SymExpr::Input {
+                            port,
+                            elem: i as u32,
+                        })
+                    })
+                    .collect()
+            }
+            BufferKind::State => {
+                let delay = state_ord;
+                state_ord += 1;
+                (0..n)
+                    .map(|i| {
+                        arena.intern(SymExpr::State {
+                            delay,
+                            elem: i as u32,
+                        })
+                    })
+                    .collect()
+            }
+            BufferKind::Const => (0..n)
+                .map(|i| {
+                    let raw = b
+                        .init
+                        .as_ref()
+                        .and_then(|init| init.get(i).or(init.first()))
+                        .copied()
+                        .unwrap_or(0.0);
+                    arena.constant(b.ty.dtype, raw)
+                })
+                .collect(),
+            BufferKind::Temp | BufferKind::Output => {
+                let zero = arena.constant(b.ty.dtype, 0.0);
+                vec![zero; n]
+            }
+        };
+        bufs.push(elems);
+    }
+    let writer = prog
+        .buffers
+        .iter()
+        .map(|b| vec![None; b.ty.len()])
+        .collect();
+    let regs = prog
+        .reg_types
+        .iter()
+        .map(|(d, l)| vec![arena.constant(*d, 0.0); *l])
+        .collect();
+    let mut ev = Eval {
+        arena,
+        prog,
+        bufs,
+        writer,
+        regs,
+    };
+    for (top, stmt) in prog.body.iter().enumerate() {
+        ev.exec_stmt(stmt, None, top)?;
+    }
+    Ok(ProgSummary {
+        bufs: ev.bufs,
+        writer: ev.writer,
+    })
+}
+
+impl Eval<'_, '_> {
+    fn oob(&self, buf: hcg_vm::BufferId, index: usize) -> VerifyError {
+        VerifyError::Unsupported(format!(
+            "access to element {index} outside buffer {:?}",
+            self.prog.buffer(buf).name
+        ))
+    }
+
+    fn read(
+        &self,
+        r: hcg_vm::ElemRef,
+        loop_var: Option<usize>,
+    ) -> Result<(ExprId, hcg_model::DataType), VerifyError> {
+        let i = r.index.eval(loop_var.unwrap_or(0));
+        let elems = &self.bufs[r.buf.0];
+        if i >= elems.len() {
+            return Err(self.oob(r.buf, i));
+        }
+        Ok((elems[i], self.prog.buffer(r.buf).ty.dtype))
+    }
+
+    fn write(
+        &mut self,
+        buf: hcg_vm::BufferId,
+        index: usize,
+        value: ExprId,
+        top: usize,
+    ) -> Result<(), VerifyError> {
+        if index >= self.bufs[buf.0].len() {
+            return Err(self.oob(buf, index));
+        }
+        self.bufs[buf.0][index] = value;
+        self.writer[buf.0][index] = Some(top);
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        loop_var: Option<usize>,
+        top: usize,
+    ) -> Result<(), VerifyError> {
+        match stmt {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body,
+            } => {
+                if loop_var.is_some() {
+                    return Err(VerifyError::Unsupported("nested loop".into()));
+                }
+                if *step == 0 {
+                    return Err(VerifyError::Unsupported("zero-step loop".into()));
+                }
+                let mut i = *start;
+                while i < *end {
+                    for s in body {
+                        self.exec_stmt(s, Some(i), top)?;
+                    }
+                    i += step;
+                }
+                Ok(())
+            }
+            Stmt::Scalar { op, dst, srcs } => {
+                let dt = self.prog.buffer(dst.buf).ty.dtype;
+                let vals: Result<Vec<(ExprId, hcg_model::DataType)>, VerifyError> =
+                    srcs.iter().map(|s| self.read(*s, loop_var)).collect();
+                let vals = vals?;
+                if vals.len() < op.arity() {
+                    return Err(VerifyError::Unsupported(format!(
+                        "scalar op with {} operand(s), needs {}",
+                        vals.len(),
+                        op.arity()
+                    )));
+                }
+                let tree = match op {
+                    ScalarOp::Elem(e) => {
+                        // The interpreter evaluates in the destination's
+                        // dtype, converting mistyped sources on read.
+                        let args: Vec<ExprId> = vals
+                            .iter()
+                            .map(|&(t, from)| self.arena.convert(t, from, dt))
+                            .collect();
+                        self.arena.intern(SymExpr::Op {
+                            op: *e,
+                            args: args[..e.arity()].to_vec(),
+                        })
+                    }
+                    ScalarOp::Select => {
+                        let then_ = self.arena.convert(vals[1].0, vals[1].1, dt);
+                        let else_ = self.arena.convert(vals[2].0, vals[2].1, dt);
+                        self.arena.intern(SymExpr::Select {
+                            cond: vals[0].0,
+                            then_,
+                            else_,
+                        })
+                    }
+                    ScalarOp::Clamp { lo, hi } => self.arena.intern(SymExpr::Clamp {
+                        lo: lo.to_bits(),
+                        hi: hi.to_bits(),
+                        arg: vals[0].0,
+                    }),
+                    ScalarOp::Cast | ScalarOp::Copy => self.arena.convert(vals[0].0, vals[0].1, dt),
+                };
+                let idx = dst.index.eval(loop_var.unwrap_or(0));
+                self.write(dst.buf, idx, tree, top)
+            }
+            Stmt::VLoad { reg, buf, index } => {
+                let i0 = index.eval(loop_var.unwrap_or(0));
+                let (_, lanes) = self.prog.reg_types[reg.0];
+                if i0 + lanes > self.bufs[buf.0].len() {
+                    return Err(self.oob(*buf, i0 + lanes - 1));
+                }
+                self.regs[reg.0] = self.bufs[buf.0][i0..i0 + lanes].to_vec();
+                Ok(())
+            }
+            Stmt::VStore { buf, index, reg } => {
+                let i0 = index.eval(loop_var.unwrap_or(0));
+                let lanes = self.regs[reg.0].len();
+                if i0 + lanes > self.bufs[buf.0].len() {
+                    return Err(self.oob(*buf, i0 + lanes - 1));
+                }
+                let (reg_dt, _) = self.prog.reg_types[reg.0];
+                let buf_dt = self.prog.buffer(*buf).ty.dtype;
+                for k in 0..lanes {
+                    let t = self.regs[reg.0][k];
+                    let t = self.arena.convert(t, reg_dt, buf_dt);
+                    self.write(*buf, i0 + k, t, top)?;
+                }
+                Ok(())
+            }
+            Stmt::VOp {
+                pattern, dst, srcs, ..
+            } => {
+                let (_, lanes) = self.prog.reg_types[dst.0];
+                let mut out = Vec::with_capacity(lanes);
+                for lane in 0..lanes {
+                    out.push(self.eval_pattern(pattern, srcs, lane)?);
+                }
+                self.regs[dst.0] = out;
+                Ok(())
+            }
+            Stmt::KernelCall {
+                actor,
+                impl_name: _,
+                inputs,
+                output,
+            } => {
+                let arrays: Vec<ExprId> = inputs
+                    .iter()
+                    .map(|b| {
+                        let items = self.bufs[b.0].clone();
+                        self.arena.intern(SymExpr::Tuple { items })
+                    })
+                    .collect();
+                let args = self.arena.intern(SymExpr::Tuple { items: arrays });
+                let n = self.bufs[output.0].len();
+                for i in 0..n {
+                    let t = self.arena.intern(SymExpr::Kernel {
+                        kind: *actor,
+                        elem: i as u32,
+                        args,
+                    });
+                    self.write(*output, i, t, top)?;
+                }
+                Ok(())
+            }
+            Stmt::Copy { dst, src } => {
+                let n = self.bufs[dst.0].len().min(self.bufs[src.0].len());
+                let from = self.prog.buffer(*src).ty.dtype;
+                let to = self.prog.buffer(*dst).ty.dtype;
+                for i in 0..n {
+                    let t = self.bufs[src.0][i];
+                    let t = self.arena.convert(t, from, to);
+                    self.write(*dst, i, t, top)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_pattern(
+        &mut self,
+        pattern: &Pattern,
+        srcs: &[hcg_vm::RegId],
+        lane: usize,
+    ) -> Result<ExprId, VerifyError> {
+        let mut args = Vec::with_capacity(pattern.args.len());
+        for a in &pattern.args {
+            let id = match a {
+                PatternArg::Input(slot) => {
+                    let reg = srcs.get(*slot).ok_or_else(|| {
+                        VerifyError::Unsupported(format!(
+                            "vector op references missing operand slot {slot}"
+                        ))
+                    })?;
+                    *self.regs[reg.0].get(lane).ok_or_else(|| {
+                        VerifyError::Unsupported(format!(
+                            "vector op reads lane {lane} of a narrower register"
+                        ))
+                    })?
+                }
+                PatternArg::Node(inner) => self.eval_pattern(inner, srcs, lane)?,
+            };
+            args.push(id);
+        }
+        Ok(self.arena.intern(SymExpr::Op {
+            op: pattern.op,
+            args,
+        }))
+    }
+}

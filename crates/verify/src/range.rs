@@ -1,0 +1,397 @@
+//! Value-range abstract interpretation over generated programs.
+//!
+//! A single forward pass propagates one interval per buffer and per vector
+//! register (whole-object granularity, weak updates) through the statement
+//! list, and raises range lints through `hcg-analysis`'s diagnostics
+//! vocabulary:
+//!
+//! * [`LintCode::PossibleOverflow`] — an integer arithmetic statement whose
+//!   exact result interval escapes its destination dtype's value range.
+//! * [`LintCode::PossibleDivByZero`] — an integer division whose divisor
+//!   interval contains zero (the VM defines `x / 0 == 0`, but the lowered C
+//!   would be undefined behaviour).
+//! * [`LintCode::LaneOutOfRange`] — a vector op whose pattern reads a lane
+//!   index beyond a source register's lane count.
+//!
+//! Inputs and states start at the full range of their dtype, so the overflow
+//! lint is deliberately pessimistic: it marks arithmetic that *could* wrap
+//! for some input, which is exactly the question an embedded-code reviewer
+//! asks of a generated controller. Lints here are advisory (warnings) except
+//! the lane check, which is a structural error.
+
+use hcg_analysis::{LintCode, LintReport, Location};
+use hcg_isa::{Pattern, PatternArg};
+use hcg_model::op::{wrap_int, ElemOp};
+use hcg_model::DataType;
+use hcg_vm::{BufferKind, Program, ScalarOp, Stmt};
+
+/// A closed interval `[lo, hi]` in f64 space (whole-buffer granularity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The single point `v`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The full value range of a dtype (floats are unbounded).
+    pub fn full(dtype: DataType) -> Interval {
+        if dtype.is_float() {
+            Interval {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+            }
+        } else {
+            let (lo, hi) = int_bounds(dtype);
+            Interval { lo, hi }
+        }
+    }
+
+    /// Smallest interval containing both.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `true` when the interval contains `v`.
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` when the interval fits inside the dtype's value range.
+    pub fn fits(self, dtype: DataType) -> bool {
+        if dtype.is_float() {
+            return true;
+        }
+        let (lo, hi) = int_bounds(dtype);
+        self.lo >= lo && self.hi <= hi
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+fn int_bounds(dtype: DataType) -> (f64, f64) {
+    let bits = dtype.bit_width();
+    if dtype.is_signed() {
+        let hi = 2f64.powi(bits as i32 - 1) - 1.0;
+        (-2f64.powi(bits as i32 - 1), hi)
+    } else {
+        (0.0, 2f64.powi(bits as i32) - 1.0)
+    }
+}
+
+fn apply(op: ElemOp, args: &[Interval], dtype: DataType) -> Interval {
+    let a = args[0];
+    let b = args.get(1).copied().unwrap_or(a);
+    match op {
+        ElemOp::Add => Interval {
+            lo: a.lo + b.lo,
+            hi: a.hi + b.hi,
+        },
+        ElemOp::Sub => Interval {
+            lo: a.lo - b.hi,
+            hi: a.hi - b.lo,
+        },
+        ElemOp::Mul => {
+            let c = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            Interval {
+                lo: c.iter().copied().fold(f64::INFINITY, f64::min),
+                hi: c.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            }
+        }
+        ElemOp::Div | ElemOp::Recp => {
+            let d = if op == ElemOp::Recp { a } else { b };
+            if d.contains(0.0) {
+                Interval::full(dtype)
+            } else {
+                let n = if op == ElemOp::Recp {
+                    Interval::point(1.0)
+                } else {
+                    a
+                };
+                let c = [n.lo / d.lo, n.lo / d.hi, n.hi / d.lo, n.hi / d.hi];
+                Interval {
+                    lo: c.iter().copied().fold(f64::INFINITY, f64::min),
+                    hi: c.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                }
+            }
+        }
+        ElemOp::Shl(k) => {
+            let f = 2f64.powi(k as i32);
+            Interval {
+                lo: a.lo * f,
+                hi: a.hi * f,
+            }
+        }
+        ElemOp::Shr(k) => {
+            // Arithmetic shift right rounds toward negative infinity.
+            let f = 2f64.powi(k as i32);
+            Interval {
+                lo: (a.lo / f).floor(),
+                hi: (a.hi / f).floor(),
+            }
+        }
+        ElemOp::Min => Interval {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.min(b.hi),
+        },
+        ElemOp::Max => Interval {
+            lo: a.lo.max(b.lo),
+            hi: a.hi.max(b.hi),
+        },
+        ElemOp::Abs => {
+            if a.lo >= 0.0 {
+                a
+            } else {
+                Interval {
+                    lo: 0.0,
+                    hi: a.hi.abs().max(a.lo.abs()),
+                }
+            }
+        }
+        ElemOp::Abd => {
+            let d = apply(ElemOp::Sub, &[a, b], dtype);
+            apply(ElemOp::Abs, &[d], dtype)
+        }
+        ElemOp::Neg => Interval {
+            lo: -a.hi,
+            hi: -a.lo,
+        },
+        ElemOp::Sqrt => Interval {
+            lo: a.lo.max(0.0).sqrt(),
+            hi: a.hi.max(0.0).sqrt(),
+        },
+        // Bit manipulation escapes interval reasoning; give up to the
+        // dtype's range rather than guess.
+        ElemOp::BitNot | ElemOp::BitAnd | ElemOp::BitOr | ElemOp::BitXor => Interval::full(dtype),
+    }
+}
+
+struct RangePass<'p> {
+    prog: &'p Program,
+    bufs: Vec<Interval>,
+    regs: Vec<Interval>,
+    report: LintReport,
+}
+
+/// Run the value-range lints over one generated program.
+pub fn range_lint(prog: &Program) -> LintReport {
+    let bufs = prog
+        .buffers
+        .iter()
+        .map(|b| match b.kind {
+            BufferKind::Input | BufferKind::State => Interval::full(b.ty.dtype),
+            BufferKind::Const => match b.init.as_deref() {
+                Some(init) if !init.is_empty() => init
+                    .iter()
+                    .map(|&v| {
+                        // Const init data is wrapped to the buffer dtype
+                        // exactly the way the VM loads it.
+                        let v = if b.ty.dtype.is_int() {
+                            wrap_int(b.ty.dtype, v.round() as i64) as f64
+                        } else {
+                            v
+                        };
+                        Interval::point(v)
+                    })
+                    .reduce(Interval::join)
+                    .expect("non-empty init"),
+                _ => Interval::point(0.0),
+            },
+            BufferKind::Temp | BufferKind::Output => Interval::point(0.0),
+        })
+        .collect();
+    let regs = prog
+        .reg_types
+        .iter()
+        .map(|_| Interval::point(0.0))
+        .collect();
+    let mut pass = RangePass {
+        prog,
+        bufs,
+        regs,
+        report: LintReport::new(format!("{} (ranges)", prog.name)),
+    };
+    for (i, stmt) in prog.body.iter().enumerate() {
+        pass.exec(stmt, vec![i]);
+    }
+    pass.report
+}
+
+impl RangePass<'_> {
+    fn exec(&mut self, stmt: &Stmt, path: Vec<usize>) {
+        match stmt {
+            Stmt::Loop { body, .. } => {
+                // One symbolic pass through the body with weak updates; the
+                // trip count never changes which values are representable.
+                for (i, s) in body.iter().enumerate() {
+                    let mut p = path.clone();
+                    p.push(i);
+                    self.exec(s, p);
+                }
+            }
+            Stmt::Scalar { op, dst, srcs } => {
+                let dt = self.prog.buffer(dst.buf).ty.dtype;
+                let vals: Vec<Interval> = srcs.iter().map(|s| self.bufs[s.buf.0]).collect();
+                let out = match op {
+                    ScalarOp::Elem(e) => {
+                        if vals.len() < e.arity() {
+                            return;
+                        }
+                        self.check_op(*e, &vals, dt, &path);
+                        apply(*e, &vals[..e.arity()], dt)
+                    }
+                    ScalarOp::Select => match (vals.get(1), vals.get(2)) {
+                        (Some(&t), Some(&e)) => t.join(e),
+                        _ => return,
+                    },
+                    ScalarOp::Clamp { lo, hi } => Interval {
+                        lo: vals[0].lo.max(*lo),
+                        hi: vals[0].hi.min(*hi).max(*lo),
+                    },
+                    ScalarOp::Cast | ScalarOp::Copy => vals[0],
+                };
+                let out = self.clip(out, dt, &path);
+                self.bufs[dst.buf.0] = self.bufs[dst.buf.0].join(out);
+            }
+            Stmt::VLoad { reg, buf, .. } => {
+                self.regs[reg.0] = self.bufs[buf.0];
+            }
+            Stmt::VStore { buf, reg, .. } => {
+                let dt = self.prog.buffer(*buf).ty.dtype;
+                let v = self.clip(self.regs[reg.0], dt, &path);
+                self.bufs[buf.0] = self.bufs[buf.0].join(v);
+            }
+            Stmt::VOp {
+                pattern, dst, srcs, ..
+            } => {
+                let (dt, lanes) = self.prog.reg_types[dst.0];
+                self.check_lanes(pattern, srcs, lanes, &path);
+                let v = self.eval_pattern(pattern, srcs, dt, &path);
+                self.regs[dst.0] = self.clip(v, dt, &path);
+            }
+            Stmt::KernelCall { output, .. } => {
+                // Kernel outputs are opaque; assume the dtype's full range.
+                let dt = self.prog.buffer(*output).ty.dtype;
+                self.bufs[output.0] = Interval::full(dt);
+            }
+            Stmt::Copy { dst, src } => {
+                self.bufs[dst.0] = self.bufs[dst.0].join(self.bufs[src.0]);
+            }
+        }
+    }
+
+    /// Raise the division lint for int ops whose divisor may be zero.
+    fn check_op(&mut self, op: ElemOp, vals: &[Interval], dt: DataType, path: &[usize]) {
+        let divisor = match op {
+            ElemOp::Div if dt.is_int() && vals.len() >= 2 => vals[1],
+            _ => return,
+        };
+        if divisor.contains(0.0) {
+            self.report.push(
+                LintCode::PossibleDivByZero,
+                Location::Stmt {
+                    path: path.to_vec(),
+                },
+                format!(
+                    "integer division with divisor range {divisor} containing zero; \
+                     the generated C would divide by zero"
+                ),
+            );
+        }
+    }
+
+    /// Clip a result to the destination dtype, warning when it can escape.
+    fn clip(&mut self, v: Interval, dt: DataType, path: &[usize]) -> Interval {
+        if v.fits(dt) {
+            return v;
+        }
+        self.report.push(
+            LintCode::PossibleOverflow,
+            Location::Stmt {
+                path: path.to_vec(),
+            },
+            format!("result range {v} can exceed {dt}; value would wrap"),
+        );
+        Interval::full(dt)
+    }
+
+    fn check_lanes(
+        &mut self,
+        pattern: &Pattern,
+        srcs: &[hcg_vm::RegId],
+        dst_lanes: usize,
+        path: &[usize],
+    ) {
+        for a in &pattern.args {
+            match a {
+                PatternArg::Input(slot) => {
+                    let Some(reg) = srcs.get(*slot) else { continue };
+                    let (_, lanes) = self.prog.reg_types[reg.0];
+                    if lanes < dst_lanes {
+                        self.report.push(
+                            LintCode::LaneOutOfRange,
+                            Location::Stmt {
+                                path: path.to_vec(),
+                            },
+                            format!(
+                                "vector op reads lane {} of r{} which has only {} lane(s)",
+                                dst_lanes - 1,
+                                reg.0,
+                                lanes
+                            ),
+                        );
+                    }
+                }
+                PatternArg::Node(inner) => self.check_lanes(inner, srcs, dst_lanes, path),
+            }
+        }
+    }
+
+    fn eval_pattern(
+        &mut self,
+        pattern: &Pattern,
+        srcs: &[hcg_vm::RegId],
+        dt: DataType,
+        path: &[usize],
+    ) -> Interval {
+        let mut args = Vec::with_capacity(pattern.args.len());
+        for a in &pattern.args {
+            args.push(match a {
+                PatternArg::Input(slot) => match srcs.get(*slot) {
+                    Some(reg) => self.regs[reg.0],
+                    None => Interval::full(dt),
+                },
+                PatternArg::Node(inner) => self.eval_pattern(inner, srcs, dt, path),
+            });
+        }
+        if args.len() < pattern.op.arity() {
+            return Interval::full(dt);
+        }
+        if pattern.op == ElemOp::Div && dt.is_int() && args[1].contains(0.0) {
+            self.report.push(
+                LintCode::PossibleDivByZero,
+                Location::Stmt {
+                    path: path.to_vec(),
+                },
+                format!(
+                    "integer vector division with divisor range {} containing zero",
+                    args[1]
+                ),
+            );
+        }
+        apply(pattern.op, &args, dt)
+    }
+}

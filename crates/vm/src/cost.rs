@@ -73,7 +73,6 @@ impl CostModel {
 
     /// Cycles for one scalar arithmetic operation.
     fn scalar_op_cycles(&self, op: &ScalarOp) -> u64 {
-        
         match op {
             ScalarOp::Elem(e) => match e {
                 ElemOp::Mul => 3,
@@ -312,8 +311,7 @@ mod tests {
         // GCC charges heavily for scattered temps…
         assert!(gcc.cycles(&to_temp, &l) > gcc.cycles(&to_out, &l) * 2);
         // …Clang barely cares.
-        let c_ratio =
-            clang.cycles(&to_temp, &l) as f64 / clang.cycles(&to_out, &l) as f64;
+        let c_ratio = clang.cycles(&to_temp, &l) as f64 / clang.cycles(&to_out, &l) as f64;
         assert!(c_ratio < 1.4, "clang ratio {c_ratio}");
     }
 

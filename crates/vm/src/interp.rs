@@ -5,10 +5,9 @@
 use crate::program::{BufferId, ElemRef, Program, RegId, ScalarOp, Stmt};
 use hcg_isa::{Pattern, PatternArg};
 use hcg_kernels::{CodeLibrary, KernelError};
-use hcg_model::op::{
-    eval_binary_f, eval_binary_i, eval_unary_f, eval_unary_i, wrap_int,
-};
+use hcg_model::op::{eval_binary_f, eval_binary_i, eval_unary_f, eval_unary_i, wrap_int};
 use hcg_model::{DataType, Tensor};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Runtime error during program execution.
@@ -80,6 +79,27 @@ impl Mem {
     }
 }
 
+/// The buffers one top-level statement touched during execution, as indices
+/// into `Program::buffers`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmtAccess {
+    /// Buffers read.
+    pub reads: BTreeSet<usize>,
+    /// Buffers written.
+    pub writes: BTreeSet<usize>,
+}
+
+/// Opt-in record of every buffer access a [`Machine`] performed, folded per
+/// top-level statement of the program body. Loop iterations accumulate into
+/// their loop's entry; register traffic is not memory traffic and is not
+/// recorded. This is the dynamic ground truth the static
+/// effect analysis in `hcg-verify` is pinned against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessLog {
+    /// One entry per top-level statement of `Program::body`.
+    pub per_stmt: Vec<StmtAccess>,
+}
+
 /// An executable instance of a [`Program`]: owns buffer memory and the
 /// vector register file, and executes one model step at a time.
 ///
@@ -92,6 +112,8 @@ pub struct Machine<'p> {
     lib: &'p CodeLibrary,
     mem: Vec<Mem>,
     regs: Vec<Mem>,
+    log: Option<AccessLog>,
+    cur_stmt: usize,
 }
 
 impl<'p> Machine<'p> {
@@ -107,6 +129,8 @@ impl<'p> Machine<'p> {
                 .iter()
                 .map(|(d, l)| Mem::zeros(*d, *l))
                 .collect(),
+            log: None,
+            cur_stmt: 0,
         };
         m.mem = prog
             .buffers
@@ -184,13 +208,44 @@ impl<'p> Machine<'p> {
         t.map_err(|e| ExecError::BadInput(e.to_string()))
     }
 
+    /// Start recording buffer accesses into a fresh [`AccessLog`]. Each
+    /// subsequent [`step`](Machine::step) accumulates into the same log
+    /// until [`take_access_log`](Machine::take_access_log) removes it.
+    pub fn enable_access_log(&mut self) {
+        self.log = Some(AccessLog {
+            per_stmt: vec![StmtAccess::default(); self.prog.body.len()],
+        });
+    }
+
+    /// Stop recording and return the accumulated log, if any.
+    pub fn take_access_log(&mut self) -> Option<AccessLog> {
+        self.log.take()
+    }
+
+    fn log_read(&mut self, buf: BufferId) {
+        if let Some(log) = &mut self.log {
+            log.per_stmt[self.cur_stmt].reads.insert(buf.0);
+        }
+    }
+
+    fn log_write(&mut self, buf: BufferId) {
+        if let Some(log) = &mut self.log {
+            log.per_stmt[self.cur_stmt].writes.insert(buf.0);
+        }
+    }
+
     /// Execute one model step.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError`] on out-of-bounds access or kernel failures.
     pub fn step(&mut self) -> Result<(), ExecError> {
-        self.exec_block(&self.prog.body.clone(), None)
+        let body = self.prog.body.clone();
+        for (i, s) in body.iter().enumerate() {
+            self.cur_stmt = i;
+            self.exec_stmt(s, None)?;
+        }
+        Ok(())
     }
 
     fn exec_block(&mut self, stmts: &[Stmt], loop_var: Option<usize>) -> Result<(), ExecError> {
@@ -224,6 +279,7 @@ impl<'p> Machine<'p> {
                 let i0 = index.eval(loop_var.unwrap_or(0));
                 let (dtype, lanes) = self.prog.reg_types[reg.0];
                 self.check_bounds(*buf, i0 + lanes - 1)?;
+                self.log_read(*buf);
                 let _ = dtype;
                 self.regs[reg.0] = match &self.mem[buf.0] {
                     Mem::F(v) => Mem::F(v[i0..i0 + lanes].to_vec()),
@@ -235,6 +291,7 @@ impl<'p> Machine<'p> {
                 let i0 = index.eval(loop_var.unwrap_or(0));
                 let lanes = self.regs[reg.0].len();
                 self.check_bounds(*buf, i0 + lanes - 1)?;
+                self.log_write(*buf);
                 let src = self.regs[reg.0].clone();
                 match (&mut self.mem[buf.0], &src) {
                     (Mem::F(dst), Mem::F(s)) => dst[i0..i0 + lanes].copy_from_slice(s),
@@ -270,6 +327,10 @@ impl<'p> Machine<'p> {
                     .iter()
                     .map(|b| self.read_buffer(&self.prog.buffer(*b).name.clone()))
                     .collect();
+                for b in inputs {
+                    self.log_read(*b);
+                }
+                self.log_write(*output);
                 let result = kernel.run(&in_tensors?)?;
                 let decl = self.prog.buffer(*output);
                 if result.len() != decl.ty.len() {
@@ -288,6 +349,8 @@ impl<'p> Machine<'p> {
                 Ok(())
             }
             Stmt::Copy { dst, src } => {
+                self.log_read(*src);
+                self.log_write(*dst);
                 let data = self.mem[src.0].clone();
                 let n = self.mem[dst.0].len().min(data.len());
                 match (&mut self.mem[dst.0], &data) {
@@ -340,6 +403,10 @@ impl<'p> Machine<'p> {
         let vals: Result<Vec<(f64, i64)>, ExecError> =
             srcs.iter().map(|s| self.read_elem(*s, loop_var)).collect();
         let vals = vals?;
+        for s in srcs {
+            self.log_read(s.buf);
+        }
+        self.log_write(dst.buf);
         let (fv, iv) = match op {
             ScalarOp::Elem(e) => {
                 if dt.is_float() {
@@ -357,8 +424,11 @@ impl<'p> Machine<'p> {
                 }
             }
             ScalarOp::Select => {
-                
-                if vals[0].0 > 0.0 { vals[1] } else { vals[2] }
+                if vals[0].0 > 0.0 {
+                    vals[1]
+                } else {
+                    vals[2]
+                }
             }
             ScalarOp::Clamp { lo, hi } => {
                 let f = vals[0].0.clamp(*lo, *hi);
@@ -376,12 +446,7 @@ impl<'p> Machine<'p> {
         Ok(())
     }
 
-    fn exec_vop(
-        &mut self,
-        pattern: &Pattern,
-        dst: RegId,
-        srcs: &[RegId],
-    ) -> Result<(), ExecError> {
+    fn exec_vop(&mut self, pattern: &Pattern, dst: RegId, srcs: &[RegId]) -> Result<(), ExecError> {
         let (dtype, lanes) = self.prog.reg_types[dst.0];
         let out: Mem = if dtype.is_float() {
             let mut v = vec![0.0; lanes];
@@ -456,8 +521,8 @@ impl<'p> Machine<'p> {
 mod tests {
     use super::*;
     use crate::program::{BufferKind, IndexExpr};
-    use hcg_model::op::ElemOp;
     use hcg_isa::Arch;
+    use hcg_model::op::ElemOp;
     use hcg_model::SignalType;
 
     fn lib() -> CodeLibrary {
@@ -697,10 +762,7 @@ mod tests {
         });
         let l = lib();
         let mut m = Machine::new(&p, &l);
-        assert!(matches!(
-            m.step(),
-            Err(ExecError::OutOfBounds { .. })
-        ));
+        assert!(matches!(m.step(), Err(ExecError::OutOfBounds { .. })));
     }
 
     #[test]

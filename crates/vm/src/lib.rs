@@ -50,7 +50,7 @@ mod program;
 mod validate;
 
 pub use cost::{paper_platforms, Compiler, CostModel};
-pub use interp::{ExecError, Machine};
+pub use interp::{AccessLog, ExecError, Machine, StmtAccess};
 pub use profile::{profile, ActorCycles, CycleProfile, RegionCycles};
 pub use program::{
     BufferDecl, BufferId, BufferKind, ElemRef, IndexExpr, Origin, Program, RegId, ScalarOp, Stmt,

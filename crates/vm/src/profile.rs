@@ -118,11 +118,7 @@ impl CycleProfile {
         let _ = writeln!(
             out,
             "{} / {} on {}+{}: {} cycles/step",
-            self.model,
-            self.generator,
-            self.arch,
-            self.compiler,
-            self.total_cycles
+            self.model, self.generator, self.arch, self.compiler, self.total_cycles
         );
         for a in self.actors.iter().take(top_n) {
             let pct = if self.total_cycles > 0 {
@@ -140,7 +136,11 @@ impl CycleProfile {
             let _ = writeln!(out, "  … {} more actors", self.actors.len() - top_n);
         }
         for r in &self.regions {
-            let _ = writeln!(out, "  region #{:<3} {:>12} cy  {}", r.index, r.cycles, r.actor);
+            let _ = writeln!(
+                out,
+                "  region #{:<3} {:>12} cy  {}",
+                r.index, r.cycles, r.actor
+            );
         }
         out
     }

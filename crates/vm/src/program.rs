@@ -419,8 +419,18 @@ mod tests {
     #[test]
     fn buffer_bookkeeping() {
         let mut p = Program::new("t", "test", Arch::Neon128);
-        let a = p.add_buffer("a", SignalType::vector(DataType::I32, 8), BufferKind::Input, None);
-        let b = p.add_buffer("b", SignalType::vector(DataType::I32, 8), BufferKind::Output, None);
+        let a = p.add_buffer(
+            "a",
+            SignalType::vector(DataType::I32, 8),
+            BufferKind::Input,
+            None,
+        );
+        let b = p.add_buffer(
+            "b",
+            SignalType::vector(DataType::I32, 8),
+            BufferKind::Output,
+            None,
+        );
         assert_eq!(p.buffer_by_name("a"), Some(a));
         assert_eq!(p.buffer_by_name("zz"), None);
         assert_eq!(p.buffers_of(BufferKind::Output), vec![b]);
@@ -439,8 +449,18 @@ mod tests {
     #[test]
     fn stmt_stats_walks_loops() {
         let mut p = Program::new("t", "test", Arch::Neon128);
-        let a = p.add_buffer("a", SignalType::vector(DataType::I32, 8), BufferKind::Input, None);
-        let o = p.add_buffer("o", SignalType::vector(DataType::I32, 8), BufferKind::Output, None);
+        let a = p.add_buffer(
+            "a",
+            SignalType::vector(DataType::I32, 8),
+            BufferKind::Input,
+            None,
+        );
+        let o = p.add_buffer(
+            "o",
+            SignalType::vector(DataType::I32, 8),
+            BufferKind::Output,
+            None,
+        );
         p.body.push(Stmt::Loop {
             start: 0,
             end: 8,

@@ -72,7 +72,11 @@ pub struct Defect {
 
 impl fmt::Display for Defect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?} at stmt {:?}: {}", self.kind, self.stmt_path, self.message)
+        write!(
+            f,
+            "{:?} at stmt {:?}: {}",
+            self.kind, self.stmt_path, self.message
+        )
     }
 }
 
@@ -296,10 +300,7 @@ impl Validator<'_> {
                                 DefectKind::VOpShapeMismatch,
                                 format!(
                                     "vop register shape mismatch: dst {}x{lanes}, src r{} is {}x{}",
-                                    dt,
-                                    s.0,
-                                    self.prog.reg_types[s.0].0,
-                                    self.prog.reg_types[s.0].1
+                                    dt, s.0, self.prog.reg_types[s.0].0, self.prog.reg_types[s.0].1
                                 ),
                             );
                         }

@@ -5,9 +5,7 @@ use hcg_isa::Arch;
 use hcg_kernels::CodeLibrary;
 use hcg_model::op::ElemOp;
 use hcg_model::{DataType, SignalType};
-use hcg_vm::{
-    BufferKind, Compiler, CostModel, ElemRef, IndexExpr, Program, ScalarOp, Stmt,
-};
+use hcg_vm::{BufferKind, Compiler, CostModel, ElemRef, IndexExpr, Program, ScalarOp, Stmt};
 use proptest::prelude::*;
 
 fn scalar_loop(n: usize, op: ElemOp) -> Program {

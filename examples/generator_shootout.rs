@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for platform in paper_platforms() {
-        println!(
-            "\n=== {} + {} ===",
-            platform.arch, platform.compiler
-        );
+        println!("\n=== {} + {} ===", platform.arch, platform.compiler);
         println!(
             "{:>12} {:>16} {:>12} {:>12}",
             "model", "simulink-coder", "dfsynth", "hcg"

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
@@ -15,6 +18,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> lint example models"
 cargo run -q --release -p hcg-bench --bin lint -- examples/models/*.xml
+
+echo "==> static verification gate (prove the fleet, write BENCH_verify.json)"
+cargo run -q --release -p hcg-bench --bin repro -- verify \
+    --json BENCH_verify.json --out target/repro_verify.txt
+grep -q '"all_equivalent": true' BENCH_verify.json
 
 echo "==> fleet smoke run (parallel vs sequential byte-identity + bench JSON)"
 cargo run -q --release -p hcg-bench --bin repro -- fleet --threads 2 \

@@ -17,6 +17,7 @@
 //! | [`exec`] | `hcg-exec` | Work-stealing thread pool for fanning compile jobs across workers |
 //! | [`baselines`] | `hcg-baselines` | Simulink-Coder-like and DFSynth-like reference generators |
 //! | [`analysis`] | `hcg-analysis` | Multi-pass static analyzer: model lints and generated-program lints |
+//! | [`verify`] | `hcg-verify` | Static translation validation: symbolic equivalence proofs, effect analysis, value-range lints |
 //! | [`fuzz`] | `hcg-fuzz` | Differential model fuzzer: random models, cross-generator oracle, delta-debugging shrinker |
 //!
 //! # Quick start
@@ -53,4 +54,5 @@ pub use hcg_isa as isa;
 pub use hcg_kernels as kernels;
 pub use hcg_model as model;
 pub use hcg_obs as obs;
+pub use hcg_verify as verify;
 pub use hcg_vm as vm;

@@ -17,7 +17,10 @@ fn figure2_coder_code_shape() {
     assert_eq!(src.matches(" * ").count(), 4, "{src}");
     assert_eq!(src.matches(" + ").count(), 4, "{src}");
     assert_eq!(src.matches("1.0f / ").count(), 4, "{src}");
-    assert!(!src.contains("for ("), "expression folding unrolls 4-wide arrays:\n{src}");
+    assert!(
+        !src.contains("for ("),
+        "expression folding unrolls 4-wide arrays:\n{src}"
+    );
 }
 
 #[test]
@@ -94,7 +97,10 @@ fn avx_float_fma_selected() {
         .generate(&library::lowpass_model(64), Arch::Avx256)
         .expect("generates");
     let src = to_c_source(&p);
-    assert!(src.contains("_mm256_fmadd_ps"), "AVX fuses the Mul+Add:\n{src}");
+    assert!(
+        src.contains("_mm256_fmadd_ps"),
+        "AVX fuses the Mul+Add:\n{src}"
+    );
 }
 
 #[test]
@@ -103,7 +109,9 @@ fn remainder_prologue_renders_before_loop() {
         .generate(&library::fig4_model_sized(10), Arch::Neon128)
         .expect("generates");
     let src = to_c_source(&p);
-    let loop_pos = src.find("for (size_t i = 2; i < 10; i += 4)").expect("offset loop");
+    let loop_pos = src
+        .find("for (size_t i = 2; i < 10; i += 4)")
+        .expect("offset loop");
     let remainder_pos = src.find("Sub[0] = b[0] - c[0];").expect("scalar remainder");
     assert!(
         remainder_pos < loop_pos,

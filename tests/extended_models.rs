@@ -6,7 +6,7 @@ use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
 use hcg::core::{CodeGenerator, HcgGen, Reference};
 use hcg::isa::Arch;
 use hcg::kernels::CodeLibrary;
-use hcg::model::{library, ActorKind, Model, SignalType, Shape, Tensor};
+use hcg::model::{library, ActorKind, Model, Shape, SignalType, Tensor};
 use hcg::vm::{Machine, Stmt};
 use std::collections::BTreeMap;
 
@@ -40,8 +40,7 @@ fn inputs_for(model: &Model, seed: i64) -> BTreeMap<String, Tensor> {
         let t = if ty.dtype.is_float() {
             Tensor::from_f64(ty, vals).expect("sized")
         } else {
-            Tensor::from_i64(ty, vals.iter().map(|v| (v * 10.0) as i64).collect())
-                .expect("sized")
+            Tensor::from_i64(ty, vals.iter().map(|v| (v * 10.0) as i64).collect()).expect("sized")
         };
         out.insert(a.name.clone(), t);
     }
@@ -132,7 +131,10 @@ fn switch_model_pipeline() {
         assert_all_generators_match(&model, arch, 1e-5);
     }
     let p = HcgGen::new().generate(&model, Arch::Neon128).expect("gen");
-    assert!(p.stmt_stats().vops > 0, "the Add after the Switch vectorises");
+    assert!(
+        p.stmt_stats().vops > 0,
+        "the Add after the Switch vectorises"
+    );
 }
 
 #[test]
@@ -144,10 +146,14 @@ fn mixed_width_model_pipeline() {
         assert_all_generators_match(&model, arch, 0.0);
     }
     let p = HcgGen::new().generate(&model, Arch::Neon128).expect("gen");
-    let has_i16_vop = p.body.iter().any(|s| matches!(s, Stmt::Loop { body, .. }
-        if body.iter().any(|b| matches!(b, Stmt::VOp { instr, .. } if instr.ends_with("s16")))));
-    let has_i32_vop = p.body.iter().any(|s| matches!(s, Stmt::Loop { body, .. }
-        if body.iter().any(|b| matches!(b, Stmt::VOp { instr, .. } if instr.ends_with("s32")))));
+    let has_i16_vop = p.body.iter().any(|s| {
+        matches!(s, Stmt::Loop { body, .. }
+        if body.iter().any(|b| matches!(b, Stmt::VOp { instr, .. } if instr.ends_with("s16"))))
+    });
+    let has_i32_vop = p.body.iter().any(|s| {
+        matches!(s, Stmt::Loop { body, .. }
+        if body.iter().any(|b| matches!(b, Stmt::VOp { instr, .. } if instr.ends_with("s32"))))
+    });
     assert!(has_i16_vop, "i16 region vectorises at 8 lanes");
     assert!(has_i32_vop, "i32 region vectorises at 4 lanes");
 }

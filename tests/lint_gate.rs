@@ -15,6 +15,7 @@ use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
 use hcg::core::{CodeGenerator, HcgGen};
 use hcg::isa::Arch;
 use hcg::kernels::CodeLibrary;
+use hcg::model::op::ElemOp;
 use hcg::model::parser::model_from_xml;
 use hcg::model::{library, Model};
 
@@ -146,11 +147,8 @@ fn malformed_model_yields_all_diagnostics_in_one_run() {
 
 #[test]
 fn malformed_program_yields_all_diagnostics_in_one_run() {
-    use hcg::model::op::ElemOp;
     use hcg::model::{DataType, SignalType};
-    use hcg::vm::{
-        BufferKind, ElemRef, IndexExpr, Program, ScalarOp, Stmt,
-    };
+    use hcg::vm::{BufferKind, ElemRef, IndexExpr, Program, ScalarOp, Stmt};
 
     let ty = SignalType::vector(DataType::I32, 8);
     let mut prog = Program::new("broken", "hand", Arch::Neon128);
@@ -197,7 +195,10 @@ fn malformed_program_yields_all_diagnostics_in_one_run() {
         report.render()
     );
     let rendered = report.render();
-    assert!(rendered.contains("program/uninitialized-register"), "{rendered}");
+    assert!(
+        rendered.contains("program/uninitialized-register"),
+        "{rendered}"
+    );
     assert!(rendered.contains("program/dead-store"), "{rendered}");
 }
 
@@ -211,4 +212,128 @@ fn severities_are_stable() {
     assert_eq!(LintCode::DeadStore.severity(), Severity::Warning);
     assert_eq!(LintCode::UnreachableActor.severity(), Severity::Warning);
     assert_eq!(LintCode::NeverReadBuffer.severity(), Severity::Warning);
+    // Range lints (raised by `hcg-verify`'s abstract interpreter) are
+    // advisory except the structural lane check.
+    assert_eq!(LintCode::PossibleOverflow.severity(), Severity::Warning);
+    assert_eq!(LintCode::PossibleDivByZero.severity(), Severity::Warning);
+    assert_eq!(LintCode::LaneOutOfRange.severity(), Severity::Error);
+}
+
+/// Build a looped `dst[i] = op(a[i], b[i])` program over i8 buffers — small
+/// enough that the interval analyzer can be pushed over the dtype edge.
+fn range_prog(op: ElemOp) -> hcg::vm::Program {
+    use hcg::model::{DataType, SignalType};
+    use hcg::vm::{BufferKind, ElemRef, IndexExpr, Program, ScalarOp, Stmt};
+
+    let ty = SignalType::vector(DataType::I8, 8);
+    let mut prog = Program::new("range-golden", "hand", Arch::Neon128);
+    let a = prog.add_buffer("a", ty, BufferKind::Input, None);
+    let b = prog.add_buffer("b", ty, BufferKind::Input, None);
+    let out = prog.add_buffer("out", ty, BufferKind::Output, None);
+    prog.body.push(Stmt::Loop {
+        start: 0,
+        end: 8,
+        step: 1,
+        body: vec![Stmt::Scalar {
+            op: ScalarOp::Elem(op),
+            dst: ElemRef {
+                buf: out,
+                index: IndexExpr::Loop(0),
+            },
+            srcs: vec![
+                ElemRef {
+                    buf: a,
+                    index: IndexExpr::Loop(0),
+                },
+                ElemRef {
+                    buf: b,
+                    index: IndexExpr::Loop(0),
+                },
+            ],
+        }],
+    });
+    prog
+}
+
+#[test]
+fn range_lints_flag_overflow_and_div_by_zero() {
+    use hcg::verify::range_lint;
+
+    // i8 + i8 can escape [-128, 127]: PossibleOverflow, as a warning.
+    let report = range_lint(&range_prog(ElemOp::Add));
+    assert!(
+        report.has(LintCode::PossibleOverflow),
+        "missing overflow finding:\n{}",
+        report.render()
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+    assert!(report.render().contains("program/possible-overflow"));
+
+    // A full-range divisor contains zero: PossibleDivByZero.
+    let report = range_lint(&range_prog(ElemOp::Div));
+    assert!(
+        report.has(LintCode::PossibleDivByZero),
+        "missing div-by-zero finding:\n{}",
+        report.render()
+    );
+    assert!(report.render().contains("program/possible-div-by-zero"));
+
+    // Min never widens the interval: the same shape lints clean.
+    let report = range_lint(&range_prog(ElemOp::Min));
+    assert!(
+        report.diagnostics.is_empty(),
+        "unexpected findings:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn range_lints_flag_lane_out_of_range() {
+    use hcg::isa::{Pattern, PatternArg};
+    use hcg::model::{DataType, SignalType};
+    use hcg::verify::range_lint;
+    use hcg::vm::{BufferKind, IndexExpr, Program, Stmt};
+
+    let ty = SignalType::vector(DataType::F32, 4);
+    let mut prog = Program::new("lane-golden", "hand", Arch::Neon128);
+    let a = prog.add_buffer("a", ty, BufferKind::Input, None);
+    let out = prog.add_buffer("out", ty, BufferKind::Output, None);
+    let narrow = prog.add_reg(DataType::F32, 2);
+    let wide = prog.add_reg(DataType::F32, 4);
+    prog.body.push(Stmt::VLoad {
+        reg: narrow,
+        buf: a,
+        index: IndexExpr::Const(0),
+    });
+    // A 4-lane op over a 2-lane source register reads lanes that do not
+    // exist: a structural error.
+    prog.body.push(Stmt::VOp {
+        instr: "vabs".to_owned(),
+        pattern: Pattern {
+            op: ElemOp::Abs,
+            args: vec![PatternArg::Input(0)],
+        },
+        cost: 1,
+        dst: wide,
+        srcs: vec![narrow],
+        code: String::new(),
+    });
+    prog.body.push(Stmt::VStore {
+        buf: out,
+        index: IndexExpr::Const(0),
+        reg: wide,
+    });
+
+    let report = range_lint(&prog);
+    assert!(
+        report.has(LintCode::LaneOutOfRange),
+        "missing lane finding:\n{}",
+        report.render()
+    );
+    assert!(
+        report.has_errors(),
+        "lane check is an error:\n{}",
+        report.render()
+    );
+    assert!(report.render().contains("program/lane-out-of-range"));
 }

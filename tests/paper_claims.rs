@@ -72,7 +72,11 @@ fn table2_shape() {
         let c = platform.cycles(&coder.generate(&model, platform.arch).expect("gen"), &lib);
         let d = platform.cycles(&dfsynth.generate(&model, platform.arch).expect("gen"), &lib);
         let h = platform.cycles(&hcg_gen.generate(&model, platform.arch).expect("gen"), &lib);
-        assert!(h < c && h < d, "{}: hcg={h} coder={c} dfsynth={d}", model.name);
+        assert!(
+            h < c && h < d,
+            "{}: hcg={h} coder={c} dfsynth={d}",
+            model.name
+        );
         let improvement = (1.0 - h as f64 / c as f64) * 100.0;
         assert!(
             (30.0..90.0).contains(&improvement),

@@ -43,7 +43,8 @@ fn session_programs_are_byte_identical_to_direct_generation() {
                 };
                 let standalone = direct.generate(&model, arch).expect("direct generates");
                 assert_eq!(
-                    via_session, standalone,
+                    via_session,
+                    standalone,
                     "{} on {arch} for {}: session and direct programs differ",
                     g.name(),
                     model.name
@@ -105,7 +106,12 @@ fn stage_report_matches_figure4_walkthrough() {
     let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
     assert_eq!(
         names,
-        ["dispatch", "region-formation", "instruction-mapping", "compose"]
+        [
+            "dispatch",
+            "region-formation",
+            "instruction-mapping",
+            "compose"
+        ]
     );
     let totals = report.totals();
     assert_eq!(totals.regions_formed, 1, "Fig. 4 has one batch region");

@@ -38,9 +38,8 @@ fn benchmark_programs_validate() {
         for arch in Arch::ALL {
             for g in generators() {
                 let p = g.generate(model, arch).expect("generates");
-                validate(&p, &lib).unwrap_or_else(|e| {
-                    panic!("{} for {} on {arch}: {e}", g.name(), model.name)
-                });
+                validate(&p, &lib)
+                    .unwrap_or_else(|e| panic!("{} for {} on {arch}: {e}", g.name(), model.name));
             }
         }
     }

@@ -1,0 +1,343 @@
+//! Verify gate: the static translation validator proves the whole generator
+//! fleet equivalent to its models, catches hand-planted miscompiles with
+//! exact witnesses, and its effect analysis matches the VM's dynamic access
+//! log byte for byte.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Proved fleet** — every bundled model × generator × evaluation ISA
+//!    verifies equivalent, with zero execution.
+//! 2. **Exact witnesses** — corrupting a generated program (swapped
+//!    operands, dropped statement, wrong lane width) produces a
+//!    first-divergence witness naming the culprit statement.
+//! 3. **Sound effects** — the static [`EffectSummary`] equals the access
+//!    log the VM interpreter records while actually running the program.
+
+use hcg::baselines::{DfSynthGen, SimulinkCoderGen};
+use hcg::core::{CodeGenerator, HcgGen};
+use hcg::isa::Arch;
+use hcg::kernels::CodeLibrary;
+use hcg::model::op::ElemOp;
+use hcg::model::parser::model_from_xml;
+use hcg::model::{library, Model};
+use hcg::verify::{effect_summary, verify_program};
+use hcg::vm::{Machine, Program, ScalarOp, Stmt};
+
+fn fleet() -> Vec<Box<dyn CodeGenerator>> {
+    vec![
+        Box::new(HcgGen::new()),
+        Box::new(SimulinkCoderGen::new()),
+        Box::new(DfSynthGen::new()),
+    ]
+}
+
+const VERIFY_ARCHES: [Arch; 2] = [Arch::Neon128, Arch::Avx256];
+
+fn gate_models() -> Vec<Model> {
+    library::paper_benchmarks()
+        .into_iter()
+        .chain([
+            library::fig2_model(),
+            library::fig4_model(),
+            library::switch_model(128),
+            library::mixed_width_model(128),
+        ])
+        .collect()
+}
+
+/// A tiny `out = a - b` model: `Sub` is non-commutative, so operand order
+/// is observable and a swap must produce a witness.
+fn sub_model() -> Model {
+    model_from_xml(
+        r#"<model name="sub16">
+            <actor id="0" name="a" kind="Inport"><param name="type">f32*16</param></actor>
+            <actor id="1" name="b" kind="Inport"><param name="type">f32*16</param></actor>
+            <actor id="2" name="diff" kind="Sub"/>
+            <actor id="3" name="y" kind="Outport"/>
+            <connect from="0:0" to="2:0"/>
+            <connect from="1:0" to="2:1"/>
+            <connect from="2:0" to="3:0"/>
+        </model>"#,
+    )
+    .expect("sub model parses")
+}
+
+#[test]
+fn fleet_is_statically_proved_over_library_models() {
+    for model in gate_models() {
+        for generator in fleet() {
+            for arch in VERIFY_ARCHES {
+                let prog = generator.generate(&model, arch).unwrap_or_else(|e| {
+                    panic!("{} on {}/{arch}: {e}", generator.name(), model.name)
+                });
+                let outcome = verify_program(&model, &prog).unwrap_or_else(|e| {
+                    panic!("{} on {}/{arch}: {e}", generator.name(), model.name)
+                });
+                assert!(
+                    outcome.equivalent,
+                    "{} on {}/{arch} diverges: {}",
+                    generator.name(),
+                    model.name,
+                    outcome.witness.expect("divergent outcome has a witness")
+                );
+                assert!(outcome.elems > 0, "nothing was checked");
+            }
+        }
+    }
+}
+
+/// Find the top-level index of the first statement containing a scalar
+/// `Sub`, and swap that Sub's operands in place.
+fn swap_first_sub(prog: &mut Program) -> usize {
+    fn swap_in(stmt: &mut Stmt) -> bool {
+        match stmt {
+            Stmt::Scalar {
+                op: ScalarOp::Elem(ElemOp::Sub),
+                srcs,
+                ..
+            } => {
+                srcs.swap(0, 1);
+                true
+            }
+            Stmt::Loop { body, .. } => body.iter_mut().any(swap_in),
+            _ => false,
+        }
+    }
+    for (i, stmt) in prog.body.iter_mut().enumerate() {
+        if swap_in(stmt) {
+            return i;
+        }
+    }
+    panic!("no scalar Sub statement found to corrupt");
+}
+
+#[test]
+fn swapped_operands_yield_exact_witness() {
+    let model = sub_model();
+    let mut prog = SimulinkCoderGen::new()
+        .generate(&model, Arch::Neon128)
+        .expect("generate");
+    let culprit = swap_first_sub(&mut prog);
+    // The witness blames the statement that last wrote the diverging
+    // element — the final writer of the output buffer (the corrupted Sub
+    // itself when it writes the output directly, a downstream copy
+    // otherwise).
+    let out_buf = prog.buffers_of(hcg::vm::BufferKind::Output)[0];
+    let effects = effect_summary(&prog);
+    let writer = (0..prog.body.len())
+        .rev()
+        .find(|&i| effects.per_stmt[i].writes.contains(&out_buf.0))
+        .expect("some statement writes the output");
+    assert!(writer >= culprit, "output is written at or after the Sub");
+
+    let outcome = verify_program(&model, &prog).expect("verify runs");
+    assert!(!outcome.equivalent, "swapped Sub operands went undetected");
+    let w = outcome.witness.expect("witness");
+    assert_eq!(w.port, "y");
+    assert!(!w.is_state);
+    assert_eq!(w.elem, 0, "element 0 is the first checked element");
+    assert_eq!(
+        w.stmt,
+        Some(writer),
+        "witness must blame the statement that wrote the element: {w}"
+    );
+    // The trees show the flipped operand order.
+    assert_eq!(w.expected, "Sub(in0[0], in1[0])", "{w}");
+    assert_eq!(w.actual, "Sub(in1[0], in0[0])", "{w}");
+}
+
+#[test]
+fn dropped_statement_yields_witness_with_no_writer() {
+    let model = sub_model();
+    let mut prog = SimulinkCoderGen::new()
+        .generate(&model, Arch::Neon128)
+        .expect("generate");
+    // Drop the (last) statement that writes the output buffer; the output
+    // keeps its initial zero.
+    let out_buf = prog.buffers_of(hcg::vm::BufferKind::Output)[0];
+    let effects = effect_summary(&prog);
+    let victim = (0..prog.body.len())
+        .rev()
+        .find(|&i| effects.per_stmt[i].writes.contains(&out_buf.0))
+        .expect("some statement writes the output");
+    prog.body.remove(victim);
+    prog.origins.remove(victim);
+
+    let outcome = verify_program(&model, &prog).expect("verify runs");
+    assert!(!outcome.equivalent, "dropped statement went undetected");
+    let w = outcome.witness.expect("witness");
+    assert_eq!(w.port, "y");
+    assert_eq!(w.elem, 0);
+    assert_eq!(
+        w.stmt, None,
+        "nothing writes the element after the drop: {w}"
+    );
+    assert_eq!(w.actual, "0", "output keeps its initial zero: {w}");
+}
+
+#[test]
+fn wrong_lane_width_yields_witness() {
+    let model = sub_model();
+    let mut prog = HcgGen::new()
+        .generate(&model, Arch::Neon128)
+        .expect("generate");
+    // Narrow the destination register of the first vector op: the VOp and
+    // the store that follows now only cover half the lanes, so the upper
+    // elements of the first chunk keep their initial zeros.
+    let dst = prog
+        .body
+        .iter()
+        .find_map(|s| match s {
+            Stmt::VOp { dst, .. } => Some(*dst),
+            Stmt::Loop { body, .. } => body.iter().find_map(|s| match s {
+                Stmt::VOp { dst, .. } => Some(*dst),
+                _ => None,
+            }),
+            _ => None,
+        })
+        .expect("HCG emits a vector op for sub16 on neon128");
+    let (dt, lanes) = prog.reg_types[dst.0];
+    assert!(lanes >= 2, "vector register should be multi-lane");
+    prog.reg_types[dst.0] = (dt, lanes / 2);
+
+    let outcome = verify_program(&model, &prog).expect("verify runs");
+    assert!(!outcome.equivalent, "halved lane width went undetected");
+    let w = outcome.witness.expect("witness");
+    assert_eq!(w.port, "y");
+    assert_eq!(
+        w.elem,
+        lanes / 2,
+        "first element beyond the narrowed store diverges: {w}"
+    );
+    assert_eq!(
+        w.actual, "0",
+        "uncovered lanes keep their initial zero: {w}"
+    );
+}
+
+#[test]
+fn effect_summary_matches_vm_access_log() {
+    let lib = CodeLibrary::new();
+    let models: Vec<Model> = vec![
+        library::fig2_model(),
+        library::fig4_model(),
+        library::switch_model(64),
+        library::mixed_width_model(64),
+        sub_model(),
+    ];
+    for model in &models {
+        for generator in fleet() {
+            for arch in VERIFY_ARCHES {
+                let prog = generator.generate(model, arch).unwrap_or_else(|e| {
+                    panic!("{} on {}/{arch}: {e}", generator.name(), model.name)
+                });
+                let effects = effect_summary(&prog);
+
+                let mut m = Machine::new(&prog, &lib);
+                m.enable_access_log();
+                m.step().expect("program executes");
+                let log = m.take_access_log().expect("log was enabled");
+
+                assert_eq!(log.per_stmt.len(), effects.per_stmt.len());
+                for (i, (dynamic, statik)) in log.per_stmt.iter().zip(&effects.per_stmt).enumerate()
+                {
+                    assert_eq!(
+                        dynamic.reads,
+                        statik.reads,
+                        "{} on {}/{arch} statement {i}: static read set differs from VM",
+                        generator.name(),
+                        model.name
+                    );
+                    assert_eq!(
+                        dynamic.writes,
+                        statik.writes,
+                        "{} on {}/{arch} statement {i}: static write set differs from VM",
+                        generator.name(),
+                        model.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn effect_summary_folds_by_actor_and_region() {
+    let model = library::fig2_model();
+    let prog = HcgGen::new()
+        .generate(&model, Arch::Neon128)
+        .expect("generate");
+    let effects = effect_summary(&prog);
+    assert!(
+        !effects.actors.is_empty(),
+        "generated programs carry origin labels"
+    );
+    // Folding per-statement effects over all actors reproduces the union of
+    // per-statement sets for statements that carry an origin.
+    let mut folded = hcg::verify::StmtEffects::default();
+    for eff in effects.actors.values() {
+        folded.absorb(eff);
+    }
+    let mut union = hcg::verify::StmtEffects::default();
+    for (i, eff) in effects.per_stmt.iter().enumerate() {
+        if prog.origins.get(i).is_some() {
+            union.absorb(eff);
+        }
+    }
+    assert_eq!(folded, union);
+}
+
+#[test]
+fn debug_verify_hook_gates_generation() {
+    let model = sub_model();
+    // With the hook enabled, generation of a correct program still succeeds
+    // (the verifier proves it and returns quietly).
+    hcg::core::set_debug_verify(true);
+    let prog = HcgGen::new()
+        .generate(&model, Arch::Neon128)
+        .expect("verified generation succeeds");
+    hcg::core::set_debug_verify(false);
+
+    // In debug builds the hook panics on a corrupted program.
+    #[cfg(debug_assertions)]
+    {
+        let mut bad = prog.clone();
+        swap_first_sub_anywhere(&mut bad);
+        hcg::core::set_debug_verify(true);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hcg::core::debug_verify(&model, &bad)
+        }));
+        hcg::core::set_debug_verify(false);
+        assert!(r.is_err(), "debug_verify must panic on a miscompile");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = prog;
+}
+
+/// Swap the first scalar *or vector* Sub's operands (HCG programs carry the
+/// op inside vector statements).
+#[cfg(debug_assertions)]
+fn swap_first_sub_anywhere(prog: &mut Program) {
+    fn swap_in(stmt: &mut Stmt) -> bool {
+        match stmt {
+            Stmt::Scalar {
+                op: ScalarOp::Elem(ElemOp::Sub),
+                srcs,
+                ..
+            } => {
+                srcs.swap(0, 1);
+                true
+            }
+            Stmt::VOp { pattern, srcs, .. } if pattern.op == ElemOp::Sub && srcs.len() >= 2 => {
+                srcs.swap(0, 1);
+                true
+            }
+            Stmt::Loop { body, .. } => body.iter_mut().any(swap_in),
+            _ => false,
+        }
+    }
+    assert!(
+        prog.body.iter_mut().any(swap_in),
+        "no Sub statement found to corrupt"
+    );
+}
