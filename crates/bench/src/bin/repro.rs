@@ -13,6 +13,7 @@
 //! cargo run -p hcg-bench --bin repro --release -- memory | gentime | consistency
 //! cargo run -p hcg-bench --bin repro --release -- ablation-threshold | ablation-history
 //! cargo run -p hcg-bench --bin repro --release -- fleet [--threads N] [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- incremental [--seed S] [--edits N] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- fuzz [--seed S] [--iters N] [--threads T] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- profile [--model M] [--json PATH] [--trace PATH]
 //! cargo run -p hcg-bench --bin repro --release -- verify [--json PATH]
@@ -75,6 +76,7 @@ fn main() {
             ablation_greedy_cmd();
             fusion_cmd();
             fleet_cmd(args.threads, args.json.as_deref());
+            incremental_cmd(&args);
             fuzz_cmd(&args);
             profile_cmd(&args);
             lint_cmd();
@@ -94,6 +96,7 @@ fn main() {
         "ablation-greedy" => ablation_greedy_cmd(),
         "fusion" => fusion_cmd(),
         "fleet" => fleet_cmd(args.threads, args.json.as_deref()),
+        "incremental" => incremental_cmd(&args),
         "fuzz" => fuzz_cmd(&args),
         "profile" => profile_cmd(&args),
         "lint" => lint_cmd(),
@@ -484,18 +487,35 @@ fn instr_select_micro() -> (f64, f64) {
 
 fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
     heading("Parallel fleet — model × generator × arch compile jobs on the work-stealing pool");
-    // Fresh sessions per run so neither run inherits the other's cached
+    // One fleet sweep is only ~100 ms, so a single measurement is noise
+    // bound; both modes run a few times and keep their fastest sweep.
+    // Fresh sessions per sweep so no run inherits another's cached
     // front-end artifacts.
-    let seq_sessions = benchmark_sessions();
-    let seq = run_fleet_sequential(&seq_sessions, &fleet::FLEET_ARCHES);
-    let par_sessions = benchmark_sessions();
-    let par = run_fleet(&par_sessions, &fleet::FLEET_ARCHES, threads);
+    const REPS: usize = 3;
+    let n_models = benchmark_sessions().len();
+    let best = |parallel: bool| -> hcg_bench::FleetRun {
+        let mut best: Option<hcg_bench::FleetRun> = None;
+        for _ in 0..REPS {
+            let sessions = benchmark_sessions();
+            let run = if parallel {
+                run_fleet(&sessions, &fleet::FLEET_ARCHES, threads)
+            } else {
+                run_fleet_sequential(&sessions, &fleet::FLEET_ARCHES)
+            };
+            if best.as_ref().is_none_or(|b| run.elapsed < b.elapsed) {
+                best = Some(run);
+            }
+        }
+        best.expect("REPS > 0")
+    };
+    let seq = best(false);
+    let par = best(true);
     let identical = seq.sources() == par.sources();
     let speedup = seq.elapsed.as_secs_f64() / par.elapsed.as_secs_f64().max(1e-9);
     outln!(
-        "  {} jobs ({} models x {} generators x {} arches)",
+        "  {} jobs ({} models x {} generators x {} arches), best of {REPS} sweeps",
         par.outcomes.len(),
-        seq_sessions.len(),
+        n_models,
         fleet::FLEET_GENERATORS.len(),
         fleet::FLEET_ARCHES.len()
     );
@@ -526,13 +546,14 @@ fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
 
     if let Some(path) = json {
         let body = format!(
-            "{{\n  \"experiment\": \"fleet\",\n  \"jobs\": {},\n  \"models\": {},\n  \"generators\": {},\n  \"arches\": {},\n  \"threads_requested\": {},\n  \"workers\": {},\n  \"steals\": {},\n  \"sequential_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \"identical_outputs\": {},\n  \"instr_select\": {{\n    \"linear_ns_per_lookup\": {:.1},\n    \"indexed_ns_per_lookup\": {:.1},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+            "{{\n  \"experiment\": \"fleet\",\n  \"jobs\": {},\n  \"models\": {},\n  \"generators\": {},\n  \"arches\": {},\n  \"threads_requested\": {},\n  \"workers\": {},\n  \"host_cores\": {},\n  \"steals\": {},\n  \"sequential_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \"identical_outputs\": {},\n  \"instr_select\": {{\n    \"linear_ns_per_lookup\": {:.1},\n    \"indexed_ns_per_lookup\": {:.1},\n    \"speedup\": {:.3}\n  }}\n}}\n",
             par.outcomes.len(),
-            seq_sessions.len(),
+            n_models,
             fleet::FLEET_GENERATORS.len(),
             fleet::FLEET_ARCHES.len(),
             threads,
             par.workers,
+            hcg_exec::effective_threads(0),
             par.steals,
             seq.elapsed.as_secs_f64() * 1e3,
             par.elapsed.as_secs_f64() * 1e3,
@@ -553,6 +574,91 @@ fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+}
+
+fn incremental_cmd(args: &cli::CommonArgs) {
+    heading("Incremental recompilation — edit-recompile vs from-scratch, dirty-region splicing");
+    let cfg = IncrementalBenchConfig {
+        edits: args.edits,
+        seed: args.seed,
+    };
+    let rows = run_incremental_bench(&cfg);
+    outln!(
+        "  {} edits per model, {} generators x {} arches checked per edit",
+        cfg.edits,
+        fleet::FLEET_GENERATORS.len(),
+        fleet::FLEET_ARCHES.len()
+    );
+    outln!(
+        "  {:>10} {:>6} {:>14} {:>14} {:>9} {:>10} {:>12} {:>9}",
+        "Model",
+        "edits",
+        "incr(ms)",
+        "scratch(ms)",
+        "speedup",
+        "admitted",
+        "invalidated",
+        "spliced"
+    );
+    let mut all_identical = true;
+    let (mut inc_total, mut scratch_total) = (0.0f64, 0.0f64);
+    for r in &rows {
+        all_identical &= r.identical;
+        inc_total += r.incremental.as_secs_f64();
+        scratch_total += r.scratch.as_secs_f64();
+        outln!(
+            "  {:>10} {:>6} {:>14.2} {:>14.2} {:>8.2}x {:>10} {:>12} {:>9}",
+            r.model,
+            r.edits,
+            r.incremental.as_secs_f64() * 1e3,
+            r.scratch.as_secs_f64() * 1e3,
+            r.speedup(),
+            r.regions_admitted,
+            r.regions_invalidated,
+            r.plans_spliced
+        );
+    }
+    let overall = scratch_total / inc_total.max(1e-12);
+    outln!("  overall speedup: {overall:.2}x (scratch {scratch_total:.3}s / incremental {inc_total:.3}s)");
+    outln!("  incremental outputs byte-identical to scratch: {all_identical}");
+    let snap = hcg_obs::MetricsRegistry::global().snapshot();
+    outln!(
+        "  metrics: {} edits applied, {} regions admitted, {} invalidated, {} plans spliced",
+        snap.counter("incremental.edits").unwrap_or(0),
+        snap.counter("incremental.regions_admitted").unwrap_or(0),
+        snap.counter("incremental.regions_invalidated").unwrap_or(0),
+        snap.counter("incremental.plans_spliced").unwrap_or(0)
+    );
+    if let Some(path) = &args.json {
+        let mut body = String::from("{\n  \"experiment\": \"incremental\",\n  \"models\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"model\": \"{}\", \"edits\": {}, \"incremental_ms\": {:.3}, \
+                 \"scratch_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \
+                 \"regions_admitted\": {}, \"regions_invalidated\": {}, \"plans_spliced\": {}}}{}\n",
+                r.model,
+                r.edits,
+                r.incremental.as_secs_f64() * 1e3,
+                r.scratch.as_secs_f64() * 1e3,
+                r.speedup(),
+                r.identical,
+                r.regions_admitted,
+                r.regions_invalidated,
+                r.plans_spliced,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        body.push_str(&format!(
+            "  ],\n  \"edits_per_model\": {},\n  \"overall_speedup\": {overall:.3},\n  \"identical_outputs\": {all_identical}\n}}\n",
+            cfg.edits
+        ));
+        hcg_obs::json::validate(&body).expect("incremental JSON must validate");
+        write_report_file(path, &body, "incremental bench");
+    }
+    assert!(
+        all_identical,
+        "incremental recompilation diverged from scratch output"
+    );
 }
 
 fn fuzz_cmd(args: &cli::CommonArgs) {

@@ -1,8 +1,8 @@
 //! Shared command-line parsing for the `repro` binary.
 //!
 //! Every subcommand understands the same flag vocabulary (`--threads`,
-//! `--json`, `--seed`, `--iters`, `--out`, `--wall-clock`, `--model`,
-//! `--trace`), parsed once here instead of per subcommand. Unknown flags
+//! `--json`, `--seed`, `--iters`, `--edits`, `--out`, `--wall-clock`,
+//! `--model`, `--trace`), parsed once here instead of per subcommand. Unknown flags
 //! are errors; the first bare word is the subcommand.
 
 use std::path::PathBuf;
@@ -24,6 +24,8 @@ pub struct CommonArgs {
     pub seed: u64,
     /// `--iters N`: iteration count for randomized subcommands.
     pub iters: usize,
+    /// `--edits N`: edit count per model for the incremental subcommand.
+    pub edits: usize,
     /// `--model NAME`: restrict a subcommand to one benchmark model.
     pub model: Option<String>,
     /// `--trace PATH`: Chrome trace-event JSON destination.
@@ -40,6 +42,7 @@ impl Default for CommonArgs {
             json: None,
             seed: 0,
             iters: 200,
+            edits: 50,
             model: None,
             trace: None,
         }
@@ -72,6 +75,9 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
             }
             "--iters" => {
                 out.iters = parse_num(args.next(), "--iters")?;
+            }
+            "--edits" => {
+                out.edits = parse_num(args.next(), "--edits")?;
             }
             "--model" => {
                 out.model = Some(args.next().ok_or("--model requires a name")?);
@@ -158,8 +164,19 @@ mod tests {
     }
 
     #[test]
+    fn incremental_invocation() {
+        let a = parse(&["incremental", "--seed", "3", "--edits", "25"]).unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("incremental"));
+        assert_eq!(a.seed, 3);
+        assert_eq!(a.edits, 25);
+        assert_eq!(parse(&[]).unwrap().edits, 50);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--edits"]).is_err());
+        assert!(parse(&["--edits", "x"]).is_err());
         assert!(parse(&["--model"]).is_err());
         assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--threads", "abc"]).is_err());

@@ -155,22 +155,67 @@ fn run_one(sessions: &[CompileSession], job: &FleetJob) -> FleetOutcome {
     }
 }
 
+/// Render a caught panic payload the way [`hcg_exec`] renders job panics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "fleet job panicked".to_owned()
+    }
+}
+
 /// Run the fleet across `threads` workers (`0` = available parallelism).
 /// Results return in submission order; a panicking job surfaces as an
 /// `Err` slot without taking down its worker or the run.
+///
+/// Jobs are submitted to the pool in *batches* of several jobs each: one
+/// fleet job is only a few hundred microseconds of compile work, so
+/// per-job scheduling and steal traffic would otherwise eat the parallel
+/// speedup. Panics stay isolated per job via a `catch_unwind` inside the
+/// batch, and outcomes are flattened back into submission order, so the
+/// result is indistinguishable from one-job-per-submission apart from the
+/// wall-clock.
 pub fn run_fleet(sessions: &[CompileSession], arches: &[Arch], threads: usize) -> FleetRun {
     let jobs = fleet_jobs(sessions.len(), arches);
     let start = Instant::now();
+    let workers = hcg_exec::effective_threads(threads).max(1);
+    // ~4 batches per worker balances amortisation against steal-ability.
+    let chunk = jobs.len().div_ceil(workers * 4).max(1);
     let closures: Vec<_> = jobs
-        .iter()
-        .map(|job| move || run_one(sessions, job))
+        .chunks(chunk)
+        .map(|batch| {
+            move || -> Vec<Result<FleetOutcome, String>> {
+                batch
+                    .iter()
+                    .map(|job| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_one(sessions, job)
+                        }))
+                        .map_err(|p| panic_message(p.as_ref()))
+                    })
+                    .collect()
+            }
+        })
         .collect();
     let (results, stats): (_, PoolStats) = hcg_exec::run_jobs_with_stats(threads, closures);
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(batch) => outcomes.extend(batch),
+            Err(p) => {
+                // A batch death outside the per-job guard cannot normally
+                // happen; keep one error slot per member so the outcome
+                // count still matches the job count.
+                let len = jobs.chunks(chunk).nth(i).map_or(0, <[FleetJob]>::len);
+                let msg = p.to_string();
+                outcomes.extend(std::iter::repeat_with(|| Err(msg.clone())).take(len));
+            }
+        }
+    }
     FleetRun {
-        outcomes: results
-            .into_iter()
-            .map(|r| r.map_err(|p| p.to_string()))
-            .collect(),
+        outcomes,
         workers: stats.workers,
         steals: stats.steals,
         elapsed: start.elapsed(),
@@ -207,6 +252,16 @@ mod tests {
         assert_eq!(jobs[1].arch, Arch::Avx256);
         assert_eq!(jobs[2].generator, "dfsynth");
         assert_eq!(jobs[6].session, 1);
+    }
+
+    #[test]
+    fn batched_parallel_matches_sequential() {
+        let seq_sessions: Vec<CompileSession> = benchmark_sessions().into_iter().take(2).collect();
+        let seq = run_fleet_sequential(&seq_sessions, &FLEET_ARCHES);
+        let par_sessions: Vec<CompileSession> = benchmark_sessions().into_iter().take(2).collect();
+        let par = run_fleet(&par_sessions, &FLEET_ARCHES, 3);
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        assert_eq!(seq.sources(), par.sources());
     }
 
     #[test]

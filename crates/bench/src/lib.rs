@@ -11,10 +11,12 @@ pub mod cli;
 pub mod consistency;
 pub mod experiments;
 pub mod fleet;
+pub mod incremental;
 pub mod profile;
 
 pub use cli::{parse_args, CommonArgs};
 pub use consistency::{check_consistency, Consistency};
 pub use experiments::*;
 pub use fleet::{run_fleet, run_fleet_sequential, FleetJob, FleetOutcome, FleetRun};
+pub use incremental::{param_edit, run_incremental_bench, IncrementalBenchConfig, IncrementalRow};
 pub use profile::{profile_json, profile_matrix, ProfileEntry};

@@ -108,6 +108,15 @@ pub trait CodeGenerator {
         debug_verify(model, &prog);
         Ok((prog, report))
     }
+
+    /// Downcast hook for [`crate::EditSession`]: the HCG generator returns
+    /// itself so the incremental path can reach its plan cache and kernel
+    /// library; every other generator keeps the default `None` and is
+    /// recompiled through its ordinary pass list (over cached front-end
+    /// artifacts, which is already byte-identical to a scratch run).
+    fn as_hcg(&self) -> Option<&crate::HcgGen> {
+        None
+    }
 }
 
 /// Shared lowering state: resolved types, schedule, the program being

@@ -3,16 +3,18 @@
 //! intensive actors, Algorithm 2 for batch actors) → code composition.
 
 use crate::batch::{
-    emit_region_plan, form_regions_indexed, plan_region_indexed, BatchOptions, MatchOrder,
+    emit_region_plan, form_regions_indexed, plan_region_indexed, BatchOptions, BatchRegion,
+    MatchOrder, RegionPlan,
 };
 use crate::conventional::{emit_conventional, LoopStyle};
 use crate::dispatch::Dispatch;
-use crate::generator::{CodeGenerator, GenError};
+use crate::generator::{CodeGenerator, GenContext, GenError};
 use crate::intensive::emit_intensive;
 use crate::pass::{dispatch_pass, Pass};
 use hcg_isa::{sets, Arch, InstrIndex, InstrSet};
 use hcg_kernels::{Autotuner, CodeLibrary, Meter};
 use hcg_model::ActorKind;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 
@@ -114,27 +116,105 @@ impl HcgGen {
         self.tuner.borrow_mut().load_history_text(text);
     }
 
-    fn instr_set_for(&self, arch: Arch) -> InstrSet {
+    /// The instruction set and index for a target, shared from the
+    /// process-wide statics when no override is configured (one `.isa`
+    /// parse and one index build per arch per process, not per compile).
+    pub(crate) fn instr_set_indexed(
+        &self,
+        arch: Arch,
+    ) -> (Cow<'static, InstrSet>, Cow<'static, InstrIndex>) {
         match &self.options.instr_set {
-            Some(set) => set.clone(),
-            None => sets::builtin(arch),
+            Some(set) => {
+                let index = InstrIndex::build(set);
+                (Cow::Owned(set.clone()), Cow::Owned(index))
+            }
+            None => {
+                let (set, index) = sets::builtin_indexed(arch);
+                (Cow::Borrowed(set), Cow::Borrowed(index))
+            }
         }
     }
-}
 
-impl HcgGen {
-    fn batch_options(&self) -> BatchOptions {
+    pub(crate) fn batch_options(&self) -> BatchOptions {
         BatchOptions {
             simd_threshold: self.options.simd_threshold,
             fallback_style: self.options.fallback_style,
             match_order: self.options.match_order,
         }
     }
+
+    /// The Algorithm-1 autotuner (quick-search history) shared by the
+    /// compose pass and the incremental session.
+    pub(crate) fn tuner(&self) -> &RefCell<Autotuner> {
+        &self.tuner
+    }
+}
+
+/// The code-composition stage shared by the `compose` pass and
+/// [`crate::EditSession`]: walk the schedule, emit each region once at its
+/// first member's position, dispatch everything else to the intensive or
+/// conventional emitters, and tag every statement with its origin. Returns
+/// the number of kernel calls emitted.
+pub(crate) fn compose_into(
+    ctx: &mut GenContext<'_>,
+    dispatch: &[Dispatch],
+    regions: &[BatchRegion],
+    plans: &[RegionPlan],
+    lib: &CodeLibrary,
+    tuner: &mut Autotuner,
+    fallback_style: LoopStyle,
+) -> Result<u64, GenError> {
+    if regions.len() != plans.len() {
+        return Err(GenError::Internal("region/plan count mismatch".into()));
+    }
+    let mut kernel_calls = 0u64;
+
+    // Which region does each actor belong to? A region is emitted once, at
+    // its first member's schedule position.
+    let mut region_of = vec![usize::MAX; ctx.model.actors.len()];
+    for (ri, r) in regions.iter().enumerate() {
+        for &a in &r.members {
+            region_of[a.0] = ri;
+        }
+    }
+    let mut emitted_regions: BTreeSet<usize> = BTreeSet::new();
+
+    for idx in 0..ctx.schedule.order.len() {
+        let aid = ctx.schedule.order[idx];
+        let actor = ctx.model.actor(aid).clone();
+        match actor.kind {
+            ActorKind::Inport | ActorKind::Outport | ActorKind::Constant | ActorKind::UnitDelay => {
+                continue
+            }
+            _ => {}
+        }
+        let ri = region_of[aid.0];
+        if ri != usize::MAX {
+            if emitted_regions.insert(ri) {
+                ctx.set_origin(hcg_vm::Origin::region(actor.name.clone(), ri));
+                emit_region_plan(ctx, &regions[ri], &plans[ri])?;
+            }
+            continue;
+        }
+        ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
+        match &dispatch[aid.0] {
+            Dispatch::Intensive { size } => {
+                emit_intensive(ctx, &actor, size, lib, tuner)?;
+                kernel_calls += 1;
+            }
+            _ => emit_conventional(ctx, &actor, fallback_style)?,
+        }
+    }
+    Ok(kernel_calls)
 }
 
 impl CodeGenerator for HcgGen {
     fn name(&self) -> &'static str {
         "hcg"
+    }
+
+    fn as_hcg(&self) -> Option<&HcgGen> {
+        Some(self)
     }
 
     /// The paper's Figure 3 pipeline as explicit stages:
@@ -143,8 +223,7 @@ impl CodeGenerator for HcgGen {
         vec![
             dispatch_pass(),
             Pass::new("region-formation", move |p| {
-                let set = self.instr_set_for(p.arch());
-                let index = InstrIndex::build(&set);
+                let (set, index) = self.instr_set_indexed(p.arch());
                 let regions =
                     form_regions_indexed(p.building()?, p.dispatch_slice()?, &set, &index);
                 p.counters.regions_formed += regions.len() as u64;
@@ -160,11 +239,11 @@ impl CodeGenerator for HcgGen {
                     let ctx = p.building()?;
                     let set = p
                         .instr_set
-                        .as_ref()
+                        .as_deref()
                         .ok_or_else(|| GenError::Internal("no instruction set".into()))?;
                     let index = p
                         .instr_index
-                        .as_ref()
+                        .as_deref()
                         .ok_or_else(|| GenError::Internal("no instruction index".into()))?;
                     let regions = p
                         .regions
@@ -190,52 +269,19 @@ impl CodeGenerator for HcgGen {
                 let dispatch = p.take_dispatch()?;
                 let regions = p.regions.take().unwrap_or_default();
                 let plans = p.plans.take().unwrap_or_default();
-                if regions.len() != plans.len() {
-                    return Err(GenError::Internal("region/plan count mismatch".into()));
-                }
-                let mut kernel_calls = 0u64;
-                {
+                let kernel_calls = {
                     let mut tuner = self.tuner.borrow_mut();
                     let ctx = p.building_mut()?;
-
-                    // Which region does each actor belong to? A region is
-                    // emitted once, at its first member's schedule position.
-                    let mut region_of = vec![usize::MAX; ctx.model.actors.len()];
-                    for (ri, r) in regions.iter().enumerate() {
-                        for &a in &r.members {
-                            region_of[a.0] = ri;
-                        }
-                    }
-                    let mut emitted_regions: BTreeSet<usize> = BTreeSet::new();
-
-                    for idx in 0..ctx.schedule.order.len() {
-                        let aid = ctx.schedule.order[idx];
-                        let actor = ctx.model.actor(aid).clone();
-                        match actor.kind {
-                            ActorKind::Inport
-                            | ActorKind::Outport
-                            | ActorKind::Constant
-                            | ActorKind::UnitDelay => continue,
-                            _ => {}
-                        }
-                        let ri = region_of[aid.0];
-                        if ri != usize::MAX {
-                            if emitted_regions.insert(ri) {
-                                ctx.set_origin(hcg_vm::Origin::region(actor.name.clone(), ri));
-                                emit_region_plan(ctx, &regions[ri], &plans[ri])?;
-                            }
-                            continue;
-                        }
-                        ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
-                        match &dispatch[aid.0] {
-                            Dispatch::Intensive { size } => {
-                                emit_intensive(ctx, &actor, size, &self.lib, &mut tuner)?;
-                                kernel_calls += 1;
-                            }
-                            _ => emit_conventional(ctx, &actor, self.options.fallback_style)?,
-                        }
-                    }
-                }
+                    compose_into(
+                        ctx,
+                        &dispatch,
+                        &regions,
+                        &plans,
+                        &self.lib,
+                        &mut tuner,
+                        self.options.fallback_style,
+                    )?
+                };
                 p.counters.kernel_calls += kernel_calls;
                 p.finish()
             }),

@@ -1,0 +1,663 @@
+//! [`EditSession`]: incremental recompilation with dirty-region splicing.
+//!
+//! A [`CompileSession`](crate::CompileSession) caches front-end artifacts
+//! for *one* model and drops everything when the model changes. An
+//! `EditSession` instead accepts a stream of [`ModelDelta`]s and, after
+//! each edit, recompiles only what the edit can affect:
+//!
+//! * **diff** — [`ModelDelta::touched_actors`] names the directly edited
+//!   actors; [`downstream_closure`] extends that to every actor whose
+//!   value can observe the change (flowing through `UnitDelay` state).
+//!   Everything else is *clean*.
+//! * **invalidate** — per-actor front-end artifacts for clean actors are
+//!   reused: output types seed [`Model::infer_types_seeded`], dispatch
+//!   classes are replayed from the last good compile, and the schedule
+//!   survives any non-structural delta.
+//! * **splice** — batch-region *plans* (the expensive Algorithm-2
+//!   instruction mapping) are cached by a structural region signature in
+//!   a per-arch [`PlanCache`]; regions untouched by the dirty set admit
+//!   their cached step list and only dirty regions are re-mapped. The
+//!   whole program is then re-emitted deterministically, so the result is
+//!   byte-identical to a from-scratch compile *by construction* — the
+//!   cache only short-circuits work whose output is provably unchanged.
+//!
+//! Counters land in [`IncrementalStats`] and the global
+//! [`MetricsRegistry`] (`incremental.*`); each phase opens an
+//! `incremental` span for the trace timeline.
+
+use crate::batch::{form_regions_probed, plan_region_cached, plan_region_indexed, PlanCache};
+use crate::dispatch::{classify, Dispatch};
+use crate::generator::{debug_lint, CodeGenerator, GenContext, GenError};
+use crate::hcg::{compose_into, HcgGen};
+use crate::pass::{PassManager, PipelineCtx};
+use hcg_isa::Arch;
+use hcg_kernels::{Autotuner, Meter};
+use hcg_model::delta::downstream_closure;
+use hcg_model::op::ElemOp;
+use hcg_model::schedule::{schedule, Schedule};
+use hcg_model::{ActorId, DataType, FrontEnd, Model, ModelDelta, SignalType};
+use hcg_obs::MetricsRegistry;
+use hcg_vm::Program;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Work-avoidance counters for one [`EditSession`].
+///
+/// `regions_admitted` / `regions_invalidated` partition every batch region
+/// seen by [`EditSession::generate`] since the last edit by whether its
+/// read/write effect set intersects the dirty actors; `plans_spliced`
+/// counts regions whose instruction mapping actually re-ran (a cache miss
+/// — admitted regions and isomorphic dirty regions hit the plan cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Deltas applied via [`EditSession::apply_delta`].
+    pub edits_applied: u64,
+    /// Regions whose effects avoid the dirty set (plan reusable).
+    pub regions_admitted: u64,
+    /// Regions whose effects intersect the dirty set.
+    pub regions_invalidated: u64,
+    /// Regions whose plan was re-mapped and spliced into the program.
+    pub plans_spliced: u64,
+    /// Plan-cache hits across all generates.
+    pub plan_hits: u64,
+    /// Plan-cache misses across all generates.
+    pub plan_misses: u64,
+    /// Actor output types seeded into inference instead of recomputed.
+    pub types_seeded: u64,
+    /// Schedules reused across a non-structural delta.
+    pub schedules_reused: u64,
+    /// Per-actor dispatch classifications replayed from the last compile.
+    pub dispatch_reused: u64,
+    /// Algorithm-1 kernel selections adopted from the session history
+    /// instead of re-measured by quick-search.
+    pub kernel_selections_reused: u64,
+}
+
+/// An editable compilation session: apply [`ModelDelta`]s and recompile
+/// incrementally, reusing per-actor front-end artifacts and per-region
+/// instruction-mapping plans that the edit provably cannot affect.
+///
+/// # Examples
+///
+/// ```
+/// use hcg_core::emit::to_c_source;
+/// use hcg_core::{EditSession, HcgGen};
+/// use hcg_isa::Arch;
+/// use hcg_model::delta::EditOp;
+/// use hcg_model::{library, ModelDelta, Param};
+///
+/// # fn main() -> Result<(), hcg_core::GenError> {
+/// let mut session = EditSession::new(library::fig4_model());
+/// let hcg = HcgGen::new();
+/// let before = session.generate(&hcg, Arch::Neon128)?;
+/// session.apply_delta(&ModelDelta::single(EditOp::SetParam {
+///     name: "Shr".into(),
+///     param: "amount".into(),
+///     value: Param::Int(2),
+/// }))?;
+/// let after = session.generate(&hcg, Arch::Neon128)?;
+/// assert_ne!(to_c_source(&before), to_c_source(&after));
+/// assert!(session.stats().types_seeded > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EditSession {
+    model: Model,
+    /// Front end for the *current* model; `None` after an edit.
+    front: Option<Result<FrontEnd, GenError>>,
+    /// Dispatch classes for the current model; valid iff `front` is `Ok`.
+    dispatch: Option<Vec<Dispatch>>,
+    /// Per-actor output types from the last *successful* front end, keyed
+    /// by name (names are stable across edits; `ActorId`s are not).
+    known_types: BTreeMap<String, SignalType>,
+    /// Per-actor dispatch classes from the last successful compile.
+    known_dispatch: BTreeMap<String, Dispatch>,
+    /// Schedule of the last successful front end; survives edits until a
+    /// structural delta invalidates it.
+    prev_schedule: Option<Schedule>,
+    /// Actors dirtied since the last successful front-end rebuild.
+    dirty: BTreeSet<String>,
+    /// The dirty set consumed by the last rebuild — what `generate`
+    /// charges region invalidation against.
+    last_dirty: BTreeSet<String>,
+    /// Batch-admission probe results per arch (lane widths differ).
+    probe_memo: BTreeMap<Arch, BTreeMap<(ElemOp, DataType), bool>>,
+    /// Region-plan caches per arch.
+    plan_caches: BTreeMap<Arch, PlanCache>,
+    /// Algorithm-1 selection history persisted across edits. Kernel
+    /// selection is keyed by `(actor kind, dtype, size)` — untouched by
+    /// any edit that leaves those alone — and quick-search *executes*
+    /// candidate kernels to cost them, which dominates compile time for
+    /// intensive models. Only maintained under the deterministic
+    /// [`Meter::OpCount`]: a wall-clock selection replayed from history
+    /// could diverge from what a fresh compile would measure.
+    tuner: Option<Autotuner>,
+    /// Finished programs for the current model, keyed by `generator|arch`.
+    programs: BTreeMap<String, Program>,
+    stats: IncrementalStats,
+}
+
+impl EditSession {
+    /// A session owning `model`. Nothing is computed until first use.
+    pub fn new(model: Model) -> Self {
+        EditSession {
+            model,
+            front: None,
+            dispatch: None,
+            known_types: BTreeMap::new(),
+            known_dispatch: BTreeMap::new(),
+            prev_schedule: None,
+            dirty: BTreeSet::new(),
+            last_dirty: BTreeSet::new(),
+            probe_memo: BTreeMap::new(),
+            plan_caches: BTreeMap::new(),
+            tuner: None,
+            programs: BTreeMap::new(),
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The session's current model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Work-avoidance counters accumulated so far.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Apply a delta: update the model, mark the downstream closure of the
+    /// touched actors dirty, and drop exactly the artifacts the edit can
+    /// affect (finished programs always; the schedule only for structural
+    /// deltas; per-actor types and dispatch stay for clean actors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when an op fails to apply (unknown or
+    /// duplicate actor name); the session is left unchanged in that case.
+    pub fn apply_delta(&mut self, delta: &ModelDelta) -> Result<(), GenError> {
+        let _span = hcg_obs::span("incremental", "diff");
+        let touched = delta.touched_actors(&self.model);
+        let next = delta.apply(&self.model)?;
+        self.dirty.extend(downstream_closure(&next, &touched));
+        if delta.structural() {
+            self.prev_schedule = None;
+        }
+        self.model = next;
+        self.front = None;
+        self.dispatch = None;
+        self.programs.clear();
+        self.stats.edits_applied += 1;
+        MetricsRegistry::global().counter_add("incremental.edits", 1);
+        Ok(())
+    }
+
+    /// Validate the current model through the incremental front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when the model is invalid.
+    pub fn validate(&mut self) -> Result<(), GenError> {
+        self.ensure_front()
+    }
+
+    /// The front end for the current model, rebuilt incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when the model is invalid.
+    pub fn front_end(&mut self) -> Result<&FrontEnd, GenError> {
+        self.ensure_front()?;
+        match self.front.as_ref() {
+            Some(Ok(fe)) => Ok(fe),
+            Some(Err(e)) => Err(e.clone()),
+            None => unreachable!("ensure_front populates front"),
+        }
+    }
+
+    /// Rebuild the front end for the current model, reusing clean-actor
+    /// artifacts from the last successful rebuild.
+    fn ensure_front(&mut self) -> Result<(), GenError> {
+        if let Some(front) = &self.front {
+            return front.as_ref().map(|_| ()).map_err(Clone::clone);
+        }
+        let _span = hcg_obs::span("incremental", "invalidate");
+
+        // Seed inference with the known output types of clean actors.
+        let seeds: BTreeMap<String, SignalType> = self
+            .known_types
+            .iter()
+            .filter(|(name, _)| !self.dirty.contains(*name))
+            .map(|(name, ty)| (name.clone(), *ty))
+            .collect();
+        let types = match self.model.infer_types_seeded(&seeds) {
+            Ok(t) => t,
+            Err(e) => return self.fail(e.into()),
+        };
+        self.stats.types_seeded += seeds.len() as u64;
+
+        // A schedule survives any non-structural delta; `apply_delta`
+        // cleared `prev_schedule` otherwise.
+        let sched = match self.prev_schedule.take() {
+            Some(s) => {
+                self.stats.schedules_reused += 1;
+                s
+            }
+            None => match schedule(&self.model) {
+                Ok(s) => s,
+                Err(e) => return self.fail(e.into()),
+            },
+        };
+
+        // Dispatch is per-actor: clean actors replay their last class
+        // (their drivers and types are unchanged by construction).
+        let mut dispatch = Vec::with_capacity(self.model.actors.len());
+        for actor in &self.model.actors {
+            if !self.dirty.contains(&actor.name) {
+                if let Some(d) = self.known_dispatch.get(&actor.name) {
+                    self.stats.dispatch_reused += 1;
+                    dispatch.push(d.clone());
+                    continue;
+                }
+            }
+            dispatch.push(classify(&self.model, &types, actor));
+        }
+
+        // Success: refresh the per-actor snapshots and retire the dirty
+        // set (generate still charges invalidation against it).
+        self.known_types = self
+            .model
+            .actors
+            .iter()
+            .filter(|a| a.kind.output_count() > 0)
+            .map(|a| (a.name.clone(), types.output(a.id, 0)))
+            .collect();
+        self.known_dispatch = self
+            .model
+            .actors
+            .iter()
+            .zip(&dispatch)
+            .map(|(a, d)| (a.name.clone(), d.clone()))
+            .collect();
+        self.prev_schedule = Some(sched.clone());
+        self.last_dirty = std::mem::take(&mut self.dirty);
+        self.front = Some(Ok(FrontEnd {
+            types,
+            schedule: sched,
+        }));
+        self.dispatch = Some(dispatch);
+        Ok(())
+    }
+
+    /// Record a front-end failure for the current model state. The
+    /// per-actor snapshots describe the last *good* model and are kept;
+    /// the dirty set stays accumulated so a fixing edit rebuilds exactly
+    /// what the whole invalid episode touched.
+    fn fail(&mut self, e: GenError) -> Result<(), GenError> {
+        self.front = Some(Err(e.clone()));
+        self.dispatch = None;
+        Err(e)
+    }
+
+    /// Generate code for the current model, splicing cached region plans
+    /// for everything the edits since the last compile cannot affect. The
+    /// output is byte-identical to a from-scratch compile of the same
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError`] when the model is invalid or synthesis fails.
+    pub fn generate(
+        &mut self,
+        generator: &dyn CodeGenerator,
+        arch: Arch,
+    ) -> Result<Program, GenError> {
+        let key = format!("{}|{arch}", generator.name());
+        if let Some(prog) = self.programs.get(&key) {
+            return Ok(prog.clone());
+        }
+        self.ensure_front()?;
+        let fe = match self.front.as_ref() {
+            Some(Ok(fe)) => fe,
+            _ => unreachable!("ensure_front succeeded"),
+        };
+        let dispatch = self.dispatch.as_ref().expect("dispatch set with front");
+
+        let prog = match generator.as_hcg() {
+            Some(hcg) => {
+                let mut tuner = hcg.tuner().borrow_mut();
+                // Session history may only flow into a tuner that (a)
+                // measures deterministically and (b) has no decisions of
+                // its own yet — a caller-loaded history must win, and the
+                // session must never memorise selections it cannot prove
+                // a fresh compile would repeat.
+                let reuse = hcg.options.meter == Meter::OpCount && tuner.history_len() == 0;
+                if reuse {
+                    if let Some(saved) = &self.tuner {
+                        tuner.adopt_history(saved);
+                        self.stats.kernel_selections_reused += saved.history_len() as u64;
+                        MetricsRegistry::global().counter_add(
+                            "incremental.kernel_selections_reused",
+                            saved.history_len() as u64,
+                        );
+                    }
+                }
+                let prog = generate_hcg(
+                    &self.model,
+                    fe,
+                    dispatch,
+                    hcg,
+                    arch,
+                    &mut tuner,
+                    self.probe_memo.entry(arch).or_default(),
+                    self.plan_caches.entry(arch).or_default(),
+                    &self.last_dirty,
+                    &mut self.stats,
+                )?;
+                if reuse {
+                    self.tuner = Some(tuner.clone());
+                }
+                prog
+            }
+            None => {
+                // Baseline generators are cheap (no instruction mapping):
+                // run the standard pipeline over the shared artifacts,
+                // exactly like `CompileSession`.
+                let mut ctx = PipelineCtx::with_artifacts(
+                    &self.model,
+                    &fe.types,
+                    &fe.schedule,
+                    arch,
+                    generator.name(),
+                )?;
+                ctx.dispatch = Some(Cow::Borrowed(dispatch));
+                PassManager::new(generator.passes()).run(ctx)?.0
+            }
+        };
+        self.programs.insert(key, prog.clone());
+        Ok(prog)
+    }
+}
+
+/// The incremental HCG back end: form regions (memoised admission
+/// probes), splice cached plans for clean regions, re-map dirty ones, and
+/// re-emit the whole program deterministically.
+#[allow(clippy::too_many_arguments)]
+fn generate_hcg(
+    model: &Model,
+    fe: &FrontEnd,
+    dispatch: &[Dispatch],
+    hcg: &HcgGen,
+    arch: Arch,
+    tuner: &mut Autotuner,
+    probes: &mut BTreeMap<(ElemOp, DataType), bool>,
+    cache: &mut PlanCache,
+    dirty: &BTreeSet<String>,
+    stats: &mut IncrementalStats,
+) -> Result<Program, GenError> {
+    let _span = hcg_obs::span("incremental", "splice");
+    // A configured instruction-set override invalidates both memos (they
+    // are keyed for the builtin sets only): fall back to fresh probes and
+    // uncached mapping.
+    let custom = hcg.options.instr_set.is_some();
+    let (set, index) = hcg.instr_set_indexed(arch);
+    let mut ctx = GenContext::with_artifacts(model, &fe.types, &fe.schedule, arch, hcg.name())?;
+
+    let mut fresh_probes = BTreeMap::new();
+    let regions = form_regions_probed(
+        &ctx,
+        dispatch,
+        &set,
+        &index,
+        if custom { &mut fresh_probes } else { probes },
+    );
+
+    let dirty_ids: BTreeSet<ActorId> = model
+        .actors
+        .iter()
+        .filter(|a| dirty.contains(&a.name))
+        .map(|a| a.id)
+        .collect();
+
+    let options = hcg.batch_options();
+    let (mut admitted, mut invalidated, mut spliced) = (0u64, 0u64, 0u64);
+    let mut plans = Vec::with_capacity(regions.len());
+    for region in &regions {
+        if region.touches(&dirty_ids) {
+            invalidated += 1;
+        } else {
+            admitted += 1;
+        }
+        let plan = if custom {
+            plan_region_indexed(&ctx, region, &set, &index, options)?
+        } else {
+            let (hits, misses) = (cache.hits, cache.misses);
+            let plan = plan_region_cached(&ctx, region, &set, &index, options, cache)?;
+            if cache.misses > misses {
+                spliced += 1;
+            }
+            stats.plan_hits += cache.hits - hits;
+            stats.plan_misses += cache.misses - misses;
+            plan
+        };
+        plans.push(plan);
+    }
+
+    compose_into(
+        &mut ctx,
+        dispatch,
+        &regions,
+        &plans,
+        hcg.library(),
+        tuner,
+        hcg.options.fallback_style,
+    )?;
+
+    stats.regions_admitted += admitted;
+    stats.regions_invalidated += invalidated;
+    stats.plans_spliced += spliced;
+    let metrics = MetricsRegistry::global();
+    metrics.counter_add("incremental.regions_admitted", admitted);
+    metrics.counter_add("incremental.regions_invalidated", invalidated);
+    metrics.counter_add("incremental.plans_spliced", spliced);
+
+    let prog = ctx.finish();
+    debug_lint(&prog);
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::to_c_source;
+    use crate::HcgGen;
+    use hcg_model::delta::EditOp;
+    use hcg_model::{library, ActorKind, Param};
+
+    fn scratch(model: &Model, arch: Arch) -> String {
+        to_c_source(
+            &HcgGen::new()
+                .generate(model, arch)
+                .expect("scratch compile"),
+        )
+    }
+
+    #[test]
+    fn param_edit_is_byte_identical_to_scratch() {
+        let mut session = EditSession::new(library::fig4_model());
+        let hcg = HcgGen::new();
+        let arch = Arch::Neon128;
+        assert_eq!(
+            to_c_source(&session.generate(&hcg, arch).unwrap()),
+            scratch(session.model(), arch)
+        );
+        session
+            .apply_delta(&ModelDelta::single(EditOp::SetParam {
+                name: "Shr".into(),
+                param: "amount".into(),
+                value: Param::Int(2),
+            }))
+            .unwrap();
+        let inc = to_c_source(&session.generate(&hcg, arch).unwrap());
+        assert_eq!(inc, scratch(session.model(), arch));
+        let stats = session.stats();
+        assert_eq!(stats.edits_applied, 1);
+        assert!(stats.schedules_reused >= 1, "param edit keeps schedule");
+        assert!(stats.types_seeded > 0, "clean actors seed inference");
+        assert!(stats.dispatch_reused > 0, "clean actors keep dispatch");
+    }
+
+    #[test]
+    fn structural_edit_is_byte_identical_to_scratch() {
+        let mut session = EditSession::new(library::fig4_model());
+        let hcg = HcgGen::new();
+        let _ = session.generate(&hcg, Arch::Avx256).unwrap();
+        // Tap an existing signal to a new unary actor and outport.
+        session
+            .apply_delta(&ModelDelta {
+                ops: vec![
+                    EditOp::AddActor {
+                        name: "tap".into(),
+                        kind: ActorKind::Neg,
+                        params: Default::default(),
+                    },
+                    EditOp::AddActor {
+                        name: "tap_out".into(),
+                        kind: ActorKind::Outport,
+                        params: Default::default(),
+                    },
+                    EditOp::Connect {
+                        from: ("Sub".into(), 0),
+                        to: ("tap".into(), 0),
+                    },
+                    EditOp::Connect {
+                        from: ("tap".into(), 0),
+                        to: ("tap_out".into(), 0),
+                    },
+                ],
+            })
+            .unwrap();
+        for arch in [Arch::Neon128, Arch::Avx256] {
+            let inc = to_c_source(&session.generate(&hcg, arch).unwrap());
+            assert_eq!(inc, scratch(session.model(), arch), "arch {arch}");
+        }
+    }
+
+    /// Two disconnected batch chains: editing one must leave the other's
+    /// region plan cached.
+    fn two_chain_model() -> Model {
+        use hcg_model::{DataType, ModelBuilder, SignalType};
+        let ty = SignalType::vector(DataType::I32, 8);
+        let mut b = ModelBuilder::new("TwoChains");
+        let a = b.inport("a", ty);
+        let b2 = b.inport("b", ty);
+        let add = b.add_actor("add1", ActorKind::Add);
+        let o1 = b.outport("o1");
+        b.connect(a, 0, add, 0);
+        b.connect(b2, 0, add, 1);
+        b.connect(add, 0, o1, 0);
+        let c = b.inport("c", ty);
+        let sh = b.shift("sh", ActorKind::Shr, 1);
+        let o2 = b.outport("o2");
+        b.connect(c, 0, sh, 0);
+        b.connect(sh, 0, o2, 0);
+        b.build().expect("two-chain model is valid")
+    }
+
+    #[test]
+    fn clean_regions_hit_the_plan_cache() {
+        let mut session = EditSession::new(two_chain_model());
+        let hcg = HcgGen::new();
+        let arch = Arch::Neon128;
+        let _ = session.generate(&hcg, arch).unwrap();
+        let cold = session.stats();
+        assert_eq!(cold.plan_hits, 0, "cold compile maps everything");
+        session
+            .apply_delta(&ModelDelta::single(EditOp::SetParam {
+                name: "sh".into(),
+                param: "amount".into(),
+                value: Param::Int(3),
+            }))
+            .unwrap();
+        let inc = to_c_source(&session.generate(&hcg, arch).unwrap());
+        assert_eq!(inc, scratch(session.model(), arch));
+        let stats = session.stats();
+        // The `add1` chain is untouched: its region is admitted and its
+        // plan spliced from the cache. The `sh` chain's signature embeds
+        // the new amount, so only that region re-maps.
+        assert!(stats.plan_hits >= 1, "clean region splices a cached plan");
+        assert_eq!(
+            stats.plan_misses,
+            cold.plan_misses + 1,
+            "exactly the dirty region re-maps"
+        );
+        assert!(stats.regions_admitted >= 1);
+        assert!(stats.regions_invalidated >= 1);
+    }
+
+    #[test]
+    fn failing_edit_recovers_after_fix() {
+        let mut session = EditSession::new(library::fig4_model());
+        let hcg = HcgGen::new();
+        let _ = session.generate(&hcg, Arch::Neon128).unwrap();
+        // Disconnecting an input makes the model invalid...
+        session
+            .apply_delta(&ModelDelta::single(EditOp::Disconnect {
+                to: ("Mul".into(), 1),
+            }))
+            .unwrap();
+        assert!(session.validate().is_err());
+        assert!(session.validate().is_err(), "error is stable");
+        // ...and reconnecting it recovers, matching scratch bytes.
+        session
+            .apply_delta(&ModelDelta::single(EditOp::Connect {
+                from: ("d".into(), 0),
+                to: ("Mul".into(), 1),
+            }))
+            .unwrap();
+        let inc = to_c_source(&session.generate(&hcg, Arch::Neon128).unwrap());
+        assert_eq!(inc, scratch(session.model(), Arch::Neon128));
+    }
+
+    #[test]
+    fn kernel_selections_survive_fresh_generators() {
+        let mut session = EditSession::new(library::fft_model(256));
+        let arch = Arch::Neon128;
+        let cold = HcgGen::new();
+        let _ = session.generate(&cold, arch).unwrap();
+        assert!(cold.history_len() > 0, "FFT measures at least one kernel");
+        session
+            .apply_delta(&ModelDelta::single(EditOp::SetParam {
+                name: "window".into(),
+                param: "value".into(),
+                value: Param::FloatVec(vec![0.25; 256]),
+            }))
+            .unwrap();
+        // A brand-new generator would normally re-run quick-search; the
+        // session hands it the remembered selections instead.
+        let warm = HcgGen::new();
+        let inc = to_c_source(&session.generate(&warm, arch).unwrap());
+        assert_eq!(inc, scratch(session.model(), arch));
+        assert!(
+            session.stats().kernel_selections_reused > 0,
+            "fresh generator must adopt the session's Algorithm-1 history"
+        );
+    }
+
+    #[test]
+    fn program_cache_serves_repeat_generates() {
+        let mut session = EditSession::new(library::fig4_model());
+        let hcg = HcgGen::new();
+        let p1 = session.generate(&hcg, Arch::Neon128).unwrap();
+        let spliced = session.stats().plans_spliced;
+        let p2 = session.generate(&hcg, Arch::Neon128).unwrap();
+        assert_eq!(to_c_source(&p1), to_c_source(&p2));
+        assert_eq!(
+            session.stats().plans_spliced,
+            spliced,
+            "second generate is a program-cache hit, no new mapping"
+        );
+    }
+}

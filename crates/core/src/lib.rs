@@ -32,6 +32,7 @@ pub mod conventional;
 pub mod dispatch;
 pub mod emit;
 pub mod generator;
+pub mod incremental;
 pub mod intensive;
 pub mod pass;
 pub mod reference;
@@ -39,7 +40,10 @@ pub mod session;
 
 mod hcg;
 
-pub use batch::{explain_region, BatchOptions, BatchRegion, MapTrace, MatchOrder, RegionPlan};
+pub use batch::{
+    explain_region, form_regions_probed, plan_region_cached, BatchOptions, BatchRegion, MapTrace,
+    MatchOrder, PlanCache, RegionPlan,
+};
 pub use conventional::LoopStyle;
 pub use dispatch::Dispatch;
 pub use generator::{
@@ -47,6 +51,7 @@ pub use generator::{
     GenError,
 };
 pub use hcg::{HcgGen, HcgOptions};
+pub use incremental::{EditSession, IncrementalStats};
 pub use pass::{
     dispatch_pass, Pass, PassManager, PipelineCtx, StageCounters, StageRecord, StageReport,
 };

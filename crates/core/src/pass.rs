@@ -202,11 +202,15 @@ pub struct PipelineCtx<'m> {
     pub regions: Option<Vec<BatchRegion>>,
     /// Per-region emission plans, parallel to `regions`.
     pub plans: Option<Vec<RegionPlan>>,
-    /// The instruction set resolved for the target.
-    pub instr_set: Option<InstrSet>,
-    /// Pre-bucketed lookup over `instr_set`, built once by the
-    /// region-formation stage and reused by every mapping query.
-    pub instr_index: Option<InstrIndex>,
+    /// The instruction set resolved for the target. Borrowed from the
+    /// process-wide [`hcg_isa::sets::builtin_indexed`] statics unless the
+    /// generator overrides the set, so concurrent fleet jobs share one
+    /// parse.
+    pub instr_set: Option<Cow<'static, InstrSet>>,
+    /// Pre-bucketed lookup over `instr_set`, built once (or borrowed from
+    /// the shared statics) by the region-formation stage and reused by
+    /// every mapping query.
+    pub instr_index: Option<Cow<'static, InstrIndex>>,
     /// Monotonic work counters (the manager records per-stage deltas).
     pub counters: StageCounters,
 }

@@ -14,7 +14,7 @@ use crate::generator::{CodeGenerator, GenError};
 use crate::pass::{PassManager, PipelineCtx, StageReport};
 use hcg_isa::Arch;
 use hcg_model::schedule::Schedule;
-use hcg_model::{FrontEnd, Model, TypeMap};
+use hcg_model::{FrontEnd, Model, ModelDelta, TypeMap};
 use hcg_vm::Program;
 use std::borrow::Cow;
 use std::sync::OnceLock;
@@ -62,6 +62,23 @@ impl CompileSession {
     /// The session's model.
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// Apply a [`ModelDelta`] to the session's model, dropping every cached
+    /// artifact — including a cached *error*: an edit that fixes an invalid
+    /// model makes subsequent [`CompileSession::validate`] calls succeed
+    /// rather than replaying the stale failure. (For dirty-region reuse
+    /// instead of whole-model invalidation, use [`crate::EditSession`].)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenError::Model`] when an op fails to apply (unknown or
+    /// duplicate actor name); the session is left unchanged in that case.
+    pub fn apply_delta(&mut self, delta: &ModelDelta) -> Result<(), GenError> {
+        self.model = delta.apply(&self.model)?;
+        self.front = OnceLock::new();
+        self.dispatch = OnceLock::new();
+        Ok(())
     }
 
     /// The cached front end (validated model + types + schedule), computing
@@ -198,5 +215,45 @@ mod tests {
         let e1 = session.validate().unwrap_err();
         let e2 = session.validate().unwrap_err();
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn fixing_edit_clears_cached_error() {
+        use hcg_model::delta::EditOp;
+        use hcg_model::{ActorKind, ModelBuilder, SignalType};
+        use std::collections::BTreeMap;
+        // A model with an undriven input: validation fails and the error
+        // is cached in the OnceLock.
+        let mut b = ModelBuilder::new("fixme");
+        let g = b.add_actor("g", ActorKind::Abs);
+        let o = b.outport("o");
+        b.connect(g, 0, o, 0);
+        let mut session = CompileSession::new(b.build_unchecked());
+        assert!(session.validate().is_err());
+        assert!(session.validate().is_err(), "error is cached");
+
+        // An edit supplying the missing driver must clear the cached error.
+        let fix = ModelDelta {
+            ops: vec![
+                EditOp::AddActor {
+                    name: "x".into(),
+                    kind: ActorKind::Inport,
+                    params: BTreeMap::from([(
+                        "type".into(),
+                        hcg_model::Param::Str(
+                            SignalType::vector(hcg_model::DataType::F32, 8).to_string(),
+                        ),
+                    )]),
+                },
+                EditOp::Connect {
+                    from: ("x".into(), 0),
+                    to: ("g".into(), 0),
+                },
+            ],
+        };
+        session.apply_delta(&fix).unwrap();
+        session.validate().expect("fixed model validates");
+        let g = HcgGen::new();
+        assert!(session.generate(&g, Arch::Neon128).is_ok());
     }
 }

@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod edits;
 pub mod gen;
 pub mod oracle;
 pub mod report;
 pub mod shrink;
 
+pub use edits::{random_edit, run_edit_case, EditOracleConfig};
 pub use gen::{generate_model, GenConfig, OpWeights};
 pub use oracle::{run_case, CaseReport, Divergence, OracleConfig};
 pub use report::{FailureSummary, FuzzReport, VerifyVerdict};

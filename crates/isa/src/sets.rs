@@ -4,6 +4,7 @@
 //! file).
 
 use crate::arch::Arch;
+use crate::index::InstrIndex;
 use crate::instr::InstrSet;
 use crate::parse::instr_set_from_text;
 
@@ -40,11 +41,50 @@ pub fn builtin(arch: Arch) -> InstrSet {
     set
 }
 
+/// The built-in instruction set of an architecture together with its
+/// [`InstrIndex`], parsed and bucketed once per process and shared behind a
+/// `'static` reference.
+///
+/// [`builtin`] re-parses the `.isa` text on every call, which is fine for a
+/// single compile but wasteful when a fleet of jobs (or an incremental
+/// session recompiling after every edit) all want the same set. Call sites
+/// that need ownership can still clone the pieces cheaply relative to a
+/// re-parse.
+pub fn builtin_indexed(arch: Arch) -> (&'static InstrSet, &'static InstrIndex) {
+    use std::sync::OnceLock;
+    static NEON: OnceLock<(InstrSet, InstrIndex)> = OnceLock::new();
+    static SSE: OnceLock<(InstrSet, InstrIndex)> = OnceLock::new();
+    static AVX: OnceLock<(InstrSet, InstrIndex)> = OnceLock::new();
+    let cell = match arch {
+        Arch::Neon128 => &NEON,
+        Arch::Sse128 => &SSE,
+        Arch::Avx256 => &AVX,
+    };
+    let pair = cell.get_or_init(|| {
+        let set = builtin(arch);
+        let index = InstrIndex::build(&set);
+        (set, index)
+    });
+    (&pair.0, &pair.1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hcg_model::op::ElemOp;
     use hcg_model::DataType;
+
+    #[test]
+    fn builtin_indexed_is_shared_and_matches_fresh_build() {
+        for arch in Arch::ALL {
+            let (set1, idx1) = builtin_indexed(arch);
+            let (set2, idx2) = builtin_indexed(arch);
+            assert!(std::ptr::eq(set1, set2), "one parse per process");
+            assert!(std::ptr::eq(idx1, idx2));
+            assert_eq!(*set1, builtin(arch));
+            assert_eq!(*idx1, crate::index::InstrIndex::build(set1));
+        }
+    }
 
     #[test]
     fn all_builtin_sets_parse() {

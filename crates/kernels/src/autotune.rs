@@ -109,6 +109,21 @@ impl Autotuner {
         self.history.values().filter(|s| s.actor == actor).collect()
     }
 
+    /// Adopt every selection of `other` that this tuner has not decided
+    /// itself. Existing entries win, so a caller's own history is never
+    /// clobbered. Used by incremental sessions to carry quick-search
+    /// results across compiles with fresh generator instances — sound
+    /// whenever both tuners measure deterministically with the same meter
+    /// and seed, because a remembered selection then equals what a fresh
+    /// pre-calculation would pick.
+    pub fn adopt_history(&mut self, other: &Autotuner) {
+        for (key, sel) in &other.history {
+            self.history
+                .entry(key.clone())
+                .or_insert_with(|| sel.clone());
+        }
+    }
+
     /// Algorithm 1 in full: history lookup (lines 3–6), then
     /// pre-calculation over the filtered implementation list (lines 7–17),
     /// then `storeSelection` (line 18).
@@ -361,6 +376,29 @@ mod tests {
         assert!(h2);
         assert_eq!(first.name, second.name);
         assert_eq!(t.history_len(), 1);
+    }
+
+    #[test]
+    fn adopt_history_keeps_own_entries_and_fills_gaps() {
+        let lib = CodeLibrary::new();
+        let mut donor = Autotuner::new(Meter::OpCount);
+        donor
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+            .unwrap();
+        donor
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![4]))
+            .unwrap();
+
+        let mut t = Autotuner::new(Meter::OpCount);
+        t.select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![4]))
+            .unwrap();
+        t.adopt_history(&donor);
+        assert_eq!(t.history_len(), 2, "gap filled, own entry kept");
+        let (k, from_history) = t
+            .select(&lib, ActorKind::Fft, DataType::F32, &KernelSize(vec![1024]))
+            .unwrap();
+        assert!(from_history, "adopted selection serves without measuring");
+        assert_eq!(k.name, "radix4");
     }
 
     #[test]

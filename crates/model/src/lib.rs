@@ -40,6 +40,7 @@ mod model;
 mod tensor;
 mod types;
 
+pub mod delta;
 pub mod library;
 pub mod naming;
 pub mod op;
@@ -50,6 +51,7 @@ pub mod xml;
 
 pub use actor::{Actor, ActorId, ActorKind, KindClass, ParseActorKindError};
 pub use builder::ModelBuilder;
+pub use delta::{EditOp, ModelDelta};
 pub use frontend::FrontEnd;
 pub use model::{Connection, Model, ModelError, PortRef, TypeMap};
 pub use tensor::{Tensor, TensorData, TensorError};

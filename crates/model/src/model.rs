@@ -86,6 +86,8 @@ pub enum ModelError {
         /// First unresolved actor name.
         actor: String,
     },
+    /// An edit op referenced an actor name not present in the model.
+    UnknownName(String),
     /// The model has no actors.
     Empty,
     /// A combinational cycle (not broken by a `UnitDelay`).
@@ -121,6 +123,7 @@ impl fmt::Display for ModelError {
             ModelError::Unresolved { actor } => {
                 write!(f, "could not infer signal types at actor {actor:?}")
             }
+            ModelError::UnknownName(n) => write!(f, "no actor named {n:?}"),
             ModelError::Empty => f.write_str("model contains no actors"),
             ModelError::Cycle { actor } => {
                 write!(
@@ -307,12 +310,36 @@ impl Model {
     /// Returns [`ModelError`] when validation fails, a type rule is violated
     /// or inference cannot resolve every signal.
     pub fn infer_types(&self) -> Result<TypeMap, ModelError> {
+        self.infer_types_seeded(&BTreeMap::new())
+    }
+
+    /// [`Model::infer_types`] with pre-resolved output types for a subset
+    /// of actors, keyed by actor name.
+    ///
+    /// An incremental compiler seeds the types of *clean* actors — those
+    /// outside the [`crate::delta::downstream_closure`] of an edit — whose
+    /// fixed-point values cannot have changed, so propagation only has to
+    /// resolve the dirty slice. With correct seeds the result is identical
+    /// to a full [`Model::infer_types`] run: seeded values short-circuit
+    /// propagation but every actor still passes the final consistency
+    /// check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] exactly as [`Model::infer_types`] does.
+    pub fn infer_types_seeded(
+        &self,
+        known: &BTreeMap<String, SignalType>,
+    ) -> Result<TypeMap, ModelError> {
         crate::stats::note_type_inference();
         self.validate_structure()?;
         let mut out: Vec<Vec<Option<SignalType>>> = self
             .actors
             .iter()
-            .map(|a| vec![None; a.kind.output_count()])
+            .map(|a| {
+                let seed = known.get(&a.name).copied();
+                vec![seed; a.kind.output_count()]
+            })
             .collect();
 
         // Fixed-point propagation.

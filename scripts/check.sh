@@ -28,9 +28,20 @@ echo "==> fleet smoke run (parallel vs sequential byte-identity + bench JSON)"
 cargo run -q --release -p hcg-bench --bin repro -- fleet --threads 2 \
     --json BENCH_fleet.json --out target/repro_fleet.txt
 
+echo "==> incremental smoke run (edit-replay byte-identity + bench JSON)"
+cargo run -q --release -p hcg-bench --bin repro -- incremental --seed 0 --edits 50 \
+    --json BENCH_incremental.json --out target/repro_incremental.txt
+grep -q '"identical_outputs": true' BENCH_incremental.json
+
+echo "==> incremental identity gate (1,000 random edit sequences, release)"
+cargo test -q --release --test incremental_identity
+
 echo "==> fuzz smoke run (fixed seed, zero divergences expected)"
 cargo run -q --release -p hcg-bench --bin repro -- fuzz --seed 0 --iters 50 \
     --json target/fuzz/smoke.json --out target/repro_fuzz.txt
+
+echo "==> edit-oracle smoke (metamorphic edits, release)"
+cargo test -q --release -p hcg-fuzz edits
 
 echo "==> corpus replay (committed repros through the full oracle)"
 cargo test -q --release -p hcg-fuzz --test corpus_replay
