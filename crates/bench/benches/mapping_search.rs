@@ -1,0 +1,50 @@
+//! Mapping-search bench: greedy instruction selection vs beam search at
+//! several widths, end-to-end through `HcgGen` on the batch-heavy models
+//! (the cost/quality comparison itself comes from `repro -- search`; this
+//! measures what the beam costs in generation time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcg_core::{CodeGenerator, HcgGen, HcgOptions, MappingStrategy};
+use hcg_isa::Arch;
+use hcg_model::library;
+
+fn bench_mapping_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_search");
+    for model in [library::fir_model(1024, 4), library::lowpass_model(1024)] {
+        let strategies = [
+            MappingStrategy::Greedy,
+            MappingStrategy::Beam { width: 2 },
+            MappingStrategy::Beam { width: 4 },
+            MappingStrategy::Beam { width: 8 },
+        ];
+        for mapping in strategies {
+            let label = format!(
+                "{}/{}",
+                model.name.split('_').next().unwrap_or("?"),
+                mapping.label()
+            );
+            group.bench_function(BenchmarkId::new("generate", label), |b| {
+                let generator = HcgGen::with_options(HcgOptions {
+                    mapping,
+                    ..HcgOptions::default()
+                });
+                b.iter(|| {
+                    generator
+                        .generate(&model, Arch::Neon128)
+                        .expect("generates")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_mapping_search
+}
+criterion_main!(benches);

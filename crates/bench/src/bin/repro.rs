@@ -14,7 +14,8 @@
 //! cargo run -p hcg-bench --bin repro --release -- ablation-threshold | ablation-history
 //! cargo run -p hcg-bench --bin repro --release -- fleet [--threads N] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- incremental [--seed S] [--edits N] [--json PATH]
-//! cargo run -p hcg-bench --bin repro --release -- fuzz [--seed S] [--iters N] [--threads T] [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- fuzz [--seed S] [--iters N] [--threads T] [--beam W] [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- search [--beam W] [--calibrate] [--seed S] [--iters N] [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- profile [--model M] [--json PATH] [--trace PATH]
 //! cargo run -p hcg-bench --bin repro --release -- verify [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- lint
@@ -77,6 +78,7 @@ fn main() {
             fusion_cmd();
             fleet_cmd(args.threads, args.json.as_deref());
             incremental_cmd(&args);
+            search_cmd(&args);
             fuzz_cmd(&args);
             profile_cmd(&args);
             lint_cmd();
@@ -97,6 +99,7 @@ fn main() {
         "fusion" => fusion_cmd(),
         "fleet" => fleet_cmd(args.threads, args.json.as_deref()),
         "incremental" => incremental_cmd(&args),
+        "search" => search_cmd(&args),
         "fuzz" => fuzz_cmd(&args),
         "profile" => profile_cmd(&args),
         "lint" => lint_cmd(),
@@ -531,11 +534,22 @@ fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
         par.workers,
         par.steals
     );
+    let host_cores = hcg_exec::effective_threads(0);
     outln!(
-        "  speedup: {speedup:.2}x (scales with available cores; this host exposes {})",
-        hcg_exec::effective_threads(0)
+        "  speedup: {speedup:.2}x (scales with available cores; this host exposes {host_cores})"
     );
     outln!("  outputs byte-identical to sequential: {identical}");
+    // Honesty note: with more workers than physical cores the pool is
+    // oversubscribed — sequential parity is the best possible outcome, so a
+    // ~1x "speedup" is expected, not a regression.
+    let parity_is_ceiling = par.workers > host_cores;
+    if parity_is_ceiling {
+        outln!(
+            "  warning: {} worker(s) oversubscribe the {host_cores} host core(s); \
+             sequential parity is the ceiling for this run, not a target",
+            par.workers
+        );
+    }
     assert!(identical, "parallel fleet output diverged from sequential");
 
     let (linear_ns, indexed_ns) = instr_select_micro();
@@ -546,14 +560,15 @@ fn fleet_cmd(threads: usize, json: Option<&std::path::Path>) {
 
     if let Some(path) = json {
         let body = format!(
-            "{{\n  \"experiment\": \"fleet\",\n  \"jobs\": {},\n  \"models\": {},\n  \"generators\": {},\n  \"arches\": {},\n  \"threads_requested\": {},\n  \"workers\": {},\n  \"host_cores\": {},\n  \"steals\": {},\n  \"sequential_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \"identical_outputs\": {},\n  \"instr_select\": {{\n    \"linear_ns_per_lookup\": {:.1},\n    \"indexed_ns_per_lookup\": {:.1},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+            "{{\n  \"experiment\": \"fleet\",\n  \"jobs\": {},\n  \"models\": {},\n  \"generators\": {},\n  \"arches\": {},\n  \"threads_requested\": {},\n  \"workers\": {},\n  \"host_cores\": {},\n  \"parity_is_ceiling\": {},\n  \"steals\": {},\n  \"sequential_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"jobs_per_sec\": {:.1},\n  \"identical_outputs\": {},\n  \"instr_select\": {{\n    \"linear_ns_per_lookup\": {:.1},\n    \"indexed_ns_per_lookup\": {:.1},\n    \"speedup\": {:.3}\n  }}\n}}\n",
             par.outcomes.len(),
             n_models,
             fleet::FLEET_GENERATORS.len(),
             fleet::FLEET_ARCHES.len(),
             threads,
             par.workers,
-            hcg_exec::effective_threads(0),
+            host_cores,
+            parity_is_ceiling,
             par.steals,
             seq.elapsed.as_secs_f64() * 1e3,
             par.elapsed.as_secs_f64() * 1e3,
@@ -661,12 +676,49 @@ fn incremental_cmd(args: &cli::CommonArgs) {
     );
 }
 
+fn search_cmd(args: &cli::CommonArgs) {
+    heading("Search-based mapping — greedy vs beam region tilings, profile-guided calibration");
+    let report = run_search(args.beam, args.calibrate, args.seed, args.iters);
+    for line in render_search(&report).lines() {
+        outln!("  {line}");
+    }
+    let snap = hcg_obs::MetricsRegistry::global().snapshot();
+    outln!(
+        "  search metrics: {} run(s), {} state(s) expanded, {} pruned by lower bound, \
+         {} tiling(s) completed, memo {} hit(s) / {} miss(es)",
+        snap.counter("search.runs").unwrap_or(0),
+        snap.counter("search.states_expanded").unwrap_or(0),
+        snap.counter("search.pruned_lb").unwrap_or(0),
+        snap.counter("search.tilings_completed").unwrap_or(0),
+        snap.counter("search.memo_hits").unwrap_or(0),
+        snap.counter("search.memo_misses").unwrap_or(0)
+    );
+    if let Some(path) = &args.json {
+        let body = search_json(&report);
+        hcg_obs::json::validate(&body).expect("search JSON must validate");
+        write_report_file(path, &body, "search report");
+    }
+    assert!(
+        report.gate.all_proved(),
+        "beam-mapped programs failed the verification gate; see the table above"
+    );
+    if report.calibrated {
+        assert!(
+            !report.strictly_better().is_empty(),
+            "calibrated beam search found no strict improvement over greedy"
+        );
+    }
+}
+
 fn fuzz_cmd(args: &cli::CommonArgs) {
     heading("Differential fuzzing — random models through every generator, arch and oracle");
-    let cfg = hcg_fuzz::FuzzConfig {
+    let mut cfg = hcg_fuzz::FuzzConfig {
         threads: args.threads,
         ..hcg_fuzz::FuzzConfig::new(args.seed, args.iters)
     };
+    if args.beam > 0 {
+        cfg.oracle.mapping = hcg_core::MappingStrategy::Beam { width: args.beam };
+    }
     let report = hcg_fuzz::run_fuzz(&cfg);
     outln!(
         "  {} cases (seed {}), {} actors total, digest {:016x}",
@@ -675,6 +727,7 @@ fn fuzz_cmd(args: &cli::CommonArgs) {
         report.total_actors,
         report.cases_digest
     );
+    outln!("  hcg mapping strategy: {}", cfg.oracle.mapping.label());
     outln!(
         "  passed: {}/{}  divergences: {}  shrink steps: {}",
         report.passed,

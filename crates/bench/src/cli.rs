@@ -2,8 +2,9 @@
 //!
 //! Every subcommand understands the same flag vocabulary (`--threads`,
 //! `--json`, `--seed`, `--iters`, `--edits`, `--out`, `--wall-clock`,
-//! `--model`, `--trace`), parsed once here instead of per subcommand. Unknown flags
-//! are errors; the first bare word is the subcommand.
+//! `--model`, `--trace`, `--beam`, `--calibrate`), parsed once here
+//! instead of per subcommand. Unknown flags are errors; the first bare
+//! word is the subcommand.
 
 use std::path::PathBuf;
 
@@ -30,6 +31,11 @@ pub struct CommonArgs {
     pub model: Option<String>,
     /// `--trace PATH`: Chrome trace-event JSON destination.
     pub trace: Option<PathBuf>,
+    /// `--beam W`: beam width for search-mapped subcommands (`0` = greedy).
+    pub beam: usize,
+    /// `--calibrate`: run profile-guided cost calibration before the beam
+    /// pass (the `search` subcommand's full loop).
+    pub calibrate: bool,
 }
 
 impl Default for CommonArgs {
@@ -45,6 +51,8 @@ impl Default for CommonArgs {
             edits: 50,
             model: None,
             trace: None,
+            beam: 0,
+            calibrate: false,
         }
     }
 }
@@ -85,6 +93,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
             "--trace" => {
                 out.trace = Some(PathBuf::from(args.next().ok_or("--trace requires a path")?));
             }
+            "--beam" => {
+                out.beam = parse_num(args.next(), "--beam")?;
+            }
+            "--calibrate" => out.calibrate = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
             }
@@ -173,6 +185,17 @@ mod tests {
     }
 
     #[test]
+    fn search_invocation() {
+        let a = parse(&["search", "--beam", "4", "--calibrate", "--json", "s.json"]).unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("search"));
+        assert_eq!(a.beam, 4);
+        assert!(a.calibrate);
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.beam, 0);
+        assert!(!d.calibrate);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--edits"]).is_err());
@@ -181,6 +204,9 @@ mod tests {
         assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--threads", "abc"]).is_err());
         assert!(parse(&["--seed", "-1"]).is_err());
+        assert!(parse(&["--beam"]).is_err());
+        assert!(parse(&["--beam", "wide"]).is_err());
+        assert!(parse(&["--calibrate", "--bogus"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["fleet", "fuzz"]).is_err());
         assert!(parse(&["--out"]).is_err());

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod incremental;
 pub mod profile;
+pub mod search;
 
 pub use cli::{parse_args, CommonArgs};
 pub use consistency::{check_consistency, Consistency};
@@ -20,3 +21,4 @@ pub use experiments::*;
 pub use fleet::{run_fleet, run_fleet_sequential, FleetJob, FleetOutcome, FleetRun};
 pub use incremental::{param_edit, run_incremental_bench, IncrementalBenchConfig, IncrementalRow};
 pub use profile::{profile_json, profile_matrix, ProfileEntry};
+pub use search::{render_search, run_search, search_json, SearchReport, SearchRow};

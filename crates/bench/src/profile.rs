@@ -87,6 +87,33 @@ mod tests {
     }
 
     #[test]
+    fn intensive_kernels_carry_region_provenance() {
+        // DCT_1024 is all-intensive under hcg (one kernel call, no batch
+        // regions); the kernel call must still be attributed to a region
+        // instead of silently profiling as `"regions": []`.
+        let entries = profile_matrix(Some("DCT"));
+        let hcg: Vec<_> = entries
+            .iter()
+            .filter(|e| e.profile.generator == "hcg")
+            .collect();
+        assert!(!hcg.is_empty());
+        for e in hcg {
+            assert!(
+                !e.profile.regions.is_empty(),
+                "hcg DCT profile lost its intensive-kernel region provenance"
+            );
+            assert!(e.profile.regions.iter().any(|r| r.actor == "dct"));
+        }
+        // Scalar baselines have no SIMD regions — stays empty by design.
+        for e in entries
+            .iter()
+            .filter(|e| e.profile.generator == "simulink-coder")
+        {
+            assert!(e.profile.regions.is_empty());
+        }
+    }
+
+    #[test]
     fn entries_conserve_cycles_and_json_validates() {
         let entries = profile_matrix(Some("FIR"));
         for e in &entries {

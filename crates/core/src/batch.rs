@@ -5,6 +5,7 @@
 use crate::conventional::{emit_conventional, LoopStyle};
 use crate::dispatch::Dispatch;
 use crate::generator::{GenContext, GenError};
+use crate::search::{MappingSearch, MappingStrategy};
 use hcg_graph::extend::{extend_subgraphs, top_left_node, MapState};
 use hcg_graph::matching::{find_instruction_indexed, InstrMatch, MatchMemo};
 use hcg_graph::{Candidate, Dfg, DfgInput, NodeId, ValTree};
@@ -216,6 +217,9 @@ pub struct BatchOptions {
     pub fallback_style: LoopStyle,
     /// Candidate ordering (ablation knob).
     pub match_order: MatchOrder,
+    /// Tiling selection: the paper's greedy pass or the opt-in beam
+    /// search (see [`MappingStrategy`]).
+    pub mapping: MappingStrategy,
 }
 
 impl Default for BatchOptions {
@@ -224,16 +228,17 @@ impl Default for BatchOptions {
             simd_threshold: 1,
             fallback_style: LoopStyle::CODER,
             match_order: MatchOrder::LargestFirst,
+            mapping: MappingStrategy::Greedy,
         }
     }
 }
 
 /// One selected instruction of the mapping plan.
 #[derive(Debug, Clone)]
-struct PlanStep {
-    candidate: Candidate,
-    instr: SimdInstr,
-    matched: InstrMatch,
+pub(crate) struct PlanStep {
+    pub(crate) candidate: Candidate,
+    pub(crate) instr: SimdInstr,
+    pub(crate) matched: InstrMatch,
 }
 
 /// Build the region's dataflow graph (step 1 of §3.2.2).
@@ -291,7 +296,7 @@ fn build_dfg(ctx: &GenContext<'_>, region: &BatchRegion) -> Result<(Dfg, Vec<Buf
 /// walks only the (root op, dtype, lanes) bucket, and a per-region
 /// [`MatchMemo`] ensures a tree that reappears across rounds (overlapping
 /// extensions of neighbouring start nodes) never re-runs `match_pattern`.
-fn map_graph(
+pub(crate) fn map_graph(
     g: &Dfg,
     set: &InstrSet,
     index: &InstrIndex,
@@ -331,6 +336,26 @@ fn map_graph(
         plan.push(step);
     }
     Ok(plan)
+}
+
+/// Run the mapping loop under the configured [`MappingStrategy`]:
+/// [`map_graph`] for greedy (and beam widths ≤ 1, which are defined as
+/// byte-identical to greedy), [`MappingSearch`] otherwise.
+fn map_graph_with(
+    g: &Dfg,
+    set: &InstrSet,
+    index: &InstrIndex,
+    lanes: usize,
+    options: BatchOptions,
+) -> Result<Vec<PlanStep>, GenError> {
+    match options.mapping {
+        MappingStrategy::Greedy | MappingStrategy::Beam { width: 0 | 1 } => {
+            map_graph(g, set, index, lanes, options.match_order)
+        }
+        MappingStrategy::Beam { width } => {
+            MappingSearch::new(set, index, lanes, width, options.match_order).run(g)
+        }
+    }
 }
 
 /// Substitute a concrete shift amount for the [`SHIFT_ANY`] wildcard so the
@@ -438,7 +463,7 @@ pub fn plan_region_indexed(
     }
 
     let (g, externals) = build_dfg(ctx, region)?;
-    let steps = map_graph(&g, set, index, lanes, options.match_order)?;
+    let steps = map_graph_with(&g, set, index, lanes, options)?;
     let redirect_outports = output_redirects(ctx, &g)?;
     Ok(RegionPlan {
         kind: RegionPlanKind::Simd {
@@ -507,7 +532,15 @@ impl PlanCache {
 /// [`build_dfg`]'s dedup order) — and a `!` marker on members whose value
 /// leaves the region. Identical signatures therefore yield identical
 /// dataflow graphs up to node labels, which the mapping loop never reads.
-fn region_signature(ctx: &GenContext<'_>, region: &BatchRegion, order: MatchOrder) -> String {
+/// The key records the [`MappingStrategy`] that produced the plan, so
+/// greedy and beam plans for one region structure never alias in the
+/// cache.
+fn region_signature(
+    ctx: &GenContext<'_>,
+    region: &BatchRegion,
+    order: MatchOrder,
+    mapping: MappingStrategy,
+) -> String {
     use std::fmt::Write as _;
     let member_index: BTreeMap<ActorId, usize> = region
         .members
@@ -519,8 +552,12 @@ fn region_signature(ctx: &GenContext<'_>, region: &BatchRegion, order: MatchOrde
     let mut s = String::new();
     let _ = write!(
         s,
-        "{}|{}|{}|{:?}",
-        ctx.prog.arch, region.dtype, region.len, order
+        "{}|{}|{}|{:?}|{}",
+        ctx.prog.arch,
+        region.dtype,
+        region.len,
+        order,
+        mapping.label()
     );
     for &aid in &region.members {
         let actor = ctx.model.actor(aid);
@@ -585,7 +622,7 @@ pub fn plan_region_cached(
         });
     }
     let (g, externals) = build_dfg(ctx, region)?;
-    let key = region_signature(ctx, region, options.match_order);
+    let key = region_signature(ctx, region, options.match_order, options.mapping);
     let steps = match cache.steps.get(&key) {
         Some(steps) => {
             cache.hits += 1;
@@ -593,7 +630,7 @@ pub fn plan_region_cached(
         }
         None => {
             cache.misses += 1;
-            let steps = map_graph(&g, set, index, lanes, options.match_order)?;
+            let steps = map_graph_with(&g, set, index, lanes, options)?;
             cache.steps.insert(key, steps.clone());
             steps
         }

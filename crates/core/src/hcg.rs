@@ -11,7 +11,8 @@ use crate::dispatch::Dispatch;
 use crate::generator::{CodeGenerator, GenContext, GenError};
 use crate::intensive::emit_intensive;
 use crate::pass::{dispatch_pass, Pass};
-use hcg_isa::{sets, Arch, InstrIndex, InstrSet};
+use crate::search::MappingStrategy;
+use hcg_isa::{sets, Arch, CostOverlay, InstrIndex, InstrSet};
 use hcg_kernels::{Autotuner, CodeLibrary, Meter};
 use hcg_model::ActorKind;
 use std::borrow::Cow;
@@ -32,6 +33,14 @@ pub struct HcgOptions {
     /// Override the built-in instruction set (e.g. one loaded from a custom
     /// `.isa` file). `None` uses [`sets::builtin`] for the target.
     pub instr_set: Option<InstrSet>,
+    /// How Algorithm 2 tiles each region with instructions: the paper's
+    /// greedy pass, or the opt-in beam search (see
+    /// [`crate::MappingSearch`]).
+    pub mapping: MappingStrategy,
+    /// Profile-calibrated cost overrides patched over the instruction set
+    /// before mapping (see [`hcg_isa::CostCalibrator`]). `None` keeps the
+    /// `.isa` table costs.
+    pub cost_overlay: Option<CostOverlay>,
 }
 
 impl Default for HcgOptions {
@@ -42,6 +51,8 @@ impl Default for HcgOptions {
             meter: Meter::OpCount,
             fallback_style: LoopStyle::CODER,
             instr_set: None,
+            mapping: MappingStrategy::Greedy,
+            cost_overlay: None,
         }
     }
 }
@@ -123,6 +134,17 @@ impl HcgGen {
         &self,
         arch: Arch,
     ) -> (Cow<'static, InstrSet>, Cow<'static, InstrIndex>) {
+        // A calibration overlay changes instruction costs, so the shared
+        // statics can't be used: patch a copy and rebuild its index.
+        if let Some(overlay) = &self.options.cost_overlay {
+            let base = match &self.options.instr_set {
+                Some(set) => set.clone(),
+                None => sets::builtin(arch),
+            };
+            let set = overlay.apply(&base);
+            let index = InstrIndex::build(&set);
+            return (Cow::Owned(set), Cow::Owned(index));
+        }
         match &self.options.instr_set {
             Some(set) => {
                 let index = InstrIndex::build(set);
@@ -140,6 +162,7 @@ impl HcgGen {
             simd_threshold: self.options.simd_threshold,
             fallback_style: self.options.fallback_style,
             match_order: self.options.match_order,
+            mapping: self.options.mapping,
         }
     }
 
@@ -196,13 +219,22 @@ pub(crate) fn compose_into(
             }
             continue;
         }
-        ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
         match &dispatch[aid.0] {
             Dispatch::Intensive { size } => {
+                // Intensive kernels are HCG-optimised regions of one actor:
+                // give them region provenance (indices after the batch
+                // regions) so the profiler's per-region breakdown covers
+                // them — a DCT/FFT model is otherwise all-intensive and
+                // would profile with an empty regions table.
+                let region_index = regions.len() + kernel_calls as usize;
+                ctx.set_origin(hcg_vm::Origin::region(actor.name.clone(), region_index));
                 emit_intensive(ctx, &actor, size, lib, tuner)?;
                 kernel_calls += 1;
             }
-            _ => emit_conventional(ctx, &actor, fallback_style)?,
+            _ => {
+                ctx.set_origin(hcg_vm::Origin::actor(actor.name.clone()));
+                emit_conventional(ctx, &actor, fallback_style)?;
+            }
         }
     }
     Ok(kernel_calls)

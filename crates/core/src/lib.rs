@@ -36,6 +36,7 @@ pub mod incremental;
 pub mod intensive;
 pub mod pass;
 pub mod reference;
+pub mod search;
 pub mod session;
 
 mod hcg;
@@ -56,4 +57,5 @@ pub use pass::{
     dispatch_pass, Pass, PassManager, PipelineCtx, StageCounters, StageRecord, StageReport,
 };
 pub use reference::Reference;
+pub use search::{MappingSearch, MappingStrategy};
 pub use session::CompileSession;

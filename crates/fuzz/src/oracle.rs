@@ -30,7 +30,7 @@
 use hcg_baselines::{DfSynthGen, SimulinkCoderGen};
 use hcg_core::dispatch::{classify_all, Dispatch};
 use hcg_core::emit::to_c_source;
-use hcg_core::{CodeGenerator, HcgGen, Reference};
+use hcg_core::{CodeGenerator, HcgGen, HcgOptions, MappingStrategy, Reference};
 use hcg_graph::matching::{find_instruction, find_instruction_indexed};
 use hcg_graph::{DfgInput, ValTree};
 use hcg_isa::{sets, Arch, InstrIndex};
@@ -56,10 +56,22 @@ pub const ORACLE_ARCHES: [Arch; 2] = [Arch::Neon128, Arch::Avx256];
 ///
 /// Panics on an unknown name — the caller controls the vocabulary.
 pub fn generator_named(name: &str) -> Box<dyn CodeGenerator> {
+    generator_for(name, MappingStrategy::Greedy)
+}
+
+/// [`generator_named`] with an explicit region-mapping strategy for the
+/// HCG generator (the baselines have no mapping stage and ignore it). The
+/// oracle threads one strategy through *every* stage that compiles — the
+/// matrix, the XML-roundtrip recompile and the fleet-identity recompile —
+/// so byte-identity checks compare like with like.
+pub fn generator_for(name: &str, mapping: MappingStrategy) -> Box<dyn CodeGenerator> {
     match name {
         "simulink-coder" => Box::new(SimulinkCoderGen::new()),
         "dfsynth" => Box::new(DfSynthGen::new()),
-        "hcg" => Box::new(HcgGen::new()),
+        "hcg" => Box::new(HcgGen::with_options(HcgOptions {
+            mapping,
+            ..HcgOptions::default()
+        })),
         other => panic!("unknown generator {other:?}"),
     }
 }
@@ -76,6 +88,10 @@ pub struct OracleConfig {
     pub float_tolerance: f64,
     /// Worker count for the N-thread side of the fleet-identity check.
     pub fleet_threads: usize,
+    /// Region-mapping strategy for the HCG generator across all stages —
+    /// running the oracle with [`MappingStrategy::Beam`] gates the search
+    /// path with the full differential battery.
+    pub mapping: MappingStrategy,
 }
 
 impl Default for OracleConfig {
@@ -85,6 +101,7 @@ impl Default for OracleConfig {
             input_seed: 0x5eed,
             float_tolerance: 1e-9,
             fleet_threads: 4,
+            mapping: MappingStrategy::Greedy,
         }
     }
 }
@@ -139,7 +156,7 @@ pub fn run_case(model: &Model, cfg: &OracleConfig) -> CaseReport {
 
     // Stage 1: compile the full generator × arch matrix.
     let programs = timed("compile", &mut timings, || {
-        compile_matrix(model, &mut divergences)
+        compile_matrix(model, cfg.mapping, &mut divergences)
     });
 
     // Stage 2: cost-model sanity on every program × compiler profile.
@@ -199,7 +216,7 @@ pub fn run_case(model: &Model, cfg: &OracleConfig) -> CaseReport {
 
     // Stage 6: XML round-trip is the identity, up to byte-identical C.
     timed("xml-roundtrip", &mut timings, || {
-        check_xml_roundtrip(model, &programs, &mut divergences);
+        check_xml_roundtrip(model, &programs, cfg.mapping, &mut divergences);
     });
 
     // Stage 7: indexed and linear instruction selection agree.
@@ -209,7 +226,7 @@ pub fn run_case(model: &Model, cfg: &OracleConfig) -> CaseReport {
 
     // Stage 8: the compile matrix is thread-count invariant.
     timed("fleet-identity", &mut timings, || {
-        check_fleet_identity(model, cfg.fleet_threads, &mut divergences);
+        check_fleet_identity(model, cfg.fleet_threads, cfg.mapping, &mut divergences);
     });
 
     CaseReport {
@@ -220,10 +237,14 @@ pub fn run_case(model: &Model, cfg: &OracleConfig) -> CaseReport {
 
 type ProgramMatrix = BTreeMap<(&'static str, Arch), Program>;
 
-fn compile_matrix(model: &Model, divergences: &mut Vec<Divergence>) -> ProgramMatrix {
+fn compile_matrix(
+    model: &Model,
+    mapping: MappingStrategy,
+    divergences: &mut Vec<Divergence>,
+) -> ProgramMatrix {
     let mut programs = ProgramMatrix::new();
     for g in ORACLE_GENERATORS {
-        let generator = generator_named(g);
+        let generator = generator_for(g, mapping);
         for arch in ORACLE_ARCHES {
             match generator.generate(model, arch) {
                 Ok(p) => {
@@ -352,7 +373,12 @@ fn check_equivalence(
     }
 }
 
-fn check_xml_roundtrip(model: &Model, programs: &ProgramMatrix, divergences: &mut Vec<Divergence>) {
+fn check_xml_roundtrip(
+    model: &Model,
+    programs: &ProgramMatrix,
+    mapping: MappingStrategy,
+    divergences: &mut Vec<Divergence>,
+) {
     let xml = model_to_xml(model);
     let parsed = match model_from_xml(&xml) {
         Ok(m) => m,
@@ -373,7 +399,7 @@ fn check_xml_roundtrip(model: &Model, programs: &ProgramMatrix, divergences: &mu
     }
     // Byte-identical codegen for the round-tripped model.
     for ((g, arch), original) in programs {
-        let prog = match generator_named(g).generate(&parsed, *arch) {
+        let prog = match generator_for(g, mapping).generate(&parsed, *arch) {
             Ok(p) => p,
             Err(e) => {
                 divergences.push(Divergence {
@@ -470,13 +496,18 @@ fn check_indexed_selection(model: &Model, divergences: &mut Vec<Divergence>) {
     }
 }
 
-fn check_fleet_identity(model: &Model, threads: usize, divergences: &mut Vec<Divergence>) {
+fn check_fleet_identity(
+    model: &Model,
+    threads: usize,
+    mapping: MappingStrategy,
+    divergences: &mut Vec<Divergence>,
+) {
     let sources = |workers: usize| -> Vec<Result<String, String>> {
         let jobs: Vec<_> = ORACLE_GENERATORS
             .iter()
             .flat_map(|g| ORACLE_ARCHES.iter().map(move |arch| (*g, *arch)))
             .map(|(g, arch)| {
-                move || match generator_named(g).generate(model, arch) {
+                move || match generator_for(g, mapping).generate(model, arch) {
                     Ok(p) => to_c_source(&p),
                     Err(e) => format!("compile error: {e}"),
                 }
@@ -522,6 +553,22 @@ mod tests {
             let r = run_case(&m, &cfg);
             assert!(r.passed(), "{} diverged: {:?}", m.name, r.divergences);
         }
+    }
+
+    #[test]
+    fn beam_mapping_passes_all_checks() {
+        let cfg = OracleConfig {
+            mapping: MappingStrategy::Beam { width: 4 },
+            ..OracleConfig::default()
+        };
+        for seed in 0..6 {
+            let m = generate_model(seed, &GenConfig::default());
+            let r = run_case(&m, &cfg);
+            assert!(r.passed(), "seed {seed} diverged: {:?}", r.divergences);
+        }
+        let fir = hcg_model::library::fir_model(64, 4);
+        let r = run_case(&fir, &cfg);
+        assert!(r.passed(), "fir diverged: {:?}", r.divergences);
     }
 
     #[test]

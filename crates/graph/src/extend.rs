@@ -292,6 +292,26 @@ mod tests {
     }
 
     #[test]
+    fn index_bounds_prune_candidate_enumeration() {
+        // Driving extension with `InstrIndex::bounds` (what the mapping
+        // loop and the beam search both do) never enumerates a candidate
+        // larger or deeper than the slice's biggest pattern.
+        let g = fig4();
+        for (max_nodes, max_depth) in [(1, 1), (2, 2), (3, 2), (4, 3)] {
+            let mut state = MapState::new(&g);
+            while let Some(n) = top_left_node(&g, &state) {
+                let cands = extend_subgraphs(&g, &state, n, max_nodes, max_depth);
+                assert!(!cands.is_empty());
+                for c in &cands {
+                    assert!(c.nodes.len() <= max_nodes, "nodes bound violated");
+                    assert!(c.tree.depth() <= max_depth, "depth bound violated");
+                }
+                state.mark_computed(&cands.last().unwrap().nodes);
+            }
+        }
+    }
+
+    #[test]
     fn progress_guaranteed_until_done() {
         let g = fig4();
         let mut state = MapState::new(&g);

@@ -184,6 +184,42 @@ fn find_indexed_pos(
     None
 }
 
+/// Every instruction in the tree's bucket that matches, cheapest first
+/// (bucket order is (cost, file order)). The first element is exactly the
+/// [`find_instruction_indexed`] winner; the tail is what a search over
+/// alternative selections explores.
+fn find_all_indexed_pos(
+    set: &InstrSet,
+    index: &InstrIndex,
+    dtype: DataType,
+    lanes: usize,
+    tree: &ValTree,
+) -> Vec<(u32, InstrMatch)> {
+    let ValTree::Op { op, .. } = tree else {
+        return Vec::new();
+    };
+    index
+        .candidate_positions(*op, dtype, lanes)
+        .iter()
+        .filter_map(|&pos| match_pattern(&set.instrs[pos as usize].pattern, tree).map(|m| (pos, m)))
+        .collect()
+}
+
+/// [`find_all_indexed_pos`] with the instructions resolved against `set`:
+/// all matches for `tree`, cheapest first.
+pub fn find_all_instructions_indexed<'a>(
+    set: &'a InstrSet,
+    index: &InstrIndex,
+    dtype: DataType,
+    lanes: usize,
+    tree: &ValTree,
+) -> Vec<(&'a SimdInstr, InstrMatch)> {
+    find_all_indexed_pos(set, index, dtype, lanes, tree)
+        .into_iter()
+        .map(|(pos, m)| (&set.instrs[pos as usize], m))
+        .collect()
+}
+
 /// Per-region memo over [`find_instruction_indexed`]: Algorithm 2's
 /// iterative rounds re-extend overlapping candidate subgraphs, so the same
 /// operand tree is matched repeatedly; the memo runs `match_pattern` once
@@ -194,6 +230,9 @@ pub struct MatchMemo {
     /// tree → matched (instruction position, bindings), or `None` when no
     /// instruction matches the tree.
     cache: HashMap<ValTree, Option<(u32, InstrMatch)>>,
+    /// tree → *every* matching (position, bindings), cheapest first —
+    /// the beam search's top-k enumeration cache.
+    all_cache: HashMap<ValTree, Vec<(u32, InstrMatch)>>,
     hits: u64,
     misses: u64,
 }
@@ -223,6 +262,35 @@ impl MatchMemo {
         let found = find_indexed_pos(set, index, dtype, lanes, tree);
         self.cache.insert(tree.clone(), found.clone());
         found.map(|(pos, m)| (&set.instrs[pos as usize], m))
+    }
+
+    /// Memoised [`find_all_instructions_indexed`]: every match for `tree`,
+    /// cheapest first, with its own cache (shared hit/miss counters). Used
+    /// by the beam search, which needs alternatives beyond the greedy
+    /// winner.
+    pub fn find_all<'a>(
+        &mut self,
+        set: &'a InstrSet,
+        index: &InstrIndex,
+        dtype: DataType,
+        lanes: usize,
+        tree: &ValTree,
+    ) -> Vec<(&'a SimdInstr, InstrMatch)> {
+        if let Some(cached) = self.all_cache.get(tree) {
+            self.hits += 1;
+            return cached
+                .iter()
+                .map(|(pos, m)| (&set.instrs[*pos as usize], m.clone()))
+                .collect();
+        }
+        self.misses += 1;
+        let found = find_all_indexed_pos(set, index, dtype, lanes, tree);
+        let resolved = found
+            .iter()
+            .map(|(pos, m)| (&set.instrs[*pos as usize], m.clone()))
+            .collect();
+        self.all_cache.insert(tree.clone(), found);
+        resolved
     }
 
     /// Lookups answered from the cache.
@@ -450,6 +518,63 @@ mod tests {
             .find(&set, &index, DataType::I32, 4, &miss_tree)
             .is_none());
         assert_eq!((memo.hits(), memo.misses()), (2, 2));
+    }
+
+    #[test]
+    fn find_all_is_cheapest_first_and_head_agrees_with_find() {
+        for arch in [Arch::Neon128, Arch::Sse128, Arch::Avx256] {
+            let set = sets::builtin(arch);
+            let index = hcg_isa::InstrIndex::build(&set);
+            let trees = [
+                op(ElemOp::Add, vec![leaf(0), leaf(1)]),
+                op(
+                    ElemOp::Add,
+                    vec![leaf(0), op(ElemOp::Mul, vec![leaf(1), leaf(2)])],
+                ),
+                op(ElemOp::Div, vec![leaf(0), leaf(1)]),
+            ];
+            for dtype in [DataType::I32, DataType::F32] {
+                for lanes in [4, 8] {
+                    for tree in &trees {
+                        let all = find_all_instructions_indexed(&set, &index, dtype, lanes, tree);
+                        // Cheapest first.
+                        for w in all.windows(2) {
+                            assert!(w[0].0.cost <= w[1].0.cost, "{arch} {dtype} x{lanes}");
+                        }
+                        // Head is the greedy winner (or both empty).
+                        let first = find_instruction_indexed(&set, &index, dtype, lanes, tree);
+                        assert_eq!(
+                            all.first().map(|(i, m)| (&i.name, m)),
+                            first.as_ref().map(|(i, m)| (&i.name, m)),
+                            "{arch} {dtype} x{lanes} on {tree}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_find_all_caches_and_counts() {
+        let set = sets::builtin(Arch::Neon128);
+        let index = hcg_isa::InstrIndex::build(&set);
+        let mut memo = MatchMemo::new();
+        let t = op(
+            ElemOp::Add,
+            vec![leaf(0), op(ElemOp::Mul, vec![leaf(1), leaf(2)])],
+        );
+        let first = memo.find_all(&set, &index, DataType::I32, 4, &t);
+        assert_eq!(first[0].0.name, "vmlaq_s32");
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+        let again = memo.find_all(&set, &index, DataType::I32, 4, &t);
+        assert_eq!(
+            again.iter().map(|(i, _)| &i.name).collect::<Vec<_>>(),
+            first.iter().map(|(i, _)| &i.name).collect::<Vec<_>>()
+        );
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // The single-result cache is separate storage but shares counters.
+        memo.find(&set, &index, DataType::I32, 4, &t).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (1, 2));
     }
 
     #[test]

@@ -265,4 +265,36 @@ mod tests {
             .is_empty());
         assert_eq!(index.bounds(DataType::F64, 64), GraphBounds::default());
     }
+
+    #[test]
+    fn bounds_prune_per_dtype_slice() {
+        // Extension bounds are per (dtype, lanes): a slice whose largest
+        // pattern is a single node caps candidate enumeration at one node
+        // even when another slice of the same set has fused patterns.
+        let set = crate::parse::instr_set_from_text(concat!(
+            "set tiny arch neon128\n",
+            "Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = a(I1, I2); ; Cost: 1\n",
+            "Graph: Add(I1, Mul(I2, I3)), i32, 4, O1 ; Code: O1 = b(I1, I2, I3); ; Cost: 2\n",
+            "Graph: Add, f32, 4, I1, I2, O1 ; Code: O1 = c(I1, I2); ; Cost: 1\n",
+        ))
+        .unwrap();
+        let index = InstrIndex::build(&set);
+        assert_eq!(
+            index.bounds(DataType::I32, 4),
+            GraphBounds {
+                max_depth: 2,
+                max_nodes: 2
+            }
+        );
+        assert_eq!(
+            index.bounds(DataType::F32, 4),
+            GraphBounds {
+                max_depth: 1,
+                max_nodes: 1
+            }
+        );
+        // An absent slice prunes everything (zero bounds, clamped to one
+        // node by the mapping loop).
+        assert_eq!(index.bounds(DataType::I16, 8), GraphBounds::default());
+    }
 }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod calibrate;
 mod index;
 mod instr;
 mod pattern;
@@ -31,6 +32,7 @@ pub mod parse;
 pub mod sets;
 
 pub use arch::{Arch, ParseArchError};
+pub use calibrate::{CalibrateError, CostCalibrator, CostOverlay};
 pub use index::{GraphBounds, InstrIndex};
 pub use instr::{InstrSet, SimdInstr};
 pub use parse::ParseIsaError;

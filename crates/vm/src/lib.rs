@@ -51,7 +51,7 @@ mod validate;
 
 pub use cost::{paper_platforms, Compiler, CostModel};
 pub use interp::{AccessLog, ExecError, Machine, StmtAccess};
-pub use profile::{profile, ActorCycles, CycleProfile, RegionCycles};
+pub use profile::{profile, ActorCycles, CycleProfile, InstrCycles, RegionCycles};
 pub use program::{
     BufferDecl, BufferId, BufferKind, ElemRef, IndexExpr, Origin, Program, RegId, ScalarOp, Stmt,
     StmtStats,

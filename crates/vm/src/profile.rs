@@ -10,7 +10,7 @@
 //! `profile_conservation` test pins it for every example model.
 
 use crate::cost::{Compiler, CostModel};
-use crate::program::{Origin, Program};
+use crate::program::{Origin, Program, Stmt};
 use hcg_isa::Arch;
 use hcg_kernels::CodeLibrary;
 use std::collections::BTreeMap;
@@ -25,6 +25,18 @@ pub struct ActorCycles {
     pub cycles: u64,
     /// Number of top-level statements attributed to it.
     pub stmts: usize,
+}
+
+/// Issue counts and cycles attributed to one SIMD instruction across the
+/// whole program (loop trip counts multiplied through).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrCycles {
+    /// Instruction name (e.g. `vmlaq_s32`).
+    pub name: String,
+    /// Dynamic issue count per program step.
+    pub count: u64,
+    /// Total cycles those issues cost ([`CostModel::vop_cycles`] each).
+    pub cycles: u64,
 }
 
 /// Cycles attributed to one mapped SIMD region.
@@ -56,6 +68,9 @@ pub struct CycleProfile {
     pub actors: Vec<ActorCycles>,
     /// Per-region attribution, sorted by region index.
     pub regions: Vec<RegionCycles>,
+    /// Per-instruction issue counts and cycles, sorted by name — the
+    /// evidence `hcg_isa::CostCalibrator` ingests.
+    pub instrs: Vec<InstrCycles>,
 }
 
 /// Profile a program: price every top-level statement and fold the charges
@@ -94,6 +109,16 @@ pub fn profile(prog: &Program, lib: &CodeLibrary, cost: &CostModel) -> CycleProf
             cycles,
         })
         .collect();
+    let mut by_instr: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    collect_instrs(cost, &prog.body, 1, &mut by_instr);
+    let instrs = by_instr
+        .into_iter()
+        .map(|(name, (count, cycles))| InstrCycles {
+            name: name.to_owned(),
+            count,
+            cycles,
+        })
+        .collect();
     CycleProfile {
         model: prog.name.clone(),
         generator: prog.generator.clone(),
@@ -102,6 +127,46 @@ pub fn profile(prog: &Program, lib: &CodeLibrary, cost: &CostModel) -> CycleProf
         total_cycles: total,
         actors,
         regions,
+        instrs,
+    }
+}
+
+/// Fold per-instruction issue counts and cycles over a statement block,
+/// multiplying loop trip counts through (`mult` is the dynamic repetition
+/// of the enclosing loops).
+fn collect_instrs<'p>(
+    cost: &CostModel,
+    stmts: &'p [Stmt],
+    mult: u64,
+    acc: &mut BTreeMap<&'p str, (u64, u64)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Loop {
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let trips = if end > start {
+                    (end - start).div_ceil(*step)
+                } else {
+                    0
+                } as u64;
+                collect_instrs(cost, body, mult * trips, acc);
+            }
+            Stmt::VOp {
+                instr,
+                cost: c,
+                srcs,
+                ..
+            } => {
+                let slot = acc.entry(instr.as_str()).or_insert((0, 0));
+                slot.0 += mult;
+                slot.1 += mult * cost.vop_cycles(*c, srcs.len());
+            }
+            _ => {}
+        }
     }
 }
 
@@ -174,15 +239,30 @@ impl CycleProfile {
                 )
             })
             .collect();
+        let instrs: Vec<String> = self
+            .instrs
+            .iter()
+            .map(|i| {
+                format!(
+                    "{{\"name\": \"{}\", \"count\": {}, \"cycles\": {}}}",
+                    esc(&i.name),
+                    i.count,
+                    i.cycles
+                )
+            })
+            .collect();
+        // `instrs` renders last: `CostCalibrator::ingest_profile_json`
+        // scopes each instrs block to the preceding `arch` key.
         format!(
-            "{{\"model\": \"{}\", \"generator\": \"{}\", \"arch\": \"{}\", \"compiler\": \"{}\", \"total_cycles\": {}, \"actors\": [{}], \"regions\": [{}]}}",
+            "{{\"model\": \"{}\", \"generator\": \"{}\", \"arch\": \"{}\", \"compiler\": \"{}\", \"total_cycles\": {}, \"actors\": [{}], \"regions\": [{}], \"instrs\": [{}]}}",
             esc(&self.model),
             esc(&self.generator),
             self.arch,
             self.compiler,
             self.total_cycles,
             actors.join(", "),
-            regions.join(", ")
+            regions.join(", "),
+            instrs.join(", ")
         )
     }
 }
@@ -259,6 +339,43 @@ mod tests {
         assert_eq!(prof.actors.len(), 1);
         assert_eq!(prof.actors[0].label, "(unattributed)");
         assert_eq!(prof.attributed_cycles(), prof.total_cycles);
+    }
+
+    #[test]
+    fn instr_stats_multiply_loop_trips_and_share_vop_pricing() {
+        let mut p = Program::new("i", "test", Arch::Neon128);
+        let r = p.add_reg(DataType::I32, 4);
+        p.body.push(Stmt::Loop {
+            start: 0,
+            end: 8,
+            step: 4,
+            body: vec![Stmt::VOp {
+                instr: "vmlaq_s32".into(),
+                pattern: "Add(I1, Mul(I2, I3))".parse().unwrap(),
+                cost: 2,
+                dst: r,
+                srcs: vec![r, r, r],
+                code: String::new(),
+            }],
+        });
+        let lib = CodeLibrary::new();
+        let cm = CostModel::new(Arch::Neon128, Compiler::GccLike);
+        let prof = profile(&p, &lib, &cm);
+        assert_eq!(
+            prof.instrs,
+            vec![InstrCycles {
+                name: "vmlaq_s32".to_owned(),
+                count: 2,
+                cycles: 4,
+            }]
+        );
+        assert!(prof
+            .to_json()
+            .contains("\"instrs\": [{\"name\": \"vmlaq_s32\", \"count\": 2, \"cycles\": 4}]"));
+        // With fused latency the per-instruction charge tracks vop_cycles.
+        let fused = cm.with_fused_latency(3);
+        let prof2 = profile(&p, &lib, &fused);
+        assert_eq!(prof2.instrs[0].cycles, 10);
     }
 
     #[test]

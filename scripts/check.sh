@@ -36,9 +36,19 @@ grep -q '"identical_outputs": true' BENCH_incremental.json
 echo "==> incremental identity gate (1,000 random edit sequences, release)"
 cargo test -q --release --test incremental_identity
 
+echo "==> search smoke run (calibrated beam vs greedy + verified gate, bench JSON)"
+cargo run -q --release -p hcg-bench --bin repro -- search --beam 4 --calibrate \
+    --iters 200 --json BENCH_search.json --out target/repro_search.txt
+grep -q '"beam_strictly_better"' BENCH_search.json
+grep -q '"all_proved": true' BENCH_search.json
+
 echo "==> fuzz smoke run (fixed seed, zero divergences expected)"
 cargo run -q --release -p hcg-bench --bin repro -- fuzz --seed 0 --iters 50 \
     --json target/fuzz/smoke.json --out target/repro_fuzz.txt
+
+echo "==> fuzz smoke run under beam mapping (oracle parity with search enabled)"
+cargo run -q --release -p hcg-bench --bin repro -- fuzz --seed 0 --iters 50 --beam 4 \
+    --json target/fuzz/smoke_beam.json --out target/repro_fuzz_beam.txt
 
 echo "==> edit-oracle smoke (metamorphic edits, release)"
 cargo test -q --release -p hcg-fuzz edits
