@@ -31,10 +31,13 @@ impl SimulinkCoderGen {
     /// Coder only emits vector intrinsics for Intel targets; on ARM it
     /// "usually fails to identify batch computing actors" (§4.1, the FIR
     /// example) — modelled as: no NEON emission at all.
-    fn scattered_simd_set(arch: Arch) -> Option<InstrSet> {
+    fn scattered_simd_set(arch: Arch) -> Option<&'static InstrSet> {
         match arch {
             Arch::Neon128 => None,
-            Arch::Sse128 | Arch::Avx256 => Some(sets::builtin(arch)),
+            // Borrow the process-wide parse instead of re-parsing the .isa
+            // text every time a Coder baseline is constructed per fleet job
+            // or service request.
+            Arch::Sse128 | Arch::Avx256 => Some(sets::builtin_indexed(arch).0),
         }
     }
 

@@ -19,6 +19,9 @@
 //! cargo run -p hcg-bench --bin repro --release -- profile [--model M] [--json PATH] [--trace PATH]
 //! cargo run -p hcg-bench --bin repro --release -- verify [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- lint
+//! cargo run -p hcg-bench --bin repro --release -- serve [--port P] [--threads N]
+//! cargo run -p hcg-bench --bin repro --release -- serve-smoke
+//! cargo run -p hcg-bench --bin repro --release -- serve-bench [--requests N] [--clients C] [--corpus-size M] [--seed S] [--threads N] [--json PATH]
 //! ```
 
 use hcg_baselines::SimulinkCoderGen;
@@ -104,6 +107,9 @@ fn main() {
         "profile" => profile_cmd(&args),
         "lint" => lint_cmd(),
         "verify" => verify_cmd(&args),
+        "serve" => serve_cmd(&args),
+        "serve-smoke" => serve_smoke_cmd(),
+        "serve-bench" => serve_bench_cmd(&args),
         other => {
             eprintln!("unknown experiment {other:?}; see module docs for the list");
             std::process::exit(2);
@@ -1018,6 +1024,64 @@ fn verify_cmd(args: &cli::CommonArgs) {
         !range_errors,
         "value-range analysis found error-severity findings on bundled models"
     );
+}
+
+fn serve_cmd(args: &cli::CommonArgs) {
+    heading("Compile service — hcg-serve daemon in the foreground (POST /shutdown to stop)");
+    let handle = hcg_serve::spawn(hcg_serve::ServeConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        workers: args.threads,
+        ..hcg_serve::ServeConfig::default()
+    })
+    .expect("daemon binds");
+    outln!("  listening on {}", handle.addr());
+    outln!(
+        "  POST /compile?generator=hcg|simulink-coder|dfsynth&arch=neon128|sse128|avx256&beam=W"
+    );
+    outln!("  GET /metrics | GET /health | POST /shutdown");
+    handle.wait();
+    outln!("  daemon stopped");
+}
+
+fn serve_smoke_cmd() {
+    heading("Compile service smoke — two bundled models, twice each, over real TCP");
+    for line in run_serve_smoke().lines() {
+        outln!("  {line}");
+    }
+}
+
+fn serve_bench_cmd(args: &cli::CommonArgs) {
+    heading("Compile service bench — Zipf-skewed replay against the content-addressed cache");
+    let config = ServeBenchConfig {
+        requests: args.requests,
+        clients: args.clients,
+        corpus_size: args.corpus_size,
+        seed: args.seed,
+        workers: args.threads,
+    };
+    let report = run_serve_bench(&config);
+    for line in render_serve_bench(&report).lines() {
+        outln!("  {line}");
+    }
+    if let Some(path) = &args.json {
+        let body = serve_bench_json(&report);
+        hcg_obs::json::validate(&body).expect("serve bench JSON must validate");
+        write_report_file(path, &body, "serve bench report");
+    }
+    assert!(
+        report.identical,
+        "service responses diverged from direct compiles"
+    );
+    // Under a Zipf-skewed mix with a meaningful replay length the cache
+    // must earn its keep; short smoke runs (requests < 2x corpus) skip
+    // the rate gate because most requests are necessarily cold.
+    if report.config.requests >= 2 * report.config.corpus_size {
+        assert!(
+            report.hit_rate() > 0.5,
+            "hit rate {:.1}% under Zipf replay; expected > 50%",
+            report.hit_rate() * 100.0
+        );
+    }
 }
 
 /// Write a report body to `path`, creating parent directories.

@@ -2,9 +2,10 @@
 //!
 //! Every subcommand understands the same flag vocabulary (`--threads`,
 //! `--json`, `--seed`, `--iters`, `--edits`, `--out`, `--wall-clock`,
-//! `--model`, `--trace`, `--beam`, `--calibrate`), parsed once here
-//! instead of per subcommand. Unknown flags are errors; the first bare
-//! word is the subcommand.
+//! `--model`, `--trace`, `--beam`, `--calibrate`, `--requests`,
+//! `--clients`, `--corpus-size`, `--port`), parsed once here instead of
+//! per subcommand. Unknown flags are errors; the first bare word is the
+//! subcommand.
 
 use std::path::PathBuf;
 
@@ -36,6 +37,14 @@ pub struct CommonArgs {
     /// `--calibrate`: run profile-guided cost calibration before the beam
     /// pass (the `search` subcommand's full loop).
     pub calibrate: bool,
+    /// `--requests N`: total requests replayed by `serve-bench`.
+    pub requests: usize,
+    /// `--clients C`: concurrent client threads for `serve-bench`.
+    pub clients: usize,
+    /// `--corpus-size M`: synthesized models in the `serve-bench` corpus.
+    pub corpus_size: usize,
+    /// `--port P`: TCP port for the `serve` subcommand (`0` = ephemeral).
+    pub port: u16,
 }
 
 impl Default for CommonArgs {
@@ -53,6 +62,10 @@ impl Default for CommonArgs {
             trace: None,
             beam: 0,
             calibrate: false,
+            requests: 5000,
+            clients: 8,
+            corpus_size: 1000,
+            port: 0,
         }
     }
 }
@@ -97,6 +110,18 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
                 out.beam = parse_num(args.next(), "--beam")?;
             }
             "--calibrate" => out.calibrate = true,
+            "--requests" => {
+                out.requests = parse_num(args.next(), "--requests")?;
+            }
+            "--clients" => {
+                out.clients = parse_num(args.next(), "--clients")?;
+            }
+            "--corpus-size" => {
+                out.corpus_size = parse_num(args.next(), "--corpus-size")?;
+            }
+            "--port" => {
+                out.port = parse_num(args.next(), "--port")?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
             }
@@ -196,6 +221,30 @@ mod tests {
     }
 
     #[test]
+    fn serve_bench_invocation() {
+        let a = parse(&[
+            "serve-bench",
+            "--requests",
+            "5000",
+            "--clients",
+            "16",
+            "--corpus-size",
+            "1000",
+            "--json",
+            "b.json",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("serve-bench"));
+        assert_eq!(a.requests, 5000);
+        assert_eq!(a.clients, 16);
+        assert_eq!(a.corpus_size, 1000);
+        let d = parse(&["serve", "--port", "8901"]).unwrap();
+        assert_eq!(d.port, 8901);
+        assert_eq!(parse(&[]).unwrap().port, 0);
+        assert_eq!(parse(&[]).unwrap().requests, 5000);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--edits"]).is_err());
@@ -206,6 +255,10 @@ mod tests {
         assert!(parse(&["--seed", "-1"]).is_err());
         assert!(parse(&["--beam"]).is_err());
         assert!(parse(&["--beam", "wide"]).is_err());
+        assert!(parse(&["--requests"]).is_err());
+        assert!(parse(&["--clients", "many"]).is_err());
+        assert!(parse(&["--corpus-size"]).is_err());
+        assert!(parse(&["--port", "70000"]).is_err());
         assert!(parse(&["--calibrate", "--bogus"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["fleet", "fuzz"]).is_err());

@@ -14,6 +14,7 @@ pub mod fleet;
 pub mod incremental;
 pub mod profile;
 pub mod search;
+pub mod serve;
 
 pub use cli::{parse_args, CommonArgs};
 pub use consistency::{check_consistency, Consistency};
@@ -22,3 +23,7 @@ pub use fleet::{run_fleet, run_fleet_sequential, FleetJob, FleetOutcome, FleetRu
 pub use incremental::{param_edit, run_incremental_bench, IncrementalBenchConfig, IncrementalRow};
 pub use profile::{profile_json, profile_matrix, ProfileEntry};
 pub use search::{render_search, run_search, search_json, SearchReport, SearchRow};
+pub use serve::{
+    render_serve_bench, run_serve_bench, run_serve_smoke, serve_bench_json, ServeBenchConfig,
+    ServeBenchReport,
+};

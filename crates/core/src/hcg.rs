@@ -134,24 +134,22 @@ impl HcgGen {
         &self,
         arch: Arch,
     ) -> (Cow<'static, InstrSet>, Cow<'static, InstrIndex>) {
-        // A calibration overlay changes instruction costs, so the shared
-        // statics can't be used: patch a copy and rebuild its index.
-        if let Some(overlay) = &self.options.cost_overlay {
-            let base = match &self.options.instr_set {
-                Some(set) => set.clone(),
-                None => sets::builtin(arch),
-            };
-            let set = overlay.apply(&base);
-            let index = InstrIndex::build(&set);
-            return (Cow::Owned(set), Cow::Owned(index));
-        }
-        match &self.options.instr_set {
-            Some(set) => {
-                let index = InstrIndex::build(set);
-                (Cow::Owned(set.clone()), Cow::Owned(index))
+        match (&self.options.instr_set, &self.options.cost_overlay) {
+            // A custom set is private to this generator: patch and index a
+            // copy (overlays over custom sets can't share process statics).
+            (Some(set), overlay) => {
+                let set = match overlay {
+                    Some(ov) => ov.apply(set),
+                    None => set.clone(),
+                };
+                let index = InstrIndex::build(&set);
+                (Cow::Owned(set), Cow::Owned(index))
             }
-            None => {
-                let (set, index) = sets::builtin_indexed(arch);
+            // Builtin base: the process-wide registry interns one patched
+            // set + index per (arch, overlay) key, so calibrated fleet jobs
+            // and service requests stop re-parsing/re-bucketing per compile.
+            (None, overlay) => {
+                let (set, index) = sets::shared_indexed(arch, overlay.as_ref());
                 (Cow::Borrowed(set), Cow::Borrowed(index))
             }
         }

@@ -76,6 +76,22 @@ impl CostOverlay {
         out
     }
 
+    /// A stable textual fingerprint of this overlay's content: entries in
+    /// sorted `(arch, name)` order as `arch:name=cost` segments. Equal
+    /// overlays fingerprint identically, so the fingerprint works as a
+    /// cache key for per-`(arch, overlay)` shared artifacts (see
+    /// [`crate::sets::shared_indexed`]).
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for ((arch, name), cost) in &self.entries {
+            if !out.is_empty() {
+                out.push(';');
+            }
+            out.push_str(&format!("{arch}:{name}={cost}"));
+        }
+        out
+    }
+
     /// Entries that differ from the costs in `set` — the interesting rows
     /// of a calibration report, as `(name, table cost, calibrated cost)`.
     pub fn deltas(&self, set: &InstrSet) -> Vec<(String, u32, u32)> {

@@ -30,6 +30,7 @@ mod pattern;
 
 pub mod parse;
 pub mod sets;
+pub mod stats;
 
 pub use arch::{Arch, ParseArchError};
 pub use calibrate::{CalibrateError, CostCalibrator, CostOverlay};

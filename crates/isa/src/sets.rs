@@ -4,6 +4,7 @@
 //! file).
 
 use crate::arch::Arch;
+use crate::calibrate::CostOverlay;
 use crate::index::InstrIndex;
 use crate::instr::InstrSet;
 use crate::parse::instr_set_from_text;
@@ -68,6 +69,51 @@ pub fn builtin_indexed(arch: Arch) -> (&'static InstrSet, &'static InstrIndex) {
     (&pair.0, &pair.1)
 }
 
+/// The process-wide registry of `(arch, cost-overlay)` → shared
+/// `(InstrSet, InstrIndex)` pairs.
+///
+/// [`builtin_indexed`] covers the common no-overlay case, but calibrated
+/// compiles (`HcgOptions.cost_overlay`) used to re-patch the set and
+/// rebuild the index *per compile* — per job on the fleet, per request in
+/// a compile service. `shared_indexed` interns each distinct key once:
+///
+/// * `overlay == None` (or an empty overlay) delegates straight to the
+///   [`builtin_indexed`] statics;
+/// * a non-empty overlay is keyed by `(arch, overlay.fingerprint())`; the
+///   first request patches a copy of the shared builtin set, builds its
+///   index, and leaks the pair into a `'static` registry entry every later
+///   request borrows.
+///
+/// Entries live for the rest of the process (they are deliberately leaked
+/// — the registry is meant for the handful of calibration overlays a
+/// process ever sees, exactly like the builtin statics). One registry
+/// entry is built per key no matter how many threads race on it, pinned by
+/// [`crate::stats::registry_builds`].
+pub fn shared_indexed(
+    arch: Arch,
+    overlay: Option<&CostOverlay>,
+) -> (&'static InstrSet, &'static InstrIndex) {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    let overlay = match overlay {
+        Some(ov) if !ov.is_empty() => ov,
+        _ => return builtin_indexed(arch),
+    };
+
+    type Registry = BTreeMap<(Arch, String), &'static (InstrSet, InstrIndex)>;
+    static REGISTRY: Mutex<Registry> = Mutex::new(BTreeMap::new());
+    let key = (arch, overlay.fingerprint());
+    let mut registry = REGISTRY.lock().expect("isa registry lock poisoned");
+    let pair = registry.entry(key).or_insert_with(|| {
+        crate::stats::record_registry_build();
+        let set = overlay.apply(builtin_indexed(arch).0);
+        let index = InstrIndex::build(&set);
+        Box::leak(Box::new((set, index)))
+    });
+    (&pair.0, &pair.1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +130,62 @@ mod tests {
             assert_eq!(*set1, builtin(arch));
             assert_eq!(*idx1, crate::index::InstrIndex::build(set1));
         }
+    }
+
+    #[test]
+    fn shared_indexed_without_overlay_is_the_builtin_static() {
+        for arch in Arch::ALL {
+            let (set, idx) = shared_indexed(arch, None);
+            let (bset, bidx) = builtin_indexed(arch);
+            assert!(std::ptr::eq(set, bset), "{arch}");
+            assert!(std::ptr::eq(idx, bidx), "{arch}");
+            // An empty overlay is the identity and must not mint a key.
+            let (eset, _) = shared_indexed(arch, Some(&CostOverlay::new()));
+            assert!(std::ptr::eq(eset, bset), "{arch}");
+        }
+    }
+
+    #[test]
+    fn shared_indexed_builds_once_per_arch_overlay_key() {
+        // A fingerprint no other test uses, so the registry-build counter
+        // delta below is exactly this test's own work even when the test
+        // binary runs in parallel.
+        let mut ov = CostOverlay::new();
+        ov.set_cost(Arch::Neon128, "vmlaq_s32", 91);
+        ov.set_cost(Arch::Avx256, "vfmadd_ps", 91);
+
+        let before = crate::stats::registry_builds();
+        let (s1, i1) = shared_indexed(Arch::Neon128, Some(&ov));
+        let (s2, i2) = shared_indexed(Arch::Neon128, Some(&ov));
+        let (s3, _) = shared_indexed(Arch::Neon128, Some(&ov));
+        assert!(std::ptr::eq(s1, s2) && std::ptr::eq(s1, s3));
+        assert!(std::ptr::eq(i1, i2));
+        // One parse-equivalent build for three requests of the same key …
+        assert_eq!(crate::stats::registry_builds() - before, 1);
+        // … and a second key (same overlay, different arch) builds its own.
+        let (s4, _) = shared_indexed(Arch::Avx256, Some(&ov));
+        assert_eq!(crate::stats::registry_builds() - before, 2);
+        assert_eq!(s4.arch, Arch::Avx256);
+        // The entry really carries the patched costs.
+        assert_eq!(s1.find("vmlaq_s32").unwrap().cost, 91);
+        assert_eq!(*s1, ov.apply(&builtin(Arch::Neon128)));
+        assert_eq!(*i1, crate::index::InstrIndex::build(s1));
+    }
+
+    #[test]
+    fn overlay_fingerprints_are_stable_and_content_keyed() {
+        let mut a = CostOverlay::new();
+        a.set_cost(Arch::Neon128, "vaddq_s32", 3);
+        a.set_cost(Arch::Sse128, "padd_w", 2);
+        let mut b = CostOverlay::new();
+        // Insertion order must not matter.
+        b.set_cost(Arch::Sse128, "padd_w", 2);
+        b.set_cost(Arch::Neon128, "vaddq_s32", 3);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), "neon128:vaddq_s32=3;sse128:padd_w=2");
+        b.set_cost(Arch::Neon128, "vaddq_s32", 4);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(CostOverlay::new().fingerprint(), "");
     }
 
     #[test]

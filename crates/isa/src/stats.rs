@@ -1,0 +1,45 @@
+//! Process-wide work counters for the expensive one-time ISA artifacts:
+//! `.isa` text parses and [`crate::InstrIndex`] bucket builds.
+//!
+//! Both operations are cheap enough for a single compile but wasteful when
+//! repeated per fleet job or per service request; the shared registries in
+//! [`crate::sets`] exist to pay them once per process. These counters make
+//! that property *testable*: a cache gate can snapshot them, drive N
+//! compiles, and assert the deltas stayed at the expected one-per-key.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PARSE_RUNS: AtomicU64 = AtomicU64::new(0);
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
+static REGISTRY_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `.isa` text parses ([`crate::parse::instr_set_from_text`]) this
+/// process has performed.
+pub fn parse_runs() -> u64 {
+    PARSE_RUNS.load(Ordering::Relaxed)
+}
+
+/// Total [`crate::InstrIndex::build`] invocations this process has
+/// performed.
+pub fn index_builds() -> u64 {
+    INDEX_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Total entries constructed by the [`crate::sets::shared_indexed`]
+/// registry — exactly one per distinct `(arch, cost-overlay)` key ever
+/// requested, no matter how many compiles asked.
+pub fn registry_builds() -> u64 {
+    REGISTRY_BUILDS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_parse() {
+    PARSE_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_index_build() {
+    INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_registry_build() {
+    REGISTRY_BUILDS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,448 @@
+//! The sharded, content-addressed artifact cache.
+//!
+//! The cache is split into N independent shards selected by the key's high
+//! hash word; each shard is guarded by its own `RwLock`, so concurrent
+//! requests for different keys rarely contend. Lookups take the shard's
+//! *read* lock and bump an atomic recency stamp; admissions take the
+//! *write* lock and evict least-recently-used entries until the shard fits
+//! its byte budget again.
+//!
+//! Persistence is pluggable behind [`ArtifactStore`]: [`MemoryStore`]
+//! keeps artifacts only in the in-memory index, [`DiskStore`] mirrors
+//! every admitted artifact to one file per key and preloads the index from
+//! those files at startup (warm restart). Callers that do not care which
+//! one backs the cache hold it as a `dyn` [`ArtifactProvider`].
+
+use crate::key::ContentKey;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The result of one compile: the generated C source, or the front-end /
+/// synthesis error text. Failures are cached too (negative caching), so a
+/// repeatedly-submitted bad model costs one validation, not many.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Successful compile: the full generated C translation unit.
+    Success(Arc<String>),
+    /// Failed compile: the error message shown to the client.
+    Failure(Arc<String>),
+}
+
+impl Outcome {
+    /// The payload text (source or error).
+    pub fn text(&self) -> &str {
+        match self {
+            Outcome::Success(s) | Outcome::Failure(s) => s,
+        }
+    }
+
+    /// Payload size in bytes, the unit of the shard budget.
+    pub fn byte_len(&self) -> usize {
+        self.text().len()
+    }
+
+    /// `true` for [`Outcome::Failure`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::Failure(_))
+    }
+
+    /// Serialize for the disk store: a one-line tag, then the payload.
+    fn to_disk_bytes(&self) -> Vec<u8> {
+        let tag: &[u8] = match self {
+            Outcome::Success(_) => b"ok\n",
+            Outcome::Failure(_) => b"err\n",
+        };
+        let mut out = Vec::with_capacity(tag.len() + self.byte_len());
+        out.extend_from_slice(tag);
+        out.extend_from_slice(self.text().as_bytes());
+        out
+    }
+
+    /// Parse the disk-store form; `None` when the file is not ours.
+    fn from_disk_bytes(bytes: &[u8]) -> Option<Self> {
+        let text = |rest: &[u8]| String::from_utf8(rest.to_vec()).ok().map(Arc::new);
+        if let Some(rest) = bytes.strip_prefix(b"ok\n") {
+            return Some(Outcome::Success(text(rest)?));
+        }
+        if let Some(rest) = bytes.strip_prefix(b"err\n") {
+            return Some(Outcome::Failure(text(rest)?));
+        }
+        None
+    }
+}
+
+/// Persistence hooks invoked under the owning shard's write lock.
+pub trait ArtifactStore: Send + Sync {
+    /// Persist `outcome` under `key` (no-op for memory-only stores).
+    fn persist(&self, key: ContentKey, outcome: &Outcome);
+    /// Drop any persisted copy of `key` (called on eviction).
+    fn discard(&self, key: ContentKey);
+    /// Every persisted artifact, for index preload at construction.
+    fn preload(&self) -> Vec<(ContentKey, Outcome)>;
+}
+
+/// In-memory-only persistence: artifacts live solely in the shard index.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryStore;
+
+impl ArtifactStore for MemoryStore {
+    fn persist(&self, _key: ContentKey, _outcome: &Outcome) {}
+    fn discard(&self, _key: ContentKey) {}
+    fn preload(&self) -> Vec<(ContentKey, Outcome)> {
+        Vec::new()
+    }
+}
+
+/// Disk-backed persistence: one `<hex key>.art` file per artifact under a
+/// root directory. A cache constructed over a previously-used root starts
+/// warm — every artifact still on disk is preloaded into the index.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// A store rooted at `root`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskStore { root })
+    }
+
+    fn path_for(&self, key: ContentKey) -> PathBuf {
+        self.root.join(format!("{}.art", key.hex()))
+    }
+
+    fn key_from_stem(stem: &str) -> Option<ContentKey> {
+        if stem.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&stem[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&stem[16..], 16).ok()?;
+        Some(ContentKey { hi, lo })
+    }
+}
+
+impl ArtifactStore for DiskStore {
+    fn persist(&self, key: ContentKey, outcome: &Outcome) {
+        // Persistence is best-effort: a full disk degrades the cache to
+        // memory-only behavior rather than failing the request.
+        let _ = std::fs::write(self.path_for(key), outcome.to_disk_bytes());
+    }
+
+    fn discard(&self, key: ContentKey) {
+        let _ = std::fs::remove_file(self.path_for(key));
+    }
+
+    fn preload(&self) -> Vec<(ContentKey, Outcome)> {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("art") {
+                continue;
+            }
+            let Some(key) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(Self::key_from_stem)
+            else {
+                continue;
+            };
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            if let Some(outcome) = Outcome::from_disk_bytes(&bytes) {
+                out.push((key, outcome));
+            }
+        }
+        // Deterministic preload order regardless of directory iteration.
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+/// One cached artifact plus its LRU bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    outcome: Outcome,
+    bytes: usize,
+    /// Recency stamp from the cache-wide logical clock. Updated with a
+    /// relaxed store under the shard *read* lock — stamps order evictions,
+    /// they do not synchronize data.
+    stamp: AtomicU64,
+}
+
+/// One shard: an index plus its current payload byte total.
+#[derive(Debug, Default)]
+struct Shard {
+    index: HashMap<ContentKey, Entry>,
+    bytes: usize,
+}
+
+/// What [`ArtifactProvider::admit`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmitReport {
+    /// Whether the artifact was inserted (false: already present).
+    pub admitted: bool,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+    /// Payload bytes those evictions freed.
+    pub evicted_bytes: u64,
+}
+
+/// The whole-cache interface the server holds, object-safe so memory- and
+/// disk-backed caches are interchangeable at runtime.
+pub trait ArtifactProvider: Send + Sync {
+    /// The cached outcome for `key`, bumping its recency.
+    fn fetch(&self, key: ContentKey) -> Option<Outcome>;
+    /// Insert `outcome` under `key`, evicting LRU entries as needed.
+    /// First writer wins: re-admitting an existing key is a no-op.
+    fn admit(&self, key: ContentKey, outcome: Outcome) -> AdmitReport;
+    /// Total live entries across all shards.
+    fn entries(&self) -> usize;
+    /// Total payload bytes across all shards.
+    fn bytes(&self) -> usize;
+    /// Number of shards.
+    fn shard_count(&self) -> usize;
+}
+
+/// The sharded LRU cache over a persistence store.
+#[derive(Debug)]
+pub struct ShardedCache<S: ArtifactStore> {
+    shards: Vec<RwLock<Shard>>,
+    store: S,
+    budget_per_shard: usize,
+    clock: AtomicU64,
+}
+
+impl<S: ArtifactStore> ShardedCache<S> {
+    /// A cache of `shards` shards, each holding at most `budget_per_shard`
+    /// payload bytes, preloading any artifacts `store` already persists.
+    /// `shards` is clamped to at least 1.
+    pub fn new(shards: usize, budget_per_shard: usize, store: S) -> Self {
+        let cache = ShardedCache {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            store,
+            budget_per_shard,
+            clock: AtomicU64::new(1),
+        };
+        for (key, outcome) in cache.store.preload() {
+            cache.admit(key, outcome);
+        }
+        cache
+    }
+
+    fn shard(&self, key: ContentKey) -> &RwLock<Shard> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl<S: ArtifactStore> ArtifactProvider for ShardedCache<S> {
+    fn fetch(&self, key: ContentKey) -> Option<Outcome> {
+        let shard = self.shard(key).read().expect("cache shard poisoned");
+        let entry = shard.index.get(&key)?;
+        entry.stamp.store(self.next_stamp(), Ordering::Relaxed);
+        Some(entry.outcome.clone())
+    }
+
+    fn admit(&self, key: ContentKey, outcome: Outcome) -> AdmitReport {
+        let bytes = outcome.byte_len();
+        let mut shard = self.shard(key).write().expect("cache shard poisoned");
+        if shard.index.contains_key(&key) {
+            return AdmitReport::default();
+        }
+        let mut report = AdmitReport {
+            admitted: true,
+            ..AdmitReport::default()
+        };
+        // Evict least-recently-used entries until the new artifact fits.
+        // An artifact bigger than the whole budget still goes in (over an
+        // emptied shard): refusing it would force a recompile on every
+        // request, the worst possible cache behavior.
+        while shard.bytes + bytes > self.budget_per_shard && !shard.index.is_empty() {
+            let victim = *shard
+                .index
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| k)
+                .expect("non-empty index has a minimum");
+            let evicted = shard.index.remove(&victim).expect("victim present");
+            shard.bytes -= evicted.bytes;
+            report.evicted += 1;
+            report.evicted_bytes += evicted.bytes as u64;
+            self.store.discard(victim);
+        }
+        self.store.persist(key, &outcome);
+        shard.bytes += bytes;
+        shard.index.insert(
+            key,
+            Entry {
+                outcome,
+                bytes,
+                stamp: AtomicU64::new(self.next_stamp()),
+            },
+        );
+        report
+    }
+
+    fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").index.len())
+            .sum()
+    }
+
+    fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> ContentKey {
+        // Distinct keys all mapping to shard 0 of a 1-shard cache.
+        ContentKey { hi: n, lo: n ^ 7 }
+    }
+
+    fn ok(text: &str) -> Outcome {
+        Outcome::Success(Arc::new(text.to_owned()))
+    }
+
+    #[test]
+    fn fetch_returns_admitted_outcome() {
+        let cache = ShardedCache::new(4, 1 << 20, MemoryStore);
+        assert!(cache.fetch(key(1)).is_none());
+        let report = cache.admit(key(1), ok("int main;"));
+        assert!(report.admitted);
+        assert_eq!(report.evicted, 0);
+        assert_eq!(cache.fetch(key(1)).unwrap().text(), "int main;");
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.bytes(), "int main;".len());
+        assert_eq!(cache.shard_count(), 4);
+    }
+
+    #[test]
+    fn first_writer_wins_on_readmission() {
+        let cache = ShardedCache::new(1, 1 << 20, MemoryStore);
+        cache.admit(key(1), ok("first"));
+        let report = cache.admit(key(1), ok("second"));
+        assert!(!report.admitted);
+        assert_eq!(cache.fetch(key(1)).unwrap().text(), "first");
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_fetch_recency() {
+        // Budget fits exactly two 4-byte entries.
+        let cache = ShardedCache::new(1, 8, MemoryStore);
+        cache.admit(key(1), ok("aaaa"));
+        cache.admit(key(2), ok("bbbb"));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        cache.fetch(key(1)).unwrap();
+        let report = cache.admit(key(3), ok("cccc"));
+        assert!(report.admitted);
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.evicted_bytes, 4);
+        assert!(cache.fetch(key(1)).is_some(), "recently-used survives");
+        assert!(cache.fetch(key(2)).is_none(), "LRU evicted");
+        assert!(cache.fetch(key(3)).is_some());
+        assert_eq!(cache.bytes(), 8);
+    }
+
+    #[test]
+    fn oversized_artifact_empties_shard_but_is_admitted() {
+        let cache = ShardedCache::new(1, 8, MemoryStore);
+        cache.admit(key(1), ok("aaaa"));
+        cache.admit(key(2), ok("bbbb"));
+        let report = cache.admit(key(3), ok("cccccccccccc"));
+        assert!(report.admitted);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.fetch(key(3)).unwrap().text(), "cccccccccccc");
+    }
+
+    #[test]
+    fn failures_cache_like_successes() {
+        let cache = ShardedCache::new(2, 1 << 20, MemoryStore);
+        let err = Outcome::Failure(Arc::new("model invalid: cycle".to_owned()));
+        cache.admit(key(9), err.clone());
+        let fetched = cache.fetch(key(9)).unwrap();
+        assert!(fetched.is_failure());
+        assert_eq!(fetched.text(), "model invalid: cycle");
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = ShardedCache::new(8, 1 << 20, MemoryStore);
+        for n in 0..64 {
+            cache.admit(ContentKey::of_parts(&[&n_to_bytes(n)]), ok("x"));
+        }
+        assert_eq!(cache.entries(), 64);
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.read().unwrap().index.is_empty())
+            .count();
+        assert!(occupied >= 4, "64 hashed keys occupy ≥ half the shards");
+    }
+
+    fn n_to_bytes(n: u64) -> [u8; 8] {
+        n.to_le_bytes()
+    }
+
+    #[test]
+    fn disk_store_roundtrips_and_preloads() {
+        let dir = std::env::temp_dir().join(format!("hcg-serve-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ShardedCache::new(2, 1 << 20, DiskStore::new(&dir).unwrap());
+            cache.admit(key(1), ok("persisted source"));
+            cache.admit(key(2), Outcome::Failure(Arc::new("bad model".to_owned())));
+        }
+        // A fresh cache over the same root starts warm.
+        let warm = ShardedCache::new(2, 1 << 20, DiskStore::new(&dir).unwrap());
+        assert_eq!(warm.entries(), 2);
+        assert_eq!(warm.fetch(key(1)).unwrap().text(), "persisted source");
+        assert!(warm.fetch(key(2)).unwrap().is_failure());
+        // Eviction removes the on-disk copy too.
+        let tiny = ShardedCache::new(1, 4, DiskStore::new(&dir).unwrap());
+        let survivors = tiny.entries();
+        assert!(survivors <= 1, "4-byte budget keeps at most one artifact");
+        let on_disk = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(on_disk, survivors);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provider_is_object_safe_over_both_stores() {
+        let providers: Vec<Box<dyn ArtifactProvider>> =
+            vec![Box::new(ShardedCache::new(2, 1 << 20, MemoryStore))];
+        for p in &providers {
+            p.admit(key(5), ok("body"));
+            assert_eq!(p.fetch(key(5)).unwrap().text(), "body");
+        }
+    }
+}

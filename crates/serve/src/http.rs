@@ -1,0 +1,332 @@
+//! A hand-rolled HTTP/1.1 subset over `std::io` streams — dependency-free,
+//! like everything else in this workspace.
+//!
+//! The daemon only needs the minimal shape of the protocol: one request per
+//! connection (`Connection: close` semantics), a request line, headers, an
+//! optional `Content-Length` body, and a response writer. Both sides are
+//! plain functions over `Read`/`Write`, so unit tests drive them with
+//! in-memory cursors and the server drives them with `TcpStream`s.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on header count (defense against degenerate inputs).
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a single header line / request line, in bytes.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (model XML), in bytes.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Raw query string (after `?`, empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `key` in the query string (`k=v` pairs split on `&`).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// A request that could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport error.
+    Io(io::Error),
+    /// Malformed request (the description is safe to echo to the client).
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(m: impl Into<String>) -> HttpError {
+    HttpError::Malformed(m.into())
+}
+
+/// Read one `\r\n`- (or `\n`-) terminated line, without the terminator.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = reader.read(&mut byte)?;
+        if n == 0 {
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(malformed("header line too long"));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| malformed("non-UTF-8 header line"))
+}
+
+/// Read and parse one request from `reader`.
+///
+/// # Errors
+///
+/// Returns [`HttpError::Malformed`] on protocol violations (bad request
+/// line, oversized body, non-numeric `Content-Length`) and
+/// [`HttpError::Io`] when the transport fails mid-request.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Err(malformed("empty request line"));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| malformed("missing method"))?;
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(malformed("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| malformed("non-numeric Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(malformed(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Extra headers beyond the always-written `Content-Length`,
+    /// `Content-Type` and `Connection: close`.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a status and a text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// `self` with an extra header appended.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Response",
+    }
+}
+
+/// Serialize and write `response`, flushing the stream.
+///
+/// # Errors
+///
+/// Returns the transport error, if any (the caller usually just drops the
+/// connection in that case).
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let r = parse(
+            "POST /compile?generator=hcg&arch=neon128 HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/compile");
+        assert_eq!(r.query, "generator=hcg&arch=neon128");
+        assert_eq!(r.query_param("generator"), Some("hcg"));
+        assert_eq!(r.query_param("arch"), Some("neon128"));
+        assert_eq!(r.query_param("beam"), None);
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert_eq!(r.header("HOST"), Some("localhost"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query, "");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn tolerates_bare_newlines() {
+        let r = parse("GET /health HTTP/1.1\nAccept: text\n\n").unwrap();
+        assert_eq!(r.path, "/health");
+        assert_eq!(r.header("accept"), Some("text"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse(""), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let oversized = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&oversized), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrips_through_writer() {
+        let mut out = Vec::new();
+        let resp = Response::text(200, "body text").with_header("X-Cache", "hit");
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 9\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\nbody text"));
+    }
+
+    #[test]
+    fn status_reasons() {
+        for (status, phrase) in [(404, "Not Found"), (422, "Unprocessable Entity")] {
+            let mut out = Vec::new();
+            write_response(&mut out, &Response::text(status, "x")).unwrap();
+            assert!(String::from_utf8(out)
+                .unwrap()
+                .starts_with(&format!("HTTP/1.1 {status} {phrase}")));
+        }
+    }
+}

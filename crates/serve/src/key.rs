@@ -1,0 +1,258 @@
+//! Content addressing for the compile service.
+//!
+//! Every cacheable artifact is keyed by a [`ContentKey`]: a 128-bit hash
+//! (two independent 64-bit FNV-1a streams) over the canonical compile
+//! options and the raw model bytes. Equal requests — same model bytes,
+//! same options — always produce the same key; the front-end (session)
+//! cache uses a model-bytes-only key so every option combination over one
+//! model shares a single parsed/validated front end.
+
+use hcg_core::{HcgGen, HcgOptions, MappingStrategy};
+use hcg_isa::Arch;
+use std::str::FromStr;
+
+/// FNV-1a offset basis (the standard one).
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent offset so the two streams decorrelate.
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 128-bit content hash identifying one `(options, model bytes)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentKey {
+    /// High word (first FNV stream); selects the cache shard.
+    pub hi: u64,
+    /// Low word (second FNV stream).
+    pub lo: u64,
+}
+
+impl ContentKey {
+    /// Hash `parts` into a key. Each part is length-prefixed into the
+    /// streams so `["ab", "c"]` and `["a", "bc"]` produce different keys.
+    pub fn of_parts(parts: &[&[u8]]) -> Self {
+        let mut hi = FNV_OFFSET_A;
+        let mut lo = FNV_OFFSET_B;
+        let mut step = |byte: u8| {
+            hi = (hi ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            lo = (lo ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        };
+        for part in parts {
+            for byte in (part.len() as u64).to_le_bytes() {
+                step(byte);
+            }
+            for &byte in *part {
+                step(byte);
+            }
+        }
+        ContentKey { hi, lo }
+    }
+
+    /// The shard index for this key among `shards` shards (from the high
+    /// word, independent of the low word used for collision resistance).
+    pub fn shard(&self, shards: usize) -> usize {
+        debug_assert!(shards > 0);
+        (self.hi % shards as u64) as usize
+    }
+
+    /// 32-hex-digit rendering (stable; used as the on-disk file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Compile options extracted from a request's query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Generator name: `hcg`, `simulink-coder` or `dfsynth`.
+    pub generator: String,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Region-mapping strategy (HCG only; baselines ignore it).
+    pub mapping: MappingStrategy,
+}
+
+/// A query string that does not describe a valid compile configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadOptions(pub String);
+
+impl std::fmt::Display for BadOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad compile options: {}", self.0)
+    }
+}
+
+impl std::error::Error for BadOptions {}
+
+impl CompileOptions {
+    /// Parse options from query parameters: `generator=` (default `hcg`),
+    /// `arch=` (default `neon128`), `beam=` (HCG beam width; absent or
+    /// `0`/`1` means greedy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadOptions`] naming the offending parameter.
+    pub fn from_query(param: impl Fn(&str) -> Option<String>) -> Result<Self, BadOptions> {
+        let generator = param("generator").unwrap_or_else(|| "hcg".to_owned());
+        match generator.as_str() {
+            "hcg" | "simulink-coder" | "dfsynth" => {}
+            other => return Err(BadOptions(format!("unknown generator {other:?}"))),
+        }
+        let arch_text = param("arch").unwrap_or_else(|| "neon128".to_owned());
+        let arch = Arch::from_str(&arch_text)
+            .map_err(|_| BadOptions(format!("unknown arch {arch_text:?}")))?;
+        let mapping = match param("beam") {
+            None => MappingStrategy::Greedy,
+            Some(text) => {
+                let width: usize = text
+                    .parse()
+                    .map_err(|_| BadOptions(format!("non-numeric beam width {text:?}")))?;
+                if width <= 1 {
+                    MappingStrategy::Greedy
+                } else {
+                    MappingStrategy::Beam { width }
+                }
+            }
+        };
+        Ok(CompileOptions {
+            generator,
+            arch,
+            mapping,
+        })
+    }
+
+    /// The canonical text form hashed into cache keys. Defaults and
+    /// explicit parameters render identically (`beam=1` ≡ no `beam`), so
+    /// equivalent requests share cache entries.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|{}|{}",
+            self.generator,
+            self.arch.name(),
+            self.mapping.label()
+        )
+    }
+
+    /// The artifact key for these options over `model_bytes`.
+    pub fn artifact_key(&self, model_bytes: &[u8]) -> ContentKey {
+        ContentKey::of_parts(&[self.canonical().as_bytes(), model_bytes])
+    }
+
+    /// The front-end (session) key: model bytes only, shared by every
+    /// option combination over the same model.
+    pub fn session_key(model_bytes: &[u8]) -> ContentKey {
+        ContentKey::of_parts(&[b"session", model_bytes])
+    }
+
+    /// Construct the configured generator.
+    pub fn build_generator(&self) -> Box<dyn hcg_core::CodeGenerator> {
+        match self.generator.as_str() {
+            "simulink-coder" => Box::new(hcg_baselines::SimulinkCoderGen::new()),
+            "dfsynth" => Box::new(hcg_baselines::DfSynthGen::new()),
+            _ => Box::new(HcgGen::with_options(HcgOptions {
+                mapping: self.mapping,
+                ..HcgOptions::default()
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn opts(query: &[(&str, &str)]) -> Result<CompileOptions, BadOptions> {
+        let map: HashMap<String, String> = query
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        CompileOptions::from_query(|k| map.get(k).cloned())
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_content_sensitive() {
+        let a = ContentKey::of_parts(&[b"hcg|neon128|greedy", b"<model/>"]);
+        let b = ContentKey::of_parts(&[b"hcg|neon128|greedy", b"<model/>"]);
+        assert_eq!(a, b);
+        // Different model bytes, different options → different keys.
+        assert_ne!(a, ContentKey::of_parts(&[b"hcg|neon128|greedy", b"<m/>"]));
+        assert_ne!(
+            a,
+            ContentKey::of_parts(&[b"hcg|avx256|greedy", b"<model/>"])
+        );
+        // Length-prefixing: moving a byte across the part boundary changes
+        // the key.
+        assert_ne!(
+            ContentKey::of_parts(&[b"ab", b"c"]),
+            ContentKey::of_parts(&[b"a", b"bc"])
+        );
+        assert_eq!(a.hex().len(), 32);
+        assert!(a.shard(8) < 8);
+    }
+
+    #[test]
+    fn default_options_parse_and_canonicalize() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.generator, "hcg");
+        assert_eq!(o.arch, Arch::Neon128);
+        assert_eq!(o.mapping, MappingStrategy::Greedy);
+        assert_eq!(o.canonical(), "hcg|neon128|greedy");
+    }
+
+    #[test]
+    fn explicit_options_parse() {
+        let o = opts(&[
+            ("generator", "simulink-coder"),
+            ("arch", "avx256"),
+            ("beam", "4"),
+        ])
+        .unwrap();
+        assert_eq!(o.generator, "simulink-coder");
+        assert_eq!(o.arch, Arch::Avx256);
+        // Baselines carry the mapping label for key purposes even though
+        // they ignore it during generation.
+        assert_eq!(o.mapping, MappingStrategy::Beam { width: 4 });
+        assert_eq!(o.canonical(), "simulink-coder|avx256|beam4");
+    }
+
+    #[test]
+    fn beam_one_is_greedy_so_keys_coincide() {
+        let implicit = opts(&[]).unwrap();
+        let explicit = opts(&[("beam", "1")]).unwrap();
+        assert_eq!(implicit.canonical(), explicit.canonical());
+        assert_eq!(
+            implicit.artifact_key(b"<m/>"),
+            explicit.artifact_key(b"<m/>")
+        );
+    }
+
+    #[test]
+    fn bad_options_are_rejected_with_the_parameter_named() {
+        assert!(opts(&[("generator", "gcc")])
+            .unwrap_err()
+            .0
+            .contains("generator"));
+        assert!(opts(&[("arch", "mips")]).unwrap_err().0.contains("arch"));
+        assert!(opts(&[("beam", "wide")]).unwrap_err().0.contains("beam"));
+    }
+
+    #[test]
+    fn session_key_ignores_options() {
+        assert_eq!(
+            CompileOptions::session_key(b"<m/>"),
+            CompileOptions::session_key(b"<m/>")
+        );
+        assert_ne!(
+            CompileOptions::session_key(b"<m/>"),
+            opts(&[]).unwrap().artifact_key(b"<m/>")
+        );
+    }
+
+    #[test]
+    fn generators_construct_for_every_name() {
+        for gen in ["hcg", "simulink-coder", "dfsynth"] {
+            let o = opts(&[("generator", gen)]).unwrap();
+            assert_eq!(o.build_generator().name(), gen);
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! The compile daemon: accept loop, worker fan-out, request routing, the
+//! single-flight compile path and service counters.
+//!
+//! One thread accepts connections and feeds them through a channel to N
+//! worker jobs running on the existing [`hcg_exec`] work-stealing pool
+//! (the same engine the evaluation fleet uses). Each worker loops:
+//! receive a connection, read one request, route it, write one response,
+//! close. Compiles are deduplicated twice — finished artifacts through the
+//! sharded content-addressed cache, concurrent identical requests through
+//! an in-flight single-flight table so C simultaneous clients asking for
+//! the same `(model, options)` cost exactly one compile.
+
+use crate::cache::{ArtifactProvider, DiskStore, MemoryStore, Outcome, ShardedCache};
+use crate::http::{self, HttpError, Request, Response};
+use crate::key::{CompileOptions, ContentKey};
+use hcg_core::emit::to_c_source;
+use hcg_core::CompileSession;
+use hcg_obs::MetricsRegistry;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker jobs on the exec pool (0 = all cores).
+    pub workers: usize,
+    /// Artifact-cache shard count.
+    pub shards: usize,
+    /// Per-shard payload byte budget.
+    pub shard_budget: usize,
+    /// Front-end (session) cache capacity, in models.
+    pub session_capacity: usize,
+    /// When set, artifacts persist under this directory and the cache
+    /// starts warm after a restart; `None` keeps everything in memory.
+    pub disk_root: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            shards: 8,
+            shard_budget: 8 << 20,
+            session_capacity: 256,
+            disk_root: None,
+        }
+    }
+}
+
+macro_rules! serve_counters {
+    ($(#[doc = $doc:literal] $field:ident => $metric:literal,)+) => {
+        /// Service counters. The authoritative copy lives on the daemon
+        /// instance (so tests with several daemons stay isolated); every
+        /// bump is mirrored into [`MetricsRegistry::global`] under the
+        /// same `serve.*` names.
+        #[derive(Debug, Default)]
+        pub struct ServeCounters {
+            $(#[doc = $doc] pub $field: AtomicU64,)+
+        }
+
+        impl ServeCounters {
+            fn bump(&self, field: &AtomicU64, name: &str) {
+                field.fetch_add(1, Ordering::Relaxed);
+                MetricsRegistry::global().counter_add(name, 1);
+            }
+
+            $(fn $field(&self) {
+                self.bump(&self.$field, $metric);
+            })+
+
+            /// Point-in-time copy as the shared report-telemetry schema.
+            pub fn snapshot(&self) -> hcg_obs::MetricsSnapshot {
+                let mut s = hcg_obs::MetricsSnapshot::new();
+                $(s.set_counter($metric, self.$field.load(Ordering::Relaxed));)+
+                s
+            }
+        }
+    };
+}
+
+serve_counters! {
+    /// Compile requests received (valid options; before cache lookup).
+    requests => "serve.requests",
+    /// Artifact-cache hits (positive and negative combined).
+    hits => "serve.cache.hits",
+    /// Artifact-cache misses (a compile or a join followed).
+    misses => "serve.cache.misses",
+    /// Compiles actually executed (single-flight leaders).
+    compiles => "serve.compiles",
+    /// Requests that joined another request's in-flight compile.
+    joins => "serve.inflight.joins",
+    /// Artifacts admitted into the cache.
+    admitted => "serve.cache.admitted",
+    /// Artifacts evicted to make room.
+    evicted => "serve.cache.evicted",
+    /// Failed compiles admitted as negative cache entries.
+    negative_admitted => "serve.cache.negative_admitted",
+    /// Cache hits that replayed a cached failure.
+    negative_hits => "serve.cache.negative_hits",
+    /// Front-end session cache hits (model already parsed + validated).
+    session_hits => "serve.session.hits",
+    /// Front-end session cache misses (model parsed this request).
+    session_misses => "serve.session.misses",
+    /// Sessions evicted from the front-end cache.
+    session_evicted => "serve.session.evicted",
+    /// Requests rejected before compiling (bad HTTP, bad options, 404s).
+    http_errors => "serve.http.errors",
+}
+
+/// Count-capped LRU of parsed front ends, keyed by model bytes only so
+/// every option combination over one model shares a session.
+#[derive(Debug, Default)]
+struct SessionCache {
+    entries: Mutex<HashMap<ContentKey, (Arc<CompileSession>, u64)>>,
+    clock: AtomicU64,
+    capacity: usize,
+}
+
+impl SessionCache {
+    fn new(capacity: usize) -> Self {
+        SessionCache {
+            entries: Mutex::default(),
+            clock: AtomicU64::new(1),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: ContentKey) -> Option<Arc<CompileSession>> {
+        let mut entries = self.entries.lock().expect("session cache poisoned");
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let (session, recency) = entries.get_mut(&key)?;
+        *recency = stamp;
+        Some(Arc::clone(session))
+    }
+
+    /// Insert, returning how many sessions were evicted to stay in cap.
+    fn insert(&self, key: ContentKey, session: Arc<CompileSession>) -> usize {
+        let mut entries = self.entries.lock().expect("session cache poisoned");
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        entries.insert(key, (session, stamp));
+        let mut evicted = 0;
+        while entries.len() > self.capacity {
+            let victim = *entries
+                .iter()
+                .min_by_key(|(_, (_, recency))| *recency)
+                .map(|(k, _)| k)
+                .expect("over-capacity map is non-empty");
+            entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().expect("session cache poisoned").len()
+    }
+}
+
+/// One in-flight compile: followers block on the condvar until the leader
+/// publishes the outcome.
+#[derive(Debug, Default)]
+struct Inflight {
+    done: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn publish(&self, outcome: Outcome) {
+        *self.done.lock().expect("inflight poisoned") = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Outcome {
+        let mut done = self.done.lock().expect("inflight poisoned");
+        loop {
+            if let Some(outcome) = done.clone() {
+                return outcome;
+            }
+            done = self.cv.wait(done).expect("inflight poisoned");
+        }
+    }
+}
+
+/// Shared daemon state.
+struct ServeState {
+    cache: Box<dyn ArtifactProvider>,
+    sessions: SessionCache,
+    inflight: Mutex<HashMap<ContentKey, Arc<Inflight>>>,
+    counters: Arc<ServeCounters>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Handle to a running daemon: its address, counters and lifecycle.
+pub struct ServeHandle {
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The daemon's bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The daemon's counters (live; readable while serving).
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        Arc::clone(&self.state.counters)
+    }
+
+    /// Live artifacts in the cache.
+    pub fn cache_entries(&self) -> usize {
+        self.state.cache.entries()
+    }
+
+    /// Payload bytes held by the cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.state.cache.bytes()
+    }
+
+    /// Parsed sessions held by the front-end cache.
+    pub fn session_entries(&self) -> usize {
+        self.state.sessions.len()
+    }
+
+    /// Stop accepting, drain the workers and join every thread.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.state.addr);
+        self.join();
+    }
+
+    /// Block until the daemon stops on its own (`POST /shutdown`).
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.supervisor.is_some() {
+            self.state.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.state.addr);
+            self.join();
+        }
+    }
+}
+
+/// Bind, spawn the accept loop and the worker pool, and return the handle.
+///
+/// # Errors
+///
+/// Returns the I/O error when the address cannot be bound or the disk
+/// cache root cannot be created.
+pub fn spawn(config: ServeConfig) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache: Box<dyn ArtifactProvider> = match &config.disk_root {
+        Some(root) => Box::new(ShardedCache::new(
+            config.shards,
+            config.shard_budget,
+            DiskStore::new(root)?,
+        )),
+        None => Box::new(ShardedCache::new(
+            config.shards,
+            config.shard_budget,
+            MemoryStore,
+        )),
+    };
+    let state = Arc::new(ServeState {
+        cache,
+        sessions: SessionCache::new(config.session_capacity),
+        inflight: Mutex::default(),
+        counters: Arc::new(ServeCounters::default()),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::spawn(move || {
+        let _span = hcg_obs::span_with("serve", || format!("accept/{addr}"));
+        for stream in listener.incoming() {
+            if accept_state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        // Dropping `tx` here wakes every worker blocked on the channel.
+    });
+
+    let workers = hcg_exec::effective_threads(config.workers).max(1);
+    let worker_state = Arc::clone(&state);
+    let supervisor = std::thread::spawn(move || {
+        let rx = Arc::new(Mutex::new(rx));
+        let jobs: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&worker_state);
+                move || {
+                    loop {
+                        // Hold the receiver lock only for the recv itself,
+                        // so other workers pick up connections while this
+                        // one compiles.
+                        let next = rx.lock().expect("serve queue poisoned").recv();
+                        match next {
+                            Ok(stream) => handle_connection(&state, stream),
+                            Err(_) => break,
+                        }
+                    }
+                }
+            })
+            .collect();
+        // Fan the worker loops out over the existing exec engine.
+        hcg_exec::run_jobs(workers, jobs);
+    });
+
+    Ok(ServeHandle {
+        state,
+        accept: Some(accept),
+        supervisor: Some(supervisor),
+    })
+}
+
+/// Serve one connection: one request, one response, close.
+fn handle_connection(state: &ServeState, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match http::read_request(&mut reader) {
+        Ok(r) => r,
+        Err(HttpError::Malformed(m)) => {
+            state.counters.http_errors();
+            let _ = http::write_response(&mut writer, &Response::text(400, m));
+            return;
+        }
+        // Shutdown wake-ups and dropped clients land here; nothing to say.
+        Err(HttpError::Io(_)) => return,
+    };
+    let response = route(state, &request);
+    let _ = http::write_response(&mut writer, &response);
+}
+
+fn route(state: &ServeState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/compile") => compile(state, request),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/health") => Response::text(200, "ok\n"),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(state.addr);
+            Response::text(200, "shutting down\n")
+        }
+        ("POST" | "GET", _) => {
+            state.counters.http_errors();
+            Response::text(404, format!("no route for {}\n", request.path))
+        }
+        (method, _) => {
+            state.counters.http_errors();
+            Response::text(405, format!("method {method} not supported\n"))
+        }
+    }
+}
+
+/// `GET /metrics`: service counters plus live cache gauges, as JSON.
+fn metrics(state: &ServeState) -> Response {
+    let mut snapshot = state.counters.snapshot();
+    snapshot.set_counter("serve.cache.entries", state.cache.entries() as u64);
+    snapshot.set_counter("serve.cache.bytes", state.cache.bytes() as u64);
+    snapshot.set_counter("serve.cache.shards", state.cache.shard_count() as u64);
+    snapshot.set_counter("serve.session.entries", state.sessions.len() as u64);
+    Response::text(200, snapshot.to_json())
+}
+
+/// `POST /compile`: cache lookup → single-flight dedup → compile.
+fn compile(state: &ServeState, request: &Request) -> Response {
+    let options = match CompileOptions::from_query(|k| request.query_param(k).map(str::to_owned)) {
+        Ok(o) => o,
+        Err(bad) => {
+            state.counters.http_errors();
+            return Response::text(400, format!("{bad}\n"));
+        }
+    };
+    let key = options.artifact_key(&request.body);
+    let _span = hcg_obs::span_with("serve", || {
+        format!("compile/{}/{}", options.canonical(), key.hex())
+    });
+    state.counters.requests();
+
+    if let Some(outcome) = state.cache.fetch(key) {
+        state.counters.hits();
+        if outcome.is_failure() {
+            state.counters.negative_hits();
+        }
+        return respond(&outcome, "hit");
+    }
+    state.counters.misses();
+
+    // Single-flight: first arrival leads the compile, the rest join.
+    let (flight, leader) = {
+        let mut inflight = state.inflight.lock().expect("inflight map poisoned");
+        match inflight.get(&key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Inflight::default());
+                inflight.insert(key, Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+    if !leader {
+        state.counters.joins();
+        return respond(&flight.wait(), "join");
+    }
+
+    // Leadership recheck: between this request's cache miss and its
+    // inflight registration, a previous leader may have admitted the very
+    // artifact we are about to compile (its inflight entry is removed
+    // only *after* admission, so by the time we could become leader the
+    // cache is current). Serve that instead of recompiling.
+    if let Some(outcome) = state.cache.fetch(key) {
+        state.counters.hits();
+        if outcome.is_failure() {
+            state.counters.negative_hits();
+        }
+        flight.publish(outcome.clone());
+        state
+            .inflight
+            .lock()
+            .expect("inflight map poisoned")
+            .remove(&key);
+        return respond(&outcome, "hit");
+    }
+
+    let outcome = run_compile(state, &options, &request.body);
+    let report = state.cache.admit(key, outcome.clone());
+    if report.admitted {
+        state.counters.admitted();
+        if outcome.is_failure() {
+            state.counters.negative_admitted();
+        }
+    }
+    for _ in 0..report.evicted {
+        state.counters.evicted();
+    }
+    flight.publish(outcome.clone());
+    state
+        .inflight
+        .lock()
+        .expect("inflight map poisoned")
+        .remove(&key);
+    respond(&outcome, "miss")
+}
+
+/// Execute one compile through the shared front-end session cache.
+fn run_compile(state: &ServeState, options: &CompileOptions, model_bytes: &[u8]) -> Outcome {
+    state.counters.compiles();
+    let session_key = CompileOptions::session_key(model_bytes);
+    let session = match state.sessions.get(session_key) {
+        Some(s) => {
+            state.counters.session_hits();
+            s
+        }
+        None => {
+            state.counters.session_misses();
+            let Ok(text) = std::str::from_utf8(model_bytes) else {
+                return Outcome::Failure(Arc::new("model body is not valid UTF-8".to_owned()));
+            };
+            let model = match hcg_model::parser::model_from_xml(text) {
+                Ok(m) => m,
+                Err(e) => return Outcome::Failure(Arc::new(format!("model parse failed: {e}"))),
+            };
+            let session = Arc::new(CompileSession::new(model));
+            for _ in 0..state.sessions.insert(session_key, Arc::clone(&session)) {
+                state.counters.session_evicted();
+            }
+            session
+        }
+    };
+    let generator = options.build_generator();
+    match session.generate(generator.as_ref(), options.arch) {
+        Ok(program) => Outcome::Success(Arc::new(to_c_source(&program))),
+        Err(e) => Outcome::Failure(Arc::new(format!("compile failed: {e}"))),
+    }
+}
+
+fn respond(outcome: &Outcome, cache_status: &str) -> Response {
+    let status = if outcome.is_failure() { 422 } else { 200 };
+    Response::text(status, outcome.text()).with_header("X-Cache", cache_status)
+}

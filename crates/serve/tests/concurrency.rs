@@ -1,0 +1,269 @@
+//! Service-level correctness: single-flight deduplication, negative
+//! caching, eviction-then-recompile byte-identity over fuzz models, and
+//! disk-backed warm restarts. Every response body is checked against the
+//! direct (non-service) [`CompileSession`] compile — the daemon must be a
+//! transparent cache, never a different compiler.
+
+use hcg_core::emit::to_c_source;
+use hcg_core::CompileSession;
+use hcg_fuzz::{generate_model, GenConfig};
+use hcg_isa::Arch;
+use hcg_model::parser::model_to_xml;
+use hcg_serve::{client, spawn, CompileOptions, ServeConfig};
+use std::sync::Barrier;
+
+/// The expected body for `model_xml` compiled directly, bypassing the
+/// service (the byte-identity oracle).
+fn direct_compile(model_xml: &str, query: &[(&str, &str)]) -> Result<String, String> {
+    let map: std::collections::HashMap<&str, &str> = query.iter().copied().collect();
+    let options = CompileOptions::from_query(|k| map.get(k).map(|v| (*v).to_owned()))
+        .expect("test query is valid");
+    let model = hcg_model::parser::model_from_xml(model_xml).map_err(|e| e.to_string())?;
+    let session = CompileSession::new(model);
+    session
+        .generate(options.build_generator().as_ref(), options.arch)
+        .map(|p| to_c_source(&p))
+        .map_err(|e| e.to_string())
+}
+
+fn query_string(query: &[(&str, &str)]) -> String {
+    query
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[test]
+fn concurrent_identical_requests_compile_once_with_identical_bodies() {
+    let handle = spawn(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let xml = model_to_xml(&generate_model(11, &GenConfig::default()));
+    let expected = direct_compile(&xml, &[("arch", "neon128")]).unwrap();
+
+    const CLIENTS: usize = 8;
+    let barrier = Barrier::new(CLIENTS);
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let resp =
+                        client::compile(handle.addr(), "arch=neon128", xml.as_bytes()).unwrap();
+                    assert_eq!(resp.status, 200);
+                    resp.text()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for body in &bodies {
+        assert_eq!(
+            body, &expected,
+            "every client sees the direct-compile bytes"
+        );
+    }
+    let counters = handle.counters();
+    let compiles = counters.compiles.load(std::sync::atomic::Ordering::Relaxed);
+    let requests = counters.requests.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(requests, CLIENTS as u64);
+    assert_eq!(
+        compiles, 1,
+        "single-flight: one compile for {CLIENTS} clients"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_bad_requests_hit_the_negative_cache() {
+    let handle = spawn(ServeConfig::default()).unwrap();
+    // An invalid model: validation fails after parse (undriven input).
+    let bad = "<model name=\"broken\">\n  <actor name=\"g\" kind=\"abs\"/>\n  \
+               <actor name=\"o\" kind=\"outport\"/>\n  \
+               <wire from=\"g:0\" to=\"o:0\"/>\n</model>\n";
+
+    let first = client::compile(handle.addr(), "", bad.as_bytes()).unwrap();
+    assert_eq!(first.status, 422);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let second = client::compile(handle.addr(), "", bad.as_bytes()).unwrap();
+    assert_eq!(second.status, 422);
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cached failure replays verbatim");
+
+    let counters = handle.counters();
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(
+        counters.compiles.load(Relaxed),
+        1,
+        "one validation, not two"
+    );
+    assert_eq!(counters.negative_admitted.load(Relaxed), 1);
+    assert_eq!(counters.negative_hits.load(Relaxed), 1);
+
+    // Unparseable XML is negatively cached under its own key too.
+    let garbage = b"this is not xml";
+    let g1 = client::compile(handle.addr(), "", garbage).unwrap();
+    let g2 = client::compile(handle.addr(), "", garbage).unwrap();
+    assert_eq!(g1.status, 422);
+    assert_eq!(g2.header("x-cache"), Some("hit"));
+    handle.shutdown();
+}
+
+#[test]
+fn eviction_then_recompile_stays_byte_identical() {
+    // A cache so small that every new artifact evicts the previous ones:
+    // one shard, 2 KiB budget (generated sources are larger).
+    let handle = spawn(ServeConfig {
+        shards: 1,
+        shard_budget: 2 << 10,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let cfg = GenConfig::default();
+    let models: Vec<String> = (0..4)
+        .map(|seed| model_to_xml(&generate_model(seed, &cfg)))
+        .collect();
+    let query = [("generator", "hcg"), ("arch", "avx256")];
+    let qs = query_string(&query);
+
+    let mut first_pass = Vec::new();
+    for xml in &models {
+        let resp = client::compile(handle.addr(), &qs, xml.as_bytes()).unwrap();
+        first_pass.push(resp);
+    }
+    // Cycle through again: earlier entries have been evicted, so these
+    // recompile — and must reproduce the exact same bytes.
+    for (xml, first) in models.iter().zip(&first_pass) {
+        let again = client::compile(handle.addr(), &qs, xml.as_bytes()).unwrap();
+        assert_eq!(again.status, first.status);
+        assert_eq!(
+            again.body, first.body,
+            "recompile after eviction is byte-identical"
+        );
+        match direct_compile(xml, &query) {
+            Ok(expected) => assert_eq!(again.text(), expected),
+            Err(_) => assert_eq!(again.status, 422),
+        }
+    }
+    let counters = handle.counters();
+    assert!(
+        counters.evicted.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "the tiny budget must actually evict"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn fuzz_models_roundtrip_across_generators_and_arches() {
+    let handle = spawn(ServeConfig::default()).unwrap();
+    let cfg = GenConfig::default();
+    for seed in [3, 17] {
+        let xml = model_to_xml(&generate_model(seed, &cfg));
+        for generator in ["hcg", "simulink-coder", "dfsynth"] {
+            for arch in Arch::ALL {
+                let query = [("generator", generator), ("arch", arch.name())];
+                let qs = query_string(&query);
+                let resp = client::compile(handle.addr(), &qs, xml.as_bytes()).unwrap();
+                match direct_compile(&xml, &query) {
+                    Ok(expected) => {
+                        assert_eq!(resp.status, 200, "{generator}/{arch}: {}", resp.text());
+                        assert_eq!(resp.text(), expected, "{generator}/{arch}");
+                    }
+                    Err(_) => assert_eq!(resp.status, 422),
+                }
+            }
+        }
+    }
+    // Beam mapping is part of the key: beam=4 must not alias greedy.
+    let xml = model_to_xml(&generate_model(3, &cfg));
+    let greedy = client::compile(handle.addr(), "arch=neon128", xml.as_bytes()).unwrap();
+    let beam = client::compile(handle.addr(), "arch=neon128&beam=4", xml.as_bytes()).unwrap();
+    assert_eq!(beam.header("x-cache"), Some("miss"), "distinct cache key");
+    assert_eq!(
+        beam.text(),
+        direct_compile(&xml, &[("arch", "neon128"), ("beam", "4")]).unwrap()
+    );
+    drop(greedy);
+    handle.shutdown();
+}
+
+#[test]
+fn disk_backed_cache_restarts_warm() {
+    let root = std::env::temp_dir().join(format!("hcg-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let xml = model_to_xml(&generate_model(29, &GenConfig::default()));
+
+    let first_body;
+    {
+        let handle = spawn(ServeConfig {
+            disk_root: Some(root.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let resp = client::compile(handle.addr(), "arch=sse128", xml.as_bytes()).unwrap();
+        assert_eq!(resp.header("x-cache"), Some("miss"));
+        first_body = resp.body;
+        handle.shutdown();
+    }
+
+    // A fresh daemon over the same root serves the artifact without
+    // compiling at all.
+    let handle = spawn(ServeConfig {
+        disk_root: Some(root.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    assert!(handle.cache_entries() >= 1, "preloaded from disk");
+    let resp = client::compile(handle.addr(), "arch=sse128", xml.as_bytes()).unwrap();
+    assert_eq!(resp.header("x-cache"), Some("hit"));
+    assert_eq!(resp.body, first_body);
+    assert_eq!(
+        handle
+            .counters()
+            .compiles
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "warm start: no compile ran"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn metrics_and_health_endpoints_respond() {
+    let handle = spawn(ServeConfig::default()).unwrap();
+    let health = client::request(handle.addr(), "GET", "/health", b"").unwrap();
+    assert_eq!(health.status, 200);
+
+    let xml = model_to_xml(&generate_model(5, &GenConfig::default()));
+    client::compile(handle.addr(), "", xml.as_bytes()).unwrap();
+    let metrics = client::request(handle.addr(), "GET", "/metrics", b"").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    hcg_obs::json::validate(&text).expect("metrics endpoint serves valid JSON");
+    assert!(text.contains("\"serve.requests\""));
+    assert!(text.contains("\"serve.cache.entries\""));
+
+    // Unknown routes and bad options are counted, not fatal.
+    let missing = client::request(handle.addr(), "GET", "/nope", b"").unwrap();
+    assert_eq!(missing.status, 404);
+    let bad = client::compile(handle.addr(), "generator=gcc", xml.as_bytes()).unwrap();
+    assert_eq!(bad.status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn post_shutdown_stops_the_daemon() {
+    let handle = spawn(ServeConfig::default()).unwrap();
+    let addr = handle.addr();
+    let resp = client::request(addr, "POST", "/shutdown", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    handle.wait();
+    // The port no longer answers.
+    assert!(client::request(addr, "GET", "/health", b"").is_err());
+}

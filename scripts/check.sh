@@ -56,6 +56,17 @@ cargo test -q --release -p hcg-fuzz edits
 echo "==> corpus replay (committed repros through the full oracle)"
 cargo test -q --release -p hcg-fuzz --test corpus_replay
 
+echo "==> compile-service smoke (daemon on an ephemeral port, repeat POSTs are cache hits)"
+cargo run -q --release -p hcg-bench --bin repro -- serve-smoke \
+    --out target/repro_serve_smoke.txt
+grep -q "clean shutdown" target/repro_serve_smoke.txt
+
+echo "==> compile-service bench smoke (Zipf replay, byte-identity gate)"
+cargo run -q --release -p hcg-bench --bin repro -- serve-bench --requests 50 \
+    --clients 4 --corpus-size 10 \
+    --json target/serve_smoke.json --out target/repro_serve_bench.txt
+grep -q '"identical_responses": true' target/serve_smoke.json
+
 echo "==> profile smoke run (cycle attribution conserves, trace JSON parses)"
 cargo run -q --release -p hcg-bench --bin repro -- profile --model FIR \
     --json target/profile_smoke.json --trace target/trace_smoke.json \
