@@ -19,9 +19,10 @@
 //! cargo run -p hcg-bench --bin repro --release -- profile [--model M] [--json PATH] [--trace PATH]
 //! cargo run -p hcg-bench --bin repro --release -- verify [--json PATH]
 //! cargo run -p hcg-bench --bin repro --release -- lint
-//! cargo run -p hcg-bench --bin repro --release -- serve [--port P] [--threads N]
+//! cargo run -p hcg-bench --bin repro --release -- serve [--port P] [--threads N] [--access-log PATH]
 //! cargo run -p hcg-bench --bin repro --release -- serve-smoke
 //! cargo run -p hcg-bench --bin repro --release -- serve-bench [--requests N] [--clients C] [--corpus-size M] [--seed S] [--threads N] [--json PATH]
+//! cargo run -p hcg-bench --bin repro --release -- obs-bench [--requests N] [--clients C] [--corpus-size M] [--seed S] [--threads N] [--access-log PATH] [--json PATH]
 //! ```
 
 use hcg_baselines::SimulinkCoderGen;
@@ -110,6 +111,7 @@ fn main() {
         "serve" => serve_cmd(&args),
         "serve-smoke" => serve_smoke_cmd(),
         "serve-bench" => serve_bench_cmd(&args),
+        "obs-bench" => obs_bench_cmd(&args),
         other => {
             eprintln!("unknown experiment {other:?}; see module docs for the list");
             std::process::exit(2);
@@ -1031,6 +1033,7 @@ fn serve_cmd(args: &cli::CommonArgs) {
     let handle = hcg_serve::spawn(hcg_serve::ServeConfig {
         addr: format!("127.0.0.1:{}", args.port),
         workers: args.threads,
+        access_log: args.access_log.clone(),
         ..hcg_serve::ServeConfig::default()
     })
     .expect("daemon binds");
@@ -1038,7 +1041,12 @@ fn serve_cmd(args: &cli::CommonArgs) {
     outln!(
         "  POST /compile?generator=hcg|simulink-coder|dfsynth&arch=neon128|sse128|avx256&beam=W"
     );
-    outln!("  GET /metrics | GET /health | POST /shutdown");
+    outln!(
+        "  GET /metrics[?format=prometheus] | GET /health | GET /debug/requests | POST /shutdown"
+    );
+    if let Some(path) = &args.access_log {
+        outln!("  access log: {}", path.display());
+    }
     handle.wait();
     outln!("  daemon stopped");
 }
@@ -1058,6 +1066,7 @@ fn serve_bench_cmd(args: &cli::CommonArgs) {
         corpus_size: args.corpus_size,
         seed: args.seed,
         workers: args.threads,
+        ..ServeBenchConfig::default()
     };
     let report = run_serve_bench(&config);
     for line in render_serve_bench(&report).lines() {
@@ -1081,6 +1090,29 @@ fn serve_bench_cmd(args: &cli::CommonArgs) {
             "hit rate {:.1}% under Zipf replay; expected > 50%",
             report.hit_rate() * 100.0
         );
+    }
+}
+
+fn obs_bench_cmd(args: &cli::CommonArgs) {
+    heading("Observability overhead — the serve workload with telemetry layered on");
+    let defaults = ObsBenchConfig::default();
+    let config = ObsBenchConfig {
+        requests: args.requests,
+        clients: args.clients,
+        corpus_size: args.corpus_size,
+        seed: args.seed,
+        workers: args.threads,
+        access_log: args.access_log.clone().unwrap_or(defaults.access_log),
+        ..defaults
+    };
+    let report = run_obs_bench(&config);
+    for line in render_obs_bench(&report).lines() {
+        outln!("  {line}");
+    }
+    if let Some(path) = &args.json {
+        let body = obs_bench_json(&report);
+        hcg_obs::json::validate(&body).expect("obs bench JSON must validate");
+        write_report_file(path, &body, "observability overhead report");
     }
 }
 

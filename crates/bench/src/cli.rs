@@ -3,9 +3,9 @@
 //! Every subcommand understands the same flag vocabulary (`--threads`,
 //! `--json`, `--seed`, `--iters`, `--edits`, `--out`, `--wall-clock`,
 //! `--model`, `--trace`, `--beam`, `--calibrate`, `--requests`,
-//! `--clients`, `--corpus-size`, `--port`), parsed once here instead of
-//! per subcommand. Unknown flags are errors; the first bare word is the
-//! subcommand.
+//! `--clients`, `--corpus-size`, `--port`, `--access-log`), parsed once
+//! here instead of per subcommand. Unknown flags are errors; the first
+//! bare word is the subcommand.
 
 use std::path::PathBuf;
 
@@ -45,6 +45,9 @@ pub struct CommonArgs {
     pub corpus_size: usize,
     /// `--port P`: TCP port for the `serve` subcommand (`0` = ephemeral).
     pub port: u16,
+    /// `--access-log PATH`: per-request JSONL destination for the `serve`
+    /// and `obs-bench` subcommands.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -66,6 +69,7 @@ impl Default for CommonArgs {
             clients: 8,
             corpus_size: 1000,
             port: 0,
+            access_log: None,
         }
     }
 }
@@ -121,6 +125,11 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<CommonArgs, Stri
             }
             "--port" => {
                 out.port = parse_num(args.next(), "--port")?;
+            }
+            "--access-log" => {
+                out.access_log = Some(PathBuf::from(
+                    args.next().ok_or("--access-log requires a path")?,
+                ));
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -245,6 +254,27 @@ mod tests {
     }
 
     #[test]
+    fn obs_bench_invocation() {
+        let a = parse(&[
+            "obs-bench",
+            "--requests",
+            "2000",
+            "--access-log",
+            "target/access.jsonl",
+            "--json",
+            "o.json",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd.as_deref(), Some("obs-bench"));
+        assert_eq!(a.requests, 2000);
+        assert_eq!(
+            a.access_log.as_deref(),
+            Some(std::path::Path::new("target/access.jsonl"))
+        );
+        assert_eq!(parse(&[]).unwrap().access_log, None);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--edits"]).is_err());
@@ -259,6 +289,7 @@ mod tests {
         assert!(parse(&["--clients", "many"]).is_err());
         assert!(parse(&["--corpus-size"]).is_err());
         assert!(parse(&["--port", "70000"]).is_err());
+        assert!(parse(&["--access-log"]).is_err());
         assert!(parse(&["--calibrate", "--bogus"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["fleet", "fuzz"]).is_err());

@@ -12,6 +12,7 @@ pub mod consistency;
 pub mod experiments;
 pub mod fleet;
 pub mod incremental;
+pub mod obsbench;
 pub mod profile;
 pub mod search;
 pub mod serve;
@@ -21,6 +22,10 @@ pub use consistency::{check_consistency, Consistency};
 pub use experiments::*;
 pub use fleet::{run_fleet, run_fleet_sequential, FleetJob, FleetOutcome, FleetRun};
 pub use incremental::{param_edit, run_incremental_bench, IncrementalBenchConfig, IncrementalRow};
+pub use obsbench::{
+    obs_bench_json, record_cost_ns_per_request, render_obs_bench, run_obs_bench, ObsBenchConfig,
+    ObsBenchReport, ObsLayerResult,
+};
 pub use profile::{profile_json, profile_matrix, ProfileEntry};
 pub use search::{render_search, run_search, search_json, SearchReport, SearchRow};
 pub use serve::{

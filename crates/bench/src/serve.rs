@@ -34,6 +34,11 @@ pub struct ServeBenchConfig {
     pub seed: u64,
     /// Daemon worker jobs (0 = all cores).
     pub workers: usize,
+    /// Record latency/size histograms in the daemon (the default
+    /// production posture; `obs-bench` turns it off for its baseline).
+    pub record_histograms: bool,
+    /// Append one JSON line per request to this path.
+    pub access_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeBenchConfig {
@@ -44,6 +49,8 @@ impl Default for ServeBenchConfig {
             corpus_size: 1000,
             seed: 0,
             workers: 0,
+            record_histograms: true,
+            access_log: None,
         }
     }
 }
@@ -160,6 +167,8 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchReport {
 
     let handle: ServeHandle = spawn(ServeConfig {
         workers: config.workers,
+        record_histograms: config.record_histograms,
+        access_log: config.access_log.clone(),
         ..ServeConfig::default()
     })
     .expect("serve-bench daemon binds an ephemeral port");
@@ -375,11 +384,35 @@ pub fn run_serve_smoke() -> String {
     }
     let metrics = client::request(addr, "GET", "/metrics", b"").expect("smoke metrics");
     hcg_obs::json::validate(&metrics.text()).expect("metrics JSON validates");
+    assert_eq!(
+        metrics.header("cache-control"),
+        Some("no-store"),
+        "scrapes must not be cached"
+    );
+    // The Prometheus surface, end to end: scrape the text format over TCP
+    // and run it through the strict parser (no curl, no external deps).
+    let prom = client::request(addr, "GET", "/metrics?format=prometheus", b"")
+        .expect("smoke prometheus scrape");
+    assert_eq!(prom.status, 200);
+    let doc = hcg_obs::prometheus::parse(&prom.text()).expect("prometheus exposition parses");
+    assert!(
+        doc.value("serve_requests").unwrap_or(0.0) >= 4.0,
+        "scrape reflects the smoke's requests"
+    );
+    assert_eq!(
+        doc.types
+            .get("serve_request_latency_us")
+            .map(String::as_str),
+        Some("histogram"),
+        "latency histogram exposed to Prometheus"
+    );
     let counters = handle.counters();
     assert_eq!(counters.compiles.load(Relaxed), 2, "one compile per model");
     assert_eq!(counters.hits.load(Relaxed), 2, "one hit per model");
     handle.shutdown();
-    out.push_str("metrics valid JSON; 2 compiles, 2 hits; clean shutdown\n");
+    out.push_str(
+        "metrics valid JSON; prometheus scrape parses; 2 compiles, 2 hits; clean shutdown\n",
+    );
     out
 }
 
@@ -418,6 +451,7 @@ mod tests {
             corpus_size: 5,
             seed: 7,
             workers: 2,
+            ..ServeBenchConfig::default()
         });
         assert!(
             report.identical,

@@ -132,6 +132,10 @@ where
 
     let steals = AtomicU64::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobResult<T>)>();
+    // Capture the submitter's trace context so spans recorded inside the
+    // jobs stitch under the submitting thread's open span — one request's
+    // compile fan-out stays one tree even across the pool boundary.
+    let submitter_ctx = hcg_obs::current_trace_context();
 
     std::thread::scope(|scope| {
         for me in 0..workers {
@@ -139,6 +143,7 @@ where
             let steals = &steals;
             let tx = tx.clone();
             scope.spawn(move || {
+                let _trace = hcg_obs::trace_scope(submitter_ctx);
                 loop {
                     // Own work first: pop the front (submission order).
                     let mine = deques[me].lock().expect("deque lock poisoned").pop_front();
@@ -182,6 +187,11 @@ where
                         break; // receiver gone — nothing left to report to
                     }
                 }
+                // Publish any still-buffered spans before the scope joins
+                // this worker: thread-local destructors can run after the
+                // join, so without this flush a caller draining events
+                // right after `run_jobs` returns could miss worker spans.
+                hcg_obs::flush_thread();
             });
         }
         drop(tx);

@@ -41,14 +41,18 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
 mod metrics;
+pub mod prometheus;
 mod span;
 mod trace;
 
+pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use prometheus::render_prometheus;
 pub use span::{
-    clear_events, flush_thread, set_tracing, span, span_with, take_events, tracing_enabled,
-    SpanEvent, SpanGuard,
+    clear_events, current_trace_context, flush_thread, set_tracing, span, span_with, take_events,
+    trace_scope, tracing_enabled, SpanEvent, SpanGuard, TraceContext, TraceScope,
 };
 pub use trace::{chrome_trace_json, render_tree};

@@ -1,8 +1,10 @@
-//! The unified metrics registry: named monotonic counters and gauges with
-//! a snapshot/delta API and stable sorted-key JSON output.
+//! The unified metrics registry: named monotonic counters, gauges and
+//! log-bucketed histograms with a snapshot/delta API and stable
+//! sorted-key JSON output.
 
+use crate::hist::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One metric value: a monotonic counter or a last-write-wins gauge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +34,7 @@ impl MetricValue {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     values: Mutex<BTreeMap<String, MetricValue>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 static GLOBAL: MetricsRegistry = MetricsRegistry::new();
@@ -41,6 +44,7 @@ impl MetricsRegistry {
     pub const fn new() -> Self {
         MetricsRegistry {
             values: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -68,16 +72,49 @@ impl MetricsRegistry {
             .insert(name.to_owned(), MetricValue::Gauge(value));
     }
 
+    /// The named histogram, created empty on first use. The returned
+    /// handle is shared: recording through it is lock-free and shows up
+    /// in every later [`snapshot`](Self::snapshot).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.histograms.lock().expect("metrics lock poisoned");
+        Arc::clone(
+            m.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Register an externally owned histogram under `name` (last writer
+    /// wins). Daemons keep private per-instance histograms for isolation
+    /// and register them here so process-wide snapshots still see them.
+    pub fn register_histogram(&self, name: &str, hist: &Arc<Histogram>) {
+        self.histograms
+            .lock()
+            .expect("metrics lock poisoned")
+            .insert(name.to_owned(), Arc::clone(hist));
+    }
+
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
         MetricsSnapshot {
             values: self.values.lock().expect("metrics lock poisoned").clone(),
+            histograms,
         }
     }
 
     /// Remove every metric (test isolation).
     pub fn reset(&self) {
         self.values.lock().expect("metrics lock poisoned").clear();
+        self.histograms
+            .lock()
+            .expect("metrics lock poisoned")
+            .clear();
     }
 }
 
@@ -87,6 +124,7 @@ impl MetricsRegistry {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     values: BTreeMap<String, MetricValue>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -123,14 +161,29 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Number of metrics.
+    /// Store a histogram snapshot under `name`.
+    pub fn set_histogram(&mut self, name: &str, hist: HistogramSnapshot) {
+        self.histograms.insert(name.to_owned(), hist);
+    }
+
+    /// The named histogram, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate `(name, histogram)` in sorted-key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics (counters, gauges and histograms).
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.len() + self.histograms.len()
     }
 
     /// `true` when no metric is recorded.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.values.is_empty() && self.histograms.is_empty()
     }
 
     /// Iterate `(name, value)` in sorted-key order.
@@ -163,7 +216,18 @@ impl MetricsSnapshot {
                 (k.clone(), v)
             })
             .collect();
-        MetricsSnapshot { values }
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let h = match earlier.histograms.get(k) {
+                    Some(then) => h.delta(then),
+                    None => h.clone(),
+                };
+                (k.clone(), h)
+            })
+            .collect();
+        MetricsSnapshot { values, histograms }
     }
 
     /// Copy every metric of `other` into `self` (other wins on clashes).
@@ -171,15 +235,27 @@ impl MetricsSnapshot {
         for (k, v) in &other.values {
             self.values.insert(k.clone(), *v);
         }
+        for (k, h) in &other.histograms {
+            self.histograms.insert(k.clone(), h.clone());
+        }
     }
 
     /// A JSON object with one member per metric, keys sorted — byte-stable
-    /// for equal content.
+    /// for equal content. Histograms render as nested objects (see
+    /// [`HistogramSnapshot::to_json`]); on a name clash the histogram
+    /// wins, mirroring registry behavior where names are distinct kinds.
     pub fn to_json(&self) -> String {
-        let members: Vec<String> = self
+        let mut members: BTreeMap<&str, String> = self
             .values
             .iter()
-            .map(|(k, v)| format!("\"{}\": {}", crate::json::escape(k), v.to_json()))
+            .map(|(k, v)| (k.as_str(), v.to_json()))
+            .collect();
+        for (k, h) in &self.histograms {
+            members.insert(k.as_str(), h.to_json());
+        }
+        let members: Vec<String> = members
+            .into_iter()
+            .map(|(k, v)| format!("\"{}\": {}", crate::json::escape(k), v))
             .collect();
         format!("{{{}}}", members.join(", "))
     }
@@ -252,6 +328,94 @@ mod tests {
         t.merge(&s);
         assert_eq!(t.counter("fuzz.cases"), Some(9));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delta_with_kind_collisions_keeps_the_later_kind() {
+        // A name recorded as a gauge in one snapshot and a counter in the
+        // other must not subtract across kinds: the later snapshot's
+        // value passes through untouched.
+        let mut then = MetricsSnapshot::new();
+        then.set_gauge("x", 100.0);
+        then.set_counter("y", 100);
+        let mut now = MetricsSnapshot::new();
+        now.set_counter("x", 7);
+        now.set_gauge("y", 7.0);
+        let d = now.delta(&then);
+        assert_eq!(d.counter("x"), Some(7), "counter-now vs gauge-then");
+        assert_eq!(d.gauge("y"), Some(7.0), "gauge-now vs counter-then");
+    }
+
+    #[test]
+    fn delta_drops_keys_only_in_earlier() {
+        let mut then = MetricsSnapshot::new();
+        then.set_counter("gone", 3);
+        then.set_histogram("h.gone", HistogramSnapshot::default());
+        let mut now = MetricsSnapshot::new();
+        now.set_counter("kept", 5);
+        let d = now.delta(&then);
+        assert_eq!(d.counter("gone"), None);
+        assert!(d.histogram("h.gone").is_none());
+        assert_eq!(d.counter("kept"), Some(5));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_an_identity_for_delta_and_merge() {
+        let mut s = MetricsSnapshot::new();
+        s.set_counter("n", 9);
+        s.set_gauge("g", 2.5);
+        let h = Histogram::new();
+        h.record(4);
+        s.set_histogram("h", h.snapshot());
+        let empty = MetricsSnapshot::new();
+
+        // x.delta(empty) == x and empty.delta(x) == empty.
+        assert_eq!(s.delta(&empty), s);
+        assert!(empty.delta(&s).is_empty());
+
+        // Merging an empty snapshot changes nothing; merging into an
+        // empty snapshot copies everything.
+        let mut merged = s.clone();
+        merged.merge(&empty);
+        assert_eq!(merged, s);
+        let mut from_empty = MetricsSnapshot::new();
+        from_empty.merge(&s);
+        assert_eq!(from_empty, s);
+    }
+
+    #[test]
+    fn merge_replaces_on_kind_collision_and_keeps_histograms_distinct() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("k", 1);
+        let hist = Histogram::new();
+        hist.record(8);
+        a.set_histogram("lat", hist.snapshot());
+        let mut b = MetricsSnapshot::new();
+        b.set_gauge("k", 0.5);
+        a.merge(&b);
+        assert_eq!(a.counter("k"), None, "other wins on kind clashes");
+        assert_eq!(a.gauge("k"), Some(0.5));
+        assert_eq!(a.histogram("lat").map(|h| h.count), Some(1));
+        // len counts values and histograms together.
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn registry_histograms_snapshot_and_delta_round_trip() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        h.record(100);
+        let then = r.snapshot();
+        h.record(200);
+        r.histogram("lat").record(300);
+        let now = r.snapshot();
+        let d = now.delta(&then);
+        assert_eq!(then.histogram("lat").map(|h| h.count), Some(1));
+        assert_eq!(now.histogram("lat").map(|h| h.count), Some(3));
+        assert_eq!(d.histogram("lat").map(|h| h.count), Some(2));
+        assert!(crate::json::validate(&d.to_json()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! Prometheus text exposition (version 0.0.4) for [`MetricsSnapshot`].
+//!
+//! [`render_prometheus`] turns a snapshot into the plain-text scrape
+//! format: one `# TYPE` line per family, counters and gauges as single
+//! samples, histograms as cumulative `_bucket{le="…"}` series plus
+//! `_sum`/`_count`. Metric names are sanitized to the Prometheus
+//! alphabet (`[a-zA-Z0-9_:]`, non-leading digits) — `serve.cache.hits`
+//! scrapes as `serve_cache_hits`.
+//!
+//! [`parse`] is the matching hand-rolled reader: it checks the grammar
+//! line by line (types declared before samples, cumulative buckets
+//! monotone, `+Inf` bucket equal to `_count`) so tests can prove the
+//! server's scrape output is well-formed without an external Prometheus
+//! binary.
+
+use crate::hist::HistogramSnapshot;
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Map a metric name into the Prometheus alphabet: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a `_`
+/// prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a gauge value the way Prometheus expects (`NaN`/`+Inf`/`-Inf`
+/// spelled out; finite values via shortest round-trip formatting).
+fn render_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (le, n) in h.nonzero_buckets() {
+        cumulative += n;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render `snapshot` in the Prometheus text exposition format. Families
+/// appear in sanitized-name order; equal snapshots render byte-identical
+/// text. Distinct raw names that sanitize to the same family keep the
+/// last one (sorted order), mirroring snapshot key semantics.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    // Re-key by sanitized name first so the `# TYPE` line and its
+    // samples stay adjacent even when sanitization reorders names.
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (name, value) in snapshot.iter() {
+        families.insert(
+            sanitize_name(name),
+            match value {
+                MetricValue::Counter(c) => Family::Counter(c),
+                MetricValue::Gauge(g) => Family::Gauge(g),
+            },
+        );
+    }
+    for (name, h) in snapshot.histograms() {
+        families.insert(sanitize_name(name), Family::Histogram(Box::new(h.clone())));
+    }
+    let mut out = String::new();
+    for (name, family) in &families {
+        match family {
+            Family::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {c}");
+            }
+            Family::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", render_float(*g));
+            }
+            Family::Histogram(h) => render_histogram(&mut out, name, h),
+        }
+    }
+    out
+}
+
+// The histogram is boxed: a snapshot is ~530 bytes of fixed buckets,
+// which would otherwise dominate the enum's footprint.
+enum Family {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One parsed sample line of an exposition document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name as written (`foo`, `foo_bucket`, `foo_sum`, …).
+    pub name: String,
+    /// `(label, value)` pairs, in document order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition document: declared family types plus every
+/// sample, in document order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// `family name → declared type` (`counter`, `gauge`, `histogram`).
+    pub types: BTreeMap<String, String>,
+    /// Every sample line.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The single value of a plain (label-free) sample named `name`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// Cumulative `(le, count)` bucket samples of histogram `family`, in
+    /// document order (`le` kept textual so `+Inf` survives).
+    pub fn buckets(&self, family: &str) -> Vec<(String, f64)> {
+        let bucket_name = format!("{family}_bucket");
+        self.samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .filter_map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, le)| (le.clone(), s.value))
+            })
+            .collect()
+    }
+}
+
+/// A grammar or consistency violation found by [`parse`], with the
+/// 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending text (0 for document-level checks).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prometheus text line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str, line: usize) -> Result<f64, ParseError> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse()
+            .map_err(|_| err(line, format!("bad sample value {other:?}"))),
+    }
+}
+
+/// Parse labels from `{k="v", …}` (the slice between the braces).
+fn parse_labels(text: &str, line: usize) -> Result<Vec<(String, String)>, ParseError> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(line, "label without '='"))?;
+        let key = rest[..eq].trim();
+        if !valid_name(key) {
+            return Err(err(line, format!("bad label name {key:?}")));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(err(line, "label value is not quoted"));
+        }
+        // Scan the quoted value honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    end = Some(i + 2);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err(err(line, "dangling escape in label value")),
+                },
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| err(line, "unterminated label value"))?;
+        labels.push((key.to_owned(), value));
+        rest = rest[end..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(line, "expected ',' between labels"));
+        }
+    }
+    Ok(labels)
+}
+
+/// The family a sample belongs to given the declared types: strips a
+/// `_bucket`/`_sum`/`_count` suffix when the base name is a declared
+/// histogram.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Parse and check a Prometheus text exposition document.
+///
+/// Enforced: sample lines are `name[{labels}] value`, names and label
+/// names use the Prometheus alphabet, every sample's family has a
+/// `# TYPE` line *before* it, declared histograms expose monotone
+/// cumulative buckets ending in `le="+Inf"` whose count equals the
+/// family's `_count` sample, and no family is declared twice.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(text: &str) -> Result<Exposition, ParseError> {
+    let mut doc = Exposition::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().ok_or_else(|| err(line, "TYPE without name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(line, "TYPE without a kind"))?;
+                if !valid_name(name) {
+                    return Err(err(line, format!("bad metric name {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(line, format!("unknown TYPE kind {kind:?}")));
+                }
+                if doc.types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                    return Err(err(line, format!("family {name:?} declared twice")));
+                }
+            }
+            // Other comments (# HELP, bare #) are ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match trimmed.find('{') {
+            Some(brace) => {
+                let close = trimmed
+                    .rfind('}')
+                    .ok_or_else(|| err(line, "unterminated label set"))?;
+                if close < brace {
+                    return Err(err(line, "'}' before '{'"));
+                }
+                (&trimmed[..brace], &trimmed[brace..=close])
+            }
+            None => {
+                let space = trimmed
+                    .find(char::is_whitespace)
+                    .ok_or_else(|| err(line, "sample without a value"))?;
+                (&trimmed[..space], "")
+            }
+        };
+        let name = name_part.trim();
+        if !valid_name(name) {
+            return Err(err(line, format!("bad sample name {name:?}")));
+        }
+        let (labels, value_text) = if rest.is_empty() {
+            (Vec::new(), trimmed[name_part.len()..].trim())
+        } else {
+            let labels = parse_labels(&rest[1..rest.len() - 1], line)?;
+            let after = &trimmed[name_part.len() + rest.len()..];
+            (labels, after.trim())
+        };
+        if value_text.is_empty() {
+            return Err(err(line, "sample without a value"));
+        }
+        // A trailing timestamp is legal in the format; reject it here —
+        // this renderer never emits one, so one appearing is a bug.
+        if value_text.split_whitespace().count() != 1 {
+            return Err(err(line, "unexpected trailing token after value"));
+        }
+        let family = family_of(name, &doc.types);
+        if !doc.types.contains_key(family) {
+            return Err(err(
+                line,
+                format!("sample {name:?} has no preceding # TYPE line"),
+            ));
+        }
+        doc.samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value: parse_value(value_text, line)?,
+        });
+    }
+    // Document-level histogram consistency.
+    for (family, kind) in &doc.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let buckets = doc.buckets(family);
+        if buckets.is_empty() {
+            return Err(err(0, format!("histogram {family:?} has no buckets")));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for (le, cumulative) in &buckets {
+            if *cumulative < prev {
+                return Err(err(
+                    0,
+                    format!("histogram {family:?} buckets are not cumulative at le={le}"),
+                ));
+            }
+            prev = *cumulative;
+        }
+        let (last_le, last_n) = buckets.last().expect("non-empty");
+        if last_le != "+Inf" {
+            return Err(err(
+                0,
+                format!("histogram {family:?} does not end with le=\"+Inf\""),
+            ));
+        }
+        let count = doc
+            .value(&format!("{family}_count"))
+            .ok_or_else(|| err(0, format!("histogram {family:?} lacks _count")))?;
+        if doc.value(&format!("{family}_sum")).is_none() {
+            return Err(err(0, format!("histogram {family:?} lacks _sum")));
+        }
+        if (count - last_n).abs() > f64::EPSILON {
+            return Err(err(
+                0,
+                format!("histogram {family:?}: +Inf bucket {last_n} != _count {count}"),
+            ));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.set_counter("serve.requests", 42);
+        s.set_gauge("serve.cache.bytes", 1024.5);
+        let h = Histogram::new();
+        for v in [3u64, 9, 9, 200] {
+            h.record(v);
+        }
+        s.set_histogram("serve.latency_us", h.snapshot());
+        s
+    }
+
+    #[test]
+    fn names_sanitize_to_the_prometheus_alphabet() {
+        assert_eq!(sanitize_name("serve.cache.hits"), "serve_cache_hits");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("0bad"), "_0bad");
+        assert_eq!(sanitize_name("ok:name_1"), "ok:name_1");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn rendered_text_round_trips_through_the_parser() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 42\n"));
+        assert!(text.contains("# TYPE serve_cache_bytes gauge\nserve_cache_bytes 1024.5\n"));
+        assert!(text.contains("# TYPE serve_latency_us histogram\n"));
+        let doc = parse(&text).expect("renderer output parses");
+        assert_eq!(
+            doc.types.get("serve_requests").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(doc.value("serve_requests"), Some(42.0));
+        assert_eq!(doc.value("serve_latency_us_count"), Some(4.0));
+        assert_eq!(doc.value("serve_latency_us_sum"), Some(221.0));
+        let buckets = doc.buckets("serve_latency_us");
+        // 3 → le=3 (1), 9,9 → le=15 (cum 3), 200 → le=255 (cum 4), +Inf.
+        assert_eq!(
+            buckets,
+            vec![
+                ("3".to_owned(), 1.0),
+                ("15".to_owned(), 3.0),
+                ("255".to_owned(), 4.0),
+                ("+Inf".to_owned(), 4.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render_prometheus(&sample_snapshot());
+        let b = render_prometheus(&sample_snapshot());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_parses_empty() {
+        let text = render_prometheus(&MetricsSnapshot::new());
+        assert_eq!(text, "");
+        let doc = parse(&text).unwrap();
+        assert!(doc.samples.is_empty());
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_spellings() {
+        let mut s = MetricsSnapshot::new();
+        s.set_gauge("nan", f64::NAN);
+        s.set_gauge("inf", f64::INFINITY);
+        let text = render_prometheus(&s);
+        assert!(text.contains("nan NaN"));
+        assert!(text.contains("inf +Inf"));
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        // Sample before its TYPE line.
+        assert!(parse("foo 1\n").is_err());
+        // Bad name.
+        assert!(parse("# TYPE 9foo counter\n").is_err());
+        // Missing value.
+        assert!(parse("# TYPE foo counter\nfoo\n").is_err());
+        // Unterminated labels.
+        assert!(parse("# TYPE foo counter\nfoo{a=\"b\" 1\n").is_err());
+        // Duplicate family.
+        assert!(parse("# TYPE foo counter\n# TYPE foo gauge\n").is_err());
+        // Non-cumulative histogram buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(parse(bad).unwrap_err().message.contains("cumulative"));
+        // +Inf bucket disagreeing with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(parse(bad).unwrap_err().message.contains("_count"));
+        // Histogram without +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(parse(bad).unwrap_err().message.contains("+Inf"));
+    }
+
+    #[test]
+    fn parser_handles_escaped_label_values() {
+        let text = "# TYPE foo counter\nfoo{path=\"a\\\"b\\n\"} 1\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.samples[0].labels[0].1, "a\"b\n");
+    }
+}

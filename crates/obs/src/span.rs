@@ -8,8 +8,17 @@
 //! outermost span closes (with a thread-exit `Drop` as backstop), so
 //! scoped pool workers never lose events, and [`take_events`] gathers
 //! everything in a stable order.
+//!
+//! Spans stitch into cross-thread trees through an ambient
+//! [`TraceContext`]: [`trace_scope`] installs a `(trace_id, parent span
+//! id)` pair on the current thread, every span opened under it carries
+//! that trace id, and a thread's outermost spans adopt the context's
+//! parent — so a server can open a span on its accept thread, ship the
+//! context through a queue ([`current_trace_context`] +
+//! [`SpanGuard::id`]), and have the worker's spans hang off the accept
+//! span as one tree.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -31,6 +40,24 @@ pub struct SpanEvent {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// The request trace this span belongs to (0 = no ambient trace).
+    pub trace_id: u64,
+    /// Id of the enclosing span: the innermost open span on this thread,
+    /// or the ambient [`TraceContext`]'s parent for a thread's outermost
+    /// span (0 = a root).
+    pub parent: u64,
+}
+
+/// The ambient trace identity spans are recorded under: a `trace_id`
+/// shared by every span of one logical request, and the span id that
+/// should parent the next outermost span on this thread. `Default` is
+/// the zero context (no trace, no parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// The logical request id (0 = none).
+    pub trace_id: u64,
+    /// Parent span id for outermost spans (0 = none).
+    pub parent: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -50,6 +77,8 @@ struct LocalBuf {
     tid: u64,
     next_seq: u64,
     depth: u32,
+    /// Ids of currently open spans, innermost last — the parent chain.
+    open_ids: Vec<u64>,
     events: Vec<SpanEvent>,
 }
 
@@ -59,6 +88,7 @@ impl LocalBuf {
             tid: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
             next_seq: 0,
             depth: 0,
+            open_ids: Vec::new(),
             events: Vec::new(),
         }
     }
@@ -76,6 +106,50 @@ impl Drop for LocalBuf {
 
 thread_local! {
     static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+    static CONTEXT: Cell<TraceContext> = const { Cell::new(TraceContext { trace_id: 0, parent: 0 }) };
+    /// Parent barrier: spans already open when the current scope was
+    /// installed are invisible as parents. A long-lived worker-loop span
+    /// must not become the parent of per-request spans handled inside it
+    /// — each request parents to its own cross-thread context instead.
+    static BARRIER: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The trace context currently installed on this thread (the zero
+/// context when none is). Capture it at a handoff point (queue send,
+/// job submission) and reinstall it with [`trace_scope`] on the thread
+/// doing the work.
+pub fn current_trace_context() -> TraceContext {
+    CONTEXT.with(Cell::get)
+}
+
+/// Install `ctx` as this thread's ambient trace context until the
+/// returned guard drops (the previous context is restored — scopes
+/// nest). Independent of the tracing flag: installing a context while
+/// recording is off is free and harmless, so servers can thread ids
+/// unconditionally.
+pub fn trace_scope(ctx: TraceContext) -> TraceScope {
+    let previous = CONTEXT.with(|c| c.replace(ctx));
+    let open_now = LOCAL.with(|l| l.borrow().open_ids.len());
+    let previous_barrier = BARRIER.with(|b| b.replace(open_now));
+    TraceScope {
+        previous,
+        previous_barrier,
+    }
+}
+
+/// RAII guard returned by [`trace_scope`]; restores the previous context
+/// on drop.
+#[derive(Debug)]
+pub struct TraceScope {
+    previous: TraceContext,
+    previous_barrier: usize,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.previous));
+        BARRIER.with(|b| b.set(self.previous_barrier));
+    }
 }
 
 /// Turn span recording on or off process-wide. Off by default; flipping the
@@ -114,13 +188,26 @@ pub fn span_with(cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard 
 
 fn open_span(cat: &'static str, name: String) -> SpanGuard {
     let start_us = epoch().elapsed().as_micros() as u64;
-    let (id, tid, depth) = LOCAL.with(|l| {
+    let ctx = current_trace_context();
+    let barrier = BARRIER.with(Cell::get);
+    let (id, tid, depth, parent) = LOCAL.with(|l| {
         let mut l = l.borrow_mut();
         let id = (l.tid << 32) | (l.next_seq & 0xffff_ffff);
         l.next_seq += 1;
         let depth = l.depth;
         l.depth += 1;
-        (id, l.tid, depth)
+        // Parent: the innermost span opened under the current trace
+        // scope, else the cross-thread parent carried by the context.
+        // Spans below the barrier (opened before the scope) never
+        // parent scoped spans — see BARRIER.
+        let parent = l
+            .open_ids
+            .get(barrier.min(l.open_ids.len())..)
+            .and_then(|scoped| scoped.last())
+            .copied()
+            .unwrap_or(ctx.parent);
+        l.open_ids.push(id);
+        (id, l.tid, depth, parent)
     });
     SpanGuard {
         open: Some(OpenSpan {
@@ -130,6 +217,8 @@ fn open_span(cat: &'static str, name: String) -> SpanGuard {
             tid,
             depth,
             start_us,
+            trace_id: ctx.trace_id,
+            parent,
             started: Instant::now(),
         }),
     }
@@ -143,6 +232,8 @@ struct OpenSpan {
     tid: u64,
     depth: u32,
     start_us: u64,
+    trace_id: u64,
+    parent: u64,
     started: Instant,
 }
 
@@ -150,6 +241,15 @@ struct OpenSpan {
 #[derive(Debug)]
 pub struct SpanGuard {
     open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// The span's id while it is recording (`None` when tracing was off
+    /// at open). Hand this to another thread as a [`TraceContext`]
+    /// parent to hang that thread's spans under this one.
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.id)
+    }
 }
 
 impl Drop for SpanGuard {
@@ -161,6 +261,11 @@ impl Drop for SpanGuard {
         LOCAL.with(|l| {
             let mut l = l.borrow_mut();
             l.depth = l.depth.saturating_sub(1);
+            // Guards drop LIFO in well-formed code; tolerate stragglers
+            // by removing this id wherever it sits in the open chain.
+            if let Some(pos) = l.open_ids.iter().rposition(|&id| id == open.id) {
+                l.open_ids.remove(pos);
+            }
             l.events.push(SpanEvent {
                 id: open.id,
                 name: open.name,
@@ -169,6 +274,8 @@ impl Drop for SpanGuard {
                 depth: open.depth,
                 start_us: open.start_us,
                 dur_us,
+                trace_id: open.trace_id,
+                parent: open.parent,
             });
             // Publish whenever the outermost span on this thread closes:
             // thread-local destructors may run after a scoped thread is
@@ -271,6 +378,133 @@ mod tests {
         assert_eq!(events.len(), 3, "every worker's span must survive exit");
         let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 3, "each worker gets its own tid");
+    }
+
+    #[test]
+    fn spans_nest_into_a_parent_chain() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        set_tracing(true);
+        {
+            let outer = span("t", "outer");
+            let outer_id = outer.id().unwrap();
+            let inner = span("t", "inner");
+            assert_ne!(inner.id().unwrap(), outer_id);
+            drop(inner);
+            let sibling = span("t", "sibling");
+            drop(sibling);
+            drop(outer);
+        }
+        set_tracing(false);
+        let events = take_events();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let sibling = events.iter().find(|e| e.name == "sibling").unwrap();
+        assert_eq!(outer.parent, 0, "no ambient context: outer is a root");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(sibling.parent, outer.id, "chain pops when a span closes");
+        assert_eq!(outer.trace_id, 0);
+    }
+
+    #[test]
+    fn trace_scope_carries_ids_across_threads() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        set_tracing(true);
+        let root_id;
+        {
+            let _scope = trace_scope(TraceContext {
+                trace_id: 0xfeed,
+                parent: 0,
+            });
+            let root = span("t", "accept");
+            root_id = root.id().unwrap();
+            let handoff = TraceContext {
+                trace_id: current_trace_context().trace_id,
+                parent: root_id,
+            };
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let _scope = trace_scope(handoff);
+                    let _work = span("t", "work");
+                    let _nested = span("t", "nested");
+                });
+            });
+        }
+        set_tracing(false);
+        let events = take_events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.trace_id == 0xfeed));
+        let accept = events.iter().find(|e| e.name == "accept").unwrap();
+        let work = events.iter().find(|e| e.name == "work").unwrap();
+        let nested = events.iter().find(|e| e.name == "nested").unwrap();
+        assert_ne!(accept.tid, work.tid, "the handoff crossed threads");
+        assert_eq!(accept.parent, 0);
+        assert_eq!(
+            work.parent, root_id,
+            "outermost worker span adopts the handoff parent"
+        );
+        assert_eq!(nested.parent, work.id);
+    }
+
+    #[test]
+    fn scope_barrier_hides_preexisting_spans_from_parenting() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        set_tracing(true);
+        {
+            // A long-lived loop span (like an exec worker's job span).
+            let _loop_span = span("t", "worker-loop");
+            // A request handled inside the loop: its scope must parent
+            // the request span to the handoff id, not the loop span.
+            let _scope = trace_scope(TraceContext {
+                trace_id: 3,
+                parent: 0xabc,
+            });
+            let request = span("t", "request");
+            let nested = span("t", "nested");
+            drop(nested);
+            drop(request);
+        }
+        set_tracing(false);
+        let events = take_events();
+        let request = events.iter().find(|e| e.name == "request").unwrap();
+        let nested = events.iter().find(|e| e.name == "nested").unwrap();
+        let loop_span = events.iter().find(|e| e.name == "worker-loop").unwrap();
+        assert_eq!(request.parent, 0xabc, "barrier skips the loop span");
+        assert_eq!(nested.parent, request.id, "in-scope spans chain normally");
+        assert_eq!(request.trace_id, 3);
+        assert_eq!(loop_span.trace_id, 0, "the loop span is outside the trace");
+    }
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        assert_eq!(current_trace_context(), TraceContext::default());
+        {
+            let _a = trace_scope(TraceContext {
+                trace_id: 1,
+                parent: 10,
+            });
+            assert_eq!(current_trace_context().trace_id, 1);
+            {
+                let _b = trace_scope(TraceContext {
+                    trace_id: 2,
+                    parent: 20,
+                });
+                assert_eq!(current_trace_context().trace_id, 2);
+            }
+            assert_eq!(current_trace_context().trace_id, 1);
+        }
+        assert_eq!(current_trace_context(), TraceContext::default());
+    }
+
+    #[test]
+    fn guard_id_is_none_while_disabled() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_tracing(false);
+        let s = span("t", "dark");
+        assert_eq!(s.id(), None);
     }
 
     #[test]

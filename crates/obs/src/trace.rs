@@ -15,12 +15,15 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             out.push_str(", ");
         }
         out.push_str(&format!(
-            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}",
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"trace_id\": {}, \"parent\": {}}}}}",
             escape(&e.name),
             escape(e.cat),
             e.start_us,
             e.dur_us,
-            e.tid
+            e.tid,
+            e.trace_id,
+            e.parent
         ));
     }
     out.push_str("]}");
@@ -66,6 +69,8 @@ mod tests {
             depth,
             start_us,
             dur_us,
+            trace_id: 7,
+            parent: 0,
         }
     }
 
@@ -82,6 +87,7 @@ mod tests {
         assert!(j.contains("\"ts\": 10"));
         assert!(j.contains("\"dur\": 30"));
         assert!(j.contains("outer \\\"quoted\\\""));
+        assert!(j.contains("\"trace_id\": 7"));
     }
 
     #[test]

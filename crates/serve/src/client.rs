@@ -44,11 +44,32 @@ pub fn request(
     target: &str,
     body: &[u8],
 ) -> io::Result<ClientResponse> {
+    request_with_headers(addr, method, target, &[], body)
+}
+
+/// [`request`] with extra request headers (e.g. `X-Trace-Id` for trace
+/// propagation).
+///
+/// # Errors
+///
+/// Returns the transport error, or [`io::ErrorKind::InvalidData`] when the
+/// response status line cannot be parsed.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;

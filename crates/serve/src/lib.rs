@@ -27,10 +27,18 @@
 //!
 //! | Route | Behavior |
 //! |---|---|
-//! | `POST /compile?generator=&arch=&beam=` | body = model XML; 200 + C source, or 422 + error text; `X-Cache: hit`/`miss`/`join` |
-//! | `GET /metrics` | JSON counter snapshot |
+//! | `POST /compile?generator=&arch=&beam=` | body = model XML; 200 + C source, or 422 + error text; `X-Cache: hit`/`miss`/`join`, `X-Content-Key` prefix |
+//! | `GET /metrics` | counters, gauges and latency histograms as JSON; `?format=prometheus` for scrape text |
 //! | `GET /health` | liveness probe |
+//! | `GET /debug/requests` | flight recorder: the last N completed requests with stage timings |
 //! | `POST /shutdown` | graceful stop |
+//!
+//! Every response carries an `X-Trace-Id` header (16 hex digits),
+//! server-assigned on accept or adopted from an inbound `X-Trace-Id`;
+//! with tracing enabled, all of a request's spans — accept thread, queue
+//! handoff, worker — stitch into one tree under that id. A
+//! `--access-log PATH` (or [`ServeConfig::access_log`]) appends one JSON
+//! line per completed request.
 //!
 //! ## Example
 //!
@@ -54,9 +62,13 @@ pub mod client;
 pub mod http;
 pub mod key;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{
     AdmitReport, ArtifactProvider, ArtifactStore, DiskStore, MemoryStore, Outcome, ShardedCache,
 };
 pub use key::{BadOptions, CompileOptions, ContentKey};
 pub use server::{spawn, ServeConfig, ServeCounters, ServeHandle};
+pub use telemetry::{
+    format_trace_id, parse_trace_id, FlightRecorder, RequestRecord, ServeHists, TraceIdGen,
+};

@@ -13,16 +13,22 @@
 use crate::cache::{ArtifactProvider, DiskStore, MemoryStore, Outcome, ShardedCache};
 use crate::http::{self, HttpError, Request, Response};
 use crate::key::{CompileOptions, ContentKey};
+use crate::telemetry::{
+    format_trace_id, parse_trace_id, AccessLog, FlightRecorder, RequestRecord, ServeHists,
+    TraceIdGen,
+};
 use hcg_core::emit::to_c_source;
 use hcg_core::CompileSession;
-use hcg_obs::MetricsRegistry;
+use hcg_obs::{MetricsRegistry, TraceContext};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +46,17 @@ pub struct ServeConfig {
     /// When set, artifacts persist under this directory and the cache
     /// starts warm after a restart; `None` keeps everything in memory.
     pub disk_root: Option<PathBuf>,
+    /// Record server-side latency/size histograms (on by default; the
+    /// `obs-bench` harness turns it off to measure the overhead).
+    pub record_histograms: bool,
+    /// When set, append one JSONL line per completed request here.
+    pub access_log: Option<PathBuf>,
+    /// Seed for trace-id generation (`None` = time/pid derived). Seeded
+    /// daemons assign a reproducible id sequence.
+    pub trace_seed: Option<u64>,
+    /// Flight-recorder capacity: how many completed requests
+    /// `GET /debug/requests` retains.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +68,10 @@ impl Default for ServeConfig {
             shard_budget: 8 << 20,
             session_capacity: 256,
             disk_root: None,
+            record_histograms: true,
+            access_log: None,
+            trace_seed: None,
+            flight_capacity: 64,
         }
     }
 }
@@ -113,6 +134,8 @@ serve_counters! {
     session_evicted => "serve.session.evicted",
     /// Requests rejected before compiling (bad HTTP, bad options, 404s).
     http_errors => "serve.http.errors",
+    /// `GET /metrics` scrapes served (JSON and Prometheus formats).
+    metrics_scrapes => "serve.metrics_scrapes",
 }
 
 /// Count-capped LRU of parsed front ends, keyed by model bytes only so
@@ -189,14 +212,35 @@ impl Inflight {
     }
 }
 
+/// The daemon's observability side: histograms, trace ids, access log,
+/// flight recorder. Grouped so the request path can thread one reference.
+struct Telemetry {
+    hists: Option<ServeHists>,
+    access_log: Option<AccessLog>,
+    recorder: FlightRecorder,
+    trace_ids: TraceIdGen,
+}
+
 /// Shared daemon state.
 struct ServeState {
     cache: Box<dyn ArtifactProvider>,
     sessions: SessionCache,
     inflight: Mutex<HashMap<ContentKey, Arc<Inflight>>>,
     counters: Arc<ServeCounters>,
+    telemetry: Telemetry,
     shutdown: AtomicBool,
     addr: SocketAddr,
+}
+
+/// One accepted connection in flight from the accept thread to a worker:
+/// the stream plus the trace identity minted on accept, so the worker's
+/// spans stitch under the accept thread's span as one tree.
+struct Conn {
+    stream: TcpStream,
+    trace_id: u64,
+    /// Accept-span id (0 while tracing is off) — the worker's parent.
+    parent: u64,
+    accepted: Instant,
 }
 
 /// Handle to a running daemon: its address, counters and lifecycle.
@@ -286,28 +330,57 @@ pub fn spawn(config: ServeConfig) -> io::Result<ServeHandle> {
             MemoryStore,
         )),
     };
+    let telemetry = Telemetry {
+        hists: config.record_histograms.then(ServeHists::new),
+        access_log: match &config.access_log {
+            Some(path) => Some(AccessLog::open(path)?),
+            None => None,
+        },
+        recorder: FlightRecorder::new(config.flight_capacity),
+        trace_ids: TraceIdGen::new(config.trace_seed),
+    };
     let state = Arc::new(ServeState {
         cache,
         sessions: SessionCache::new(config.session_capacity),
         inflight: Mutex::default(),
         counters: Arc::new(ServeCounters::default()),
+        telemetry,
         shutdown: AtomicBool::new(false),
         addr,
     });
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<Conn>();
     let accept_state = Arc::clone(&state);
     let accept = std::thread::spawn(move || {
-        let _span = hcg_obs::span_with("serve", || format!("accept/{addr}"));
         for stream in listener.incoming() {
             if accept_state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            if tx.send(stream).is_err() {
+            // Mint the request's trace identity here, so the queue wait
+            // and the worker's whole request handling hang under one
+            // accept span (span ids are 0 while tracing is off — the
+            // trace id itself is always assigned, for the response
+            // header and access log).
+            let trace_id = accept_state.telemetry.trace_ids.next_id();
+            let _scope = hcg_obs::trace_scope(TraceContext {
+                trace_id,
+                parent: 0,
+            });
+            let span = hcg_obs::span("serve", "accept");
+            let conn = Conn {
+                stream,
+                trace_id,
+                parent: span.id().unwrap_or(0),
+                accepted: Instant::now(),
+            };
+            if tx.send(conn).is_err() {
                 break;
             }
         }
+        // Publish any spans still buffered on this thread before it
+        // joins, so short-lived daemons export complete traces.
+        hcg_obs::flush_thread();
         // Dropping `tx` here wakes every worker blocked on the channel.
     });
 
@@ -326,10 +399,13 @@ pub fn spawn(config: ServeConfig) -> io::Result<ServeHandle> {
                         // one compiles.
                         let next = rx.lock().expect("serve queue poisoned").recv();
                         match next {
-                            Ok(stream) => handle_connection(&state, stream),
+                            Ok(conn) => handle_connection(&state, conn),
                             Err(_) => break,
                         }
                     }
+                    // Lossless shutdown: publish this worker's buffered
+                    // spans before the pool joins it.
+                    hcg_obs::flush_thread();
                 }
             })
             .collect();
@@ -344,32 +420,129 @@ pub fn spawn(config: ServeConfig) -> io::Result<ServeHandle> {
     })
 }
 
-/// Serve one connection: one request, one response, close.
-fn handle_connection(state: &ServeState, stream: TcpStream) {
-    let mut reader = BufReader::new(match stream.try_clone() {
+/// Serve one connection: one request, one response, close. This is where
+/// every per-request telemetry signal is emitted: queue/read/route stage
+/// timings, the latency and size histograms, the `X-Trace-Id` response
+/// header, the access-log line and the flight-recorder entry.
+///
+/// Telemetry is published *before* the response bytes go out: once a
+/// client has read a response, the request is guaranteed to be visible
+/// in `/metrics` and `/debug/requests`. (The latency histogram therefore
+/// measures accept-to-response-ready, excluding the final write.)
+fn handle_connection(state: &ServeState, conn: Conn) {
+    let queue_us = conn.accepted.elapsed().as_micros() as u64;
+    let mut reader = BufReader::new(match conn.stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let mut writer = stream;
+    let mut writer = conn.stream;
+    let read_start = Instant::now();
     let request = match http::read_request(&mut reader) {
         Ok(r) => r,
         Err(HttpError::Malformed(m)) => {
             state.counters.http_errors();
-            let _ = http::write_response(&mut writer, &Response::text(400, m));
+            let response =
+                Response::text(400, m).with_header("X-Trace-Id", format_trace_id(conn.trace_id));
+            let _ = http::write_response(&mut writer, &response);
             return;
         }
         // Shutdown wake-ups and dropped clients land here; nothing to say.
         Err(HttpError::Io(_)) => return,
     };
-    let response = route(state, &request);
+    let read_us = read_start.elapsed().as_micros() as u64;
+
+    // Propagation: an inbound X-Trace-Id (16 hex digits) replaces the
+    // accept-assigned id, so a caller's id follows the request through
+    // this daemon's spans and logs.
+    let trace_id = request
+        .header("x-trace-id")
+        .and_then(parse_trace_id)
+        .unwrap_or(conn.trace_id);
+    let _scope = hcg_obs::trace_scope(TraceContext {
+        trace_id,
+        parent: conn.parent,
+    });
+    let _req_span = hcg_obs::span("serve", "request");
+
+    // Panic isolation: a route handler panic becomes a 500 (and a flight
+    // recorder dump below), never a dead worker.
+    let route_start = Instant::now();
+    let response = match catch_unwind(AssertUnwindSafe(|| route(state, &request))) {
+        Ok(response) => response,
+        Err(payload) => {
+            state.counters.http_errors();
+            Response::text(
+                500,
+                format!("internal error: {}\n", panic_text(payload.as_ref())),
+            )
+        }
+    };
+    let route_us = route_start.elapsed().as_micros() as u64;
+    let response = response.with_header("X-Trace-Id", format_trace_id(trace_id));
+    let latency_us = conn.accepted.elapsed().as_micros() as u64;
+
+    if let Some(hists) = &state.telemetry.hists {
+        hists.queue_wait_us.record(queue_us);
+        hists.request_bytes.record(request.body.len() as u64);
+        hists.response_bytes.record(response.body.len() as u64);
+        hists.request_latency_us.record(latency_us);
+    }
+    let header = |name: &str| {
+        response
+            .headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| "-".to_owned())
+    };
+    let record = RequestRecord {
+        trace_id,
+        method: request.method.clone(),
+        path: request.path.clone(),
+        key_prefix: header("X-Content-Key"),
+        cache: header("X-Cache"),
+        status: response.status,
+        latency_us,
+        stages: vec![("queue", queue_us), ("read", read_us), ("route", route_us)],
+    };
+    if let Some(log) = &state.telemetry.access_log {
+        log.log(&record);
+    }
+    state.telemetry.recorder.record(record);
+    if response.status >= 500 {
+        // The black box: dump the recent-request ring (ending with the
+        // failing request) so the failure is diagnosable after the fact.
+        eprintln!(
+            "hcg-serve: 5xx on trace {} — flight recorder: {}",
+            format_trace_id(trace_id),
+            state.telemetry.recorder.to_json()
+        );
+    }
+
     let _ = http::write_response(&mut writer, &response);
+}
+
+/// Render a panic payload (`&str`/`String` verbatim, placeholder else).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 fn route(state: &ServeState, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/compile") => compile(state, request),
-        ("GET", "/metrics") => metrics(state),
+        ("GET", "/metrics") => metrics(state, request),
         ("GET", "/health") => Response::text(200, "ok\n"),
+        ("GET", "/debug/requests") => Response::text(200, state.telemetry.recorder.to_json())
+            .with_header("Cache-Control", "no-store"),
+        // A deliberate failure point so the 500 path (panic isolation +
+        // flight-recorder dump) stays testable end to end.
+        ("POST", "/debug/panic") => panic!("deliberate panic requested via /debug/panic"),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the flag.
@@ -387,14 +560,27 @@ fn route(state: &ServeState, request: &Request) -> Response {
     }
 }
 
-/// `GET /metrics`: service counters plus live cache gauges, as JSON.
-fn metrics(state: &ServeState) -> Response {
+/// `GET /metrics`: service counters, live cache gauges and the latency
+/// histograms — JSON by default, Prometheus text with
+/// `?format=prometheus`. Always `Cache-Control: no-store`: a scrape is a
+/// point-in-time read that must never be served stale by an intermediary.
+fn metrics(state: &ServeState, request: &Request) -> Response {
+    state.counters.metrics_scrapes();
     let mut snapshot = state.counters.snapshot();
     snapshot.set_counter("serve.cache.entries", state.cache.entries() as u64);
     snapshot.set_counter("serve.cache.bytes", state.cache.bytes() as u64);
     snapshot.set_counter("serve.cache.shards", state.cache.shard_count() as u64);
     snapshot.set_counter("serve.session.entries", state.sessions.len() as u64);
-    Response::text(200, snapshot.to_json())
+    if let Some(hists) = &state.telemetry.hists {
+        for (name, hist) in hists.named() {
+            snapshot.set_histogram(name, hist.snapshot());
+        }
+    }
+    let body = match request.query_param("format") {
+        Some("prometheus") => hcg_obs::render_prometheus(&snapshot),
+        _ => snapshot.to_json(),
+    };
+    Response::text(200, body).with_header("Cache-Control", "no-store")
 }
 
 /// `POST /compile`: cache lookup → single-flight dedup → compile.
@@ -417,7 +603,7 @@ fn compile(state: &ServeState, request: &Request) -> Response {
         if outcome.is_failure() {
             state.counters.negative_hits();
         }
-        return respond(&outcome, "hit");
+        return respond(&outcome, "hit", key);
     }
     state.counters.misses();
 
@@ -435,7 +621,14 @@ fn compile(state: &ServeState, request: &Request) -> Response {
     };
     if !leader {
         state.counters.joins();
-        return respond(&flight.wait(), "join");
+        let wait_start = Instant::now();
+        let outcome = flight.wait();
+        if let Some(hists) = &state.telemetry.hists {
+            hists
+                .flight_wait_us
+                .record(wait_start.elapsed().as_micros() as u64);
+        }
+        return respond(&outcome, "join", key);
     }
 
     // Leadership recheck: between this request's cache miss and its
@@ -454,10 +647,16 @@ fn compile(state: &ServeState, request: &Request) -> Response {
             .lock()
             .expect("inflight map poisoned")
             .remove(&key);
-        return respond(&outcome, "hit");
+        return respond(&outcome, "hit", key);
     }
 
+    let compile_start = Instant::now();
     let outcome = run_compile(state, &options, &request.body);
+    if let Some(hists) = &state.telemetry.hists {
+        hists
+            .compile_latency_us
+            .record(compile_start.elapsed().as_micros() as u64);
+    }
     let report = state.cache.admit(key, outcome.clone());
     if report.admitted {
         state.counters.admitted();
@@ -474,7 +673,7 @@ fn compile(state: &ServeState, request: &Request) -> Response {
         .lock()
         .expect("inflight map poisoned")
         .remove(&key);
-    respond(&outcome, "miss")
+    respond(&outcome, "miss", key)
 }
 
 /// Execute one compile through the shared front-end session cache.
@@ -509,7 +708,11 @@ fn run_compile(state: &ServeState, options: &CompileOptions, model_bytes: &[u8])
     }
 }
 
-fn respond(outcome: &Outcome, cache_status: &str) -> Response {
+fn respond(outcome: &Outcome, cache_status: &str, key: ContentKey) -> Response {
     let status = if outcome.is_failure() { 422 } else { 200 };
-    Response::text(status, outcome.text()).with_header("X-Cache", cache_status)
+    Response::text(status, outcome.text())
+        .with_header("X-Cache", cache_status)
+        // The first 16 hex digits are plenty to find the artifact (the
+        // access log and flight recorder key requests by this prefix).
+        .with_header("X-Content-Key", &key.hex()[..16])
 }

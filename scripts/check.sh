@@ -56,16 +56,25 @@ cargo test -q --release -p hcg-fuzz edits
 echo "==> corpus replay (committed repros through the full oracle)"
 cargo test -q --release -p hcg-fuzz --test corpus_replay
 
-echo "==> compile-service smoke (daemon on an ephemeral port, repeat POSTs are cache hits)"
+echo "==> compile-service smoke (ephemeral daemon; cache hits + prometheus scrape via bundled client)"
 cargo run -q --release -p hcg-bench --bin repro -- serve-smoke \
     --out target/repro_serve_smoke.txt
 grep -q "clean shutdown" target/repro_serve_smoke.txt
+grep -q "prometheus scrape parses" target/repro_serve_smoke.txt
 
 echo "==> compile-service bench smoke (Zipf replay, byte-identity gate)"
 cargo run -q --release -p hcg-bench --bin repro -- serve-bench --requests 50 \
     --clients 4 --corpus-size 10 \
     --json target/serve_smoke.json --out target/repro_serve_bench.txt
 grep -q '"identical_responses": true' target/serve_smoke.json
+
+echo "==> observability overhead smoke (telemetry layers off/hist/log/trace; gate skipped on short runs)"
+cargo run -q --release -p hcg-bench --bin repro -- obs-bench --requests 60 \
+    --clients 4 --corpus-size 10 \
+    --access-log target/obs-bench-access.jsonl \
+    --json target/obs_smoke.json --out target/repro_obs_bench.txt
+grep -q '"experiment": "obs-overhead"' target/obs_smoke.json
+grep -q '"layer": "histograms+access-log+tracing"' target/obs_smoke.json
 
 echo "==> profile smoke run (cycle attribution conserves, trace JSON parses)"
 cargo run -q --release -p hcg-bench --bin repro -- profile --model FIR \
